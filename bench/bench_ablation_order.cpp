@@ -1,0 +1,60 @@
+// Ablation A (paper §IV, text): "These compaction results for SFU_IMM were
+// obtained applying the test patterns in reverse order during the fault
+// simulation of stage 3."
+//
+// Compacts SFU_IMM twice — patterns forward vs reversed — and reports size/
+// duration/FC for both (why order matters: with fault dropping, whichever
+// pattern comes first claims each fault's only recorded detection, so the
+// order decides which SBs end up essential).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+
+namespace gpustl::bench {
+namespace {
+
+using compact::CompactionResult;
+using compact::Compactor;
+using compact::CompactorOptions;
+using trace::TargetModule;
+
+int Run() {
+  const StlFixture fx = BuildFixture();
+
+  CompactorOptions forward;
+  forward.reverse_patterns = false;
+  CompactorOptions reverse;
+  reverse.reverse_patterns = true;
+
+  Compactor fwd(fx.sfu, TargetModule::kSfu, forward);
+  Compactor rev(fx.sfu, TargetModule::kSfu, reverse);
+
+  const CompactionResult f = fwd.CompactPtp(fx.sfu_imm);
+  const CompactionResult r = rev.CompactPtp(fx.sfu_imm);
+
+  TextTable table({"Pattern order", "Size (instr)", "Size (%)",
+                   "Duration (ccs)", "Duration (%)", "Diff FC (%)",
+                   "Compaction time (s)"});
+  table.AddRow(CompactionRow("forward", f));
+  table.AddRow(CompactionRow("reverse", r));
+
+  std::printf("ABLATION A: SFU_IMM PATTERN ORDER IN THE STAGE-3 FAULT SIM\n\n%s\n",
+              table.Render().c_str());
+  std::printf("forward: %zu/%zu SBs removed, %zu essential instructions\n",
+              f.removed_sbs, f.num_sbs, f.essential_instructions);
+  std::printf("reverse: %zu/%zu SBs removed, %zu essential instructions\n\n",
+              r.removed_sbs, r.num_sbs, r.essential_instructions);
+  std::printf(
+      "Paper reference: the SFU_IMM row of Table III (-41.20%% size,\n"
+      "-44.79%% duration, FC unchanged) was obtained with reverse order.\n"
+      "Expected shape: both orders preserve FC (stateless SFU SBs); the\n"
+      "removable-SB count depends on which patterns claim each fault's\n"
+      "first detection, so the two orders compact differently.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpustl::bench
+
+int main() { return gpustl::bench::Run(); }

@@ -1,0 +1,61 @@
+// Ablation D: FlexGripPlus SM configurability (paper §II.B: "the
+// flexibility of the GPU model allows the selection of the number of
+// execution units (8, 16, or 32) in the SM").
+//
+// Sweeps the SP-core count and reports each PTP's duration: test-time
+// scales with warp occupancy per unit, while the compaction results (which
+// operate on patterns, not cycles) are configuration-independent — shown by
+// compacting IMM under each configuration.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "circuits/decoder_unit.h"
+#include "common/table.h"
+#include "gpu/sm.h"
+#include "stl/generators.h"
+
+namespace gpustl::bench {
+namespace {
+
+using trace::TargetModule;
+
+int Run() {
+  const netlist::Netlist du = circuits::BuildDecoderUnit();
+  const isa::Program imm = stl::GenerateImm(60, 0xBEE);
+  const isa::Program rand = stl::GenerateRand(60, 0xBEF);
+
+  TextTable table({"SP cores", "IMM duration (ccs)", "RAND duration (ccs)",
+                   "IMM compacted size", "IMM diff FC (%)"});
+
+  for (const int num_sp : {8, 16, 32}) {
+    gpu::SmConfig config;
+    config.num_sp = num_sp;
+
+    gpu::Sm sm(config);
+    const auto imm_run = sm.Run(imm);
+    const auto rand_run = sm.Run(rand);
+
+    compact::CompactorOptions options;
+    options.sm = config;
+    compact::Compactor compactor(du, TargetModule::kDecoderUnit, options);
+    const auto res = compactor.CompactPtp(imm);
+
+    table.AddRow({std::to_string(num_sp), Cycles(imm_run.total_cycles),
+                  Cycles(rand_run.total_cycles),
+                  Count(res.result.size_instr), SignedPct(res.diff_fc)});
+  }
+
+  std::printf("ABLATION D: SM CONFIGURATION (SP-CORE COUNT) SWEEP\n\n%s\n",
+              table.Render().c_str());
+  std::printf(
+      "Expected shape: duration shrinks with more SP cores (fewer\n"
+      "subcycles per 32-thread warp); the compacted size and FC difference\n"
+      "are invariant — the method works on per-cc patterns, and the same\n"
+      "instructions apply the same patterns regardless of lane count.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpustl::bench
+
+int main() { return gpustl::bench::Run(); }

@@ -1,0 +1,59 @@
+// Extension experiment: a fourth target module — the FP32 lane datapath.
+//
+// The paper's STL targets the Decoder Unit, the SP cores and the SFUs; the
+// SM also contains 8 FP32 units (§II.B). This bench runs the full
+// five-stage compaction against the gate-level FP-lite datapath with an
+// FPU-targeted pseudorandom PTP, demonstrating that the method is module-
+// agnostic: any module with a per-cc pattern probe compacts the same way.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "circuits/fp32.h"
+#include "common/table.h"
+#include "fault/fault.h"
+#include "stl/generators.h"
+
+namespace gpustl::bench {
+namespace {
+
+using compact::CompactionResult;
+using compact::Compactor;
+using trace::TargetModule;
+
+int Run() {
+  const netlist::Netlist fp = circuits::BuildFp32();
+  const auto faults = fault::CollapsedFaultList(fp);
+  std::printf("FP32 FP-lite datapath: %zu gates, %zu collapsed faults\n\n",
+              fp.gate_count(), faults.size());
+
+  TextTable table({"FPU PTP SBs", "Size (instr)", "Size (%)",
+                   "FC before (%)", "FC after (%)", "Diff FC (%)",
+                   "Compaction time (s)"});
+
+  for (const int sbs : {40, 80, 160}) {
+    const isa::Program ptp = stl::GenerateFpu(sbs, 0xF9 + sbs);
+    Compactor compactor(fp, TargetModule::kFp32);
+    const CompactionResult res = compactor.CompactPtp(ptp);
+    const double size_pct =
+        -100.0 * (1.0 - static_cast<double>(res.result.size_instr) /
+                            static_cast<double>(res.original.size_instr));
+    table.AddRow({std::to_string(sbs), Count(res.result.size_instr),
+                  SignedPct(size_pct), Pct(res.original.fc_percent),
+                  Pct(res.result.fc_percent), SignedPct(res.diff_fc),
+                  Format("%.2f", res.compaction_seconds)});
+  }
+
+  std::printf("EXTENSION: COMPACTING AN FP32-TARGETED PTP\n\n%s\n",
+              table.Render().c_str());
+  std::printf(
+      "Expected shape: as the PTP grows, the module's coverage saturates\n"
+      "and the compaction rate climbs (more SBs become redundant), while\n"
+      "the FC difference stays near zero — the same saturation dynamic the\n"
+      "paper reports for the DU/SP pseudorandom PTPs.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpustl::bench
+
+int main() { return gpustl::bench::Run(); }

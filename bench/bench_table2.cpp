@@ -1,0 +1,91 @@
+// Reproduces Table II: "The compaction results in the test programs for the
+// Decoder Unit".
+//
+// The three DU PTPs are compacted in the paper's order — IMM, then MEM,
+// then CNTRL — over one persistent fault list, so MEM compacts against the
+// faults IMM already detected (this ordering is why MEM reaches the highest
+// compaction in the paper). Columns: compacted size (instr, %), compacted
+// duration (ccs, %), FC difference, compaction time.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+
+namespace gpustl::bench {
+namespace {
+
+using compact::CompactionResult;
+using compact::Compactor;
+using trace::TargetModule;
+
+int Run() {
+  const StlFixture fx = BuildFixture();
+
+  Compactor du(fx.du, TargetModule::kDecoderUnit);
+
+  const CompactionResult imm = du.CompactPtp(fx.imm);
+  const CompactionResult mem = du.CompactPtp(fx.mem);
+  const CompactionResult cntrl = du.CompactPtp(fx.cntrl);
+
+  TextTable table({"PTP", "Size (instr)", "Size (%)", "Duration (ccs)",
+                   "Duration (%)", "Diff FC (%)", "Compaction time (s)"});
+  table.AddRow(CompactionRow("IMM", imm));
+  table.AddRow(CompactionRow("MEM", mem));
+  table.AddRow(CompactionRow("CNTRL", cntrl));
+
+  // Combined row.
+  const std::size_t orig_size = imm.original.size_instr +
+                                mem.original.size_instr +
+                                cntrl.original.size_instr;
+  const std::size_t comp_size = imm.result.size_instr +
+                                mem.result.size_instr +
+                                cntrl.result.size_instr;
+  const std::uint64_t orig_dur = imm.original.duration_cc +
+                                 mem.original.duration_cc +
+                                 cntrl.original.duration_cc;
+  const std::uint64_t comp_dur = imm.result.duration_cc +
+                                 mem.result.duration_cc +
+                                 cntrl.result.duration_cc;
+  const double total_time = imm.compaction_seconds + mem.compaction_seconds +
+                            cntrl.compaction_seconds;
+  // Combined Diff FC is the union coverage delta (compacted set vs
+  // original set, both under the sequential dropping flow).
+  const double union_before = du.CumulativeFcPercent();
+  Compactor du_after(fx.du, TargetModule::kDecoderUnit);
+  du_after.AbsorbCoverage(imm.compacted);
+  du_after.AbsorbCoverage(mem.compacted);
+  const double union_after = du_after.AbsorbCoverage(cntrl.compacted);
+  const double diff_fc = union_after - union_before;
+  table.AddRule();
+  table.AddRow({"IMM+MEM+CNTRL", Count(comp_size),
+                SignedPct(-100.0 * (1.0 - static_cast<double>(comp_size) /
+                                             static_cast<double>(orig_size))),
+                Cycles(comp_dur),
+                SignedPct(-100.0 * (1.0 - static_cast<double>(comp_dur) /
+                                             static_cast<double>(orig_dur))),
+                SignedPct(diff_fc), ::gpustl::Format("%.2f", total_time)});
+
+  std::printf(
+      "TABLE II. THE COMPACTION RESULTS IN THE TEST PROGRAMS FOR THE DECODER "
+      "UNIT\n\n%s\n",
+      table.Render().c_str());
+  std::printf(
+      "Per-PTP detail: IMM removed %zu/%zu SBs, MEM %zu/%zu, CNTRL %zu/%zu\n\n",
+      imm.removed_sbs, imm.num_sbs, mem.removed_sbs, mem.num_sbs,
+      cntrl.removed_sbs, cntrl.num_sbs);
+  std::printf(
+      "Paper reference (compaction time there is hours on 2x EPYC 7301):\n"
+      "  IMM   884 instr (-97.30) / 92,423 ccs (-95.85) / +0.06 / 2.28 h\n"
+      "  MEM   442 instr (-98.64) / 50,144 ccs (-98.42) / -1.79 / 2.62 h\n"
+      "  CNTRL  89 instr (-73.51) / 447,689 ccs (-36.95) / -0.00 / 0.91 h\n"
+      "  IMM+MEM+CNTRL 1,415 (-97.84) / 590,256 (-90.36) / -0.05 / 5.81 h\n"
+      "Expected shape: IMM and MEM compact far harder than CNTRL (whose\n"
+      "parametric-loop region is inadmissible); MEM >= IMM thanks to the\n"
+      "fault dropping from IMM; FC differences stay within ~2 points.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpustl::bench
+
+int main() { return gpustl::bench::Run(); }

@@ -1,0 +1,89 @@
+// Reproduces Table III: "The compaction results in the test programs for
+// the functional units".
+//
+// TPGEN then RAND are compacted against the SP-core module over one
+// persistent fault list (the cross-PTP dropping is what collapses RAND's
+// marginal coverage in the paper, -17.07% FC); SFU_IMM is compacted against
+// the SFU with the captured patterns applied in REVERSE order during the
+// stage-3 fault simulation, the configuration the paper reports for it.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+
+namespace gpustl::bench {
+namespace {
+
+using compact::CompactionResult;
+using compact::Compactor;
+using compact::CompactorOptions;
+using trace::TargetModule;
+
+int Run() {
+  const StlFixture fx = BuildFixture();
+
+  Compactor sp(fx.sp, TargetModule::kSpCore);
+  const CompactionResult tpgen = sp.CompactPtp(fx.tpgen);
+  const CompactionResult rand = sp.CompactPtp(fx.rand);
+
+  CompactorOptions sfu_options;
+  sfu_options.reverse_patterns = true;
+  Compactor sfu(fx.sfu, TargetModule::kSfu, sfu_options);
+  const CompactionResult sfu_imm = sfu.CompactPtp(fx.sfu_imm);
+
+  TextTable table({"PTP", "Size (instr)", "Size (%)", "Duration (ccs)",
+                   "Duration (%)", "Diff FC (%)", "Compaction time (s)"});
+  table.AddRow(CompactionRow("TPGEN", tpgen));
+  table.AddRow(CompactionRow("RAND", rand));
+
+  const std::size_t orig_size =
+      tpgen.original.size_instr + rand.original.size_instr;
+  const std::size_t comp_size = tpgen.result.size_instr + rand.result.size_instr;
+  const std::uint64_t orig_dur =
+      tpgen.original.duration_cc + rand.original.duration_cc;
+  const std::uint64_t comp_dur =
+      tpgen.result.duration_cc + rand.result.duration_cc;
+  // Combined Diff FC is the *union* coverage delta: the compacted pair's
+  // sequential (dropping) coverage vs the original pair's.
+  const double union_before = sp.CumulativeFcPercent();
+  Compactor sp_after(fx.sp, TargetModule::kSpCore);
+  sp_after.AbsorbCoverage(tpgen.compacted);
+  const double union_after = sp_after.AbsorbCoverage(rand.compacted);
+  table.AddRow({"TPGEN+RAND", Count(comp_size),
+                SignedPct(-100.0 * (1.0 - static_cast<double>(comp_size) /
+                                             static_cast<double>(orig_size))),
+                Cycles(comp_dur),
+                SignedPct(-100.0 * (1.0 - static_cast<double>(comp_dur) /
+                                             static_cast<double>(orig_dur))),
+                SignedPct(union_after - union_before),
+                ::gpustl::Format("%.2f",
+                       tpgen.compaction_seconds + rand.compaction_seconds)});
+  table.AddRule();
+  table.AddRow(CompactionRow("SFU_IMM", sfu_imm));
+
+  std::printf(
+      "TABLE III. THE COMPACTION RESULTS IN THE TEST PROGRAMS FOR THE "
+      "FUNCTIONAL UNITS\n\n%s\n",
+      table.Render().c_str());
+  std::printf(
+      "Per-PTP detail: TPGEN removed %zu/%zu SBs, RAND %zu/%zu, "
+      "SFU_IMM %zu/%zu\n\n",
+      tpgen.removed_sbs, tpgen.num_sbs, rand.removed_sbs, rand.num_sbs,
+      sfu_imm.removed_sbs, sfu_imm.num_sbs);
+  std::printf(
+      "Paper reference:\n"
+      "  TPGEN      4,742 instr (-75.81) / 452,401 ccs (-68.75) / -1.31 / 0.28 h\n"
+      "  RAND       1,215 instr (-97.79) / 112,030 ccs (-96.74) / -17.07 / 1.12 h\n"
+      "  TPGEN+RAND 5,957 (-92.02) / 564,431 (-88.44) / -3.13 / 1.40 h\n"
+      "  SFU_IMM    9,910 (-41.20) / 662,524 (-44.79) /  0.00 / 0.31 h\n"
+      "Expected shape: the ATPG-derived PTPs (TPGEN, SFU_IMM) keep a much\n"
+      "larger essential fraction than the pseudorandom RAND; RAND collapses\n"
+      "after TPGEN because of cross-PTP fault dropping; SFU_IMM's FC is\n"
+      "unaffected (no data dependence between its SBs).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpustl::bench
+
+int main() { return gpustl::bench::Run(); }

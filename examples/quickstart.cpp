@@ -1,0 +1,91 @@
+// Quickstart: the whole library in ~80 lines.
+//
+// 1. Write a small Parallel Test Program (PTP) in the SASS-like assembly.
+// 2. Run it on the FlexGripPlus-style GPU model with the tracing monitor
+//    and the Decoder-Unit pattern probe attached (stage 2 of the method).
+// 3. Fault-simulate the captured patterns against the gate-level DU
+//    (stage 3) and print the per-pattern Fault Sim Report.
+// 4. Compact the PTP with the five-stage Compactor and print before/after.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "circuits/decoder_unit.h"
+#include "compact/compactor.h"
+#include "fault/faultsim.h"
+#include "gpu/sm.h"
+#include "isa/assembler.h"
+#include "isa/disasm.h"
+#include "trace/trace.h"
+
+int main() {
+  using namespace gpustl;
+
+  // --- 1. A tiny PTP: three near-identical small blocks. ---
+  const isa::Program ptp = isa::Assemble(R"(
+    .entry quickstart
+    .blocks 1
+    .threads 32
+        S2R     R1, SR_TID        // thread register load
+        MOV32I  R0, 4
+        IMUL    R3, R1, R0
+        IADD32I R2, R3, 0x10000   // per-thread result pointer
+
+        MOV32I  R4, 0x1234        // SB 1: load / execute / propagate
+        IADD    R5, R4, R1
+        STG     [R2+0x0], R5
+
+        MOV32I  R4, 0x1234        // SB 2: applies the same DU patterns
+        IADD    R5, R4, R1
+        STG     [R2+0x0], R5
+
+        MOV32I  R4, 0xBEEF        // SB 3: a genuinely different pattern
+        XOR     R5, R4, R1
+        STG     [R2+0x80], R5
+        EXIT
+  )");
+  std::printf("PTP (%zu instructions):\n%s\n", ptp.size(),
+              isa::DisassembleProgram(ptp).c_str());
+
+  // --- 2. One logic simulation with the hardware monitor attached. ---
+  trace::TraceRecorder recorder;
+  trace::PatternProbe du_probe(trace::TargetModule::kDecoderUnit);
+  gpu::Sm sm;  // default: 1 SM, 8 SP cores
+  sm.AddMonitor(&recorder);
+  sm.AddMonitor(&du_probe);
+  const gpu::RunResult run = sm.Run(ptp);
+  std::printf("Executed in %llu clock cycles, %llu warp-instructions.\n",
+              static_cast<unsigned long long>(run.total_cycles),
+              static_cast<unsigned long long>(run.dynamic_instructions));
+  std::printf("Captured %zu Decoder-Unit test patterns.\n\n",
+              du_probe.patterns().size());
+
+  // --- 3. One optimized fault simulation of the target module. ---
+  const netlist::Netlist du = circuits::BuildDecoderUnit();
+  const auto faults = fault::CollapsedFaultList(du);
+  const auto report =
+      fault::RunFaultSim(du, du_probe.patterns(), faults);
+  std::printf("DU: %zu gates, %zu collapsed stuck-at faults, FC %.2f%%\n",
+              du.gate_count(), faults.size(),
+              fault::CoveragePercent(report.num_detected, faults.size()));
+  std::printf("First detecting patterns (cc -> faults first detected):\n");
+  for (std::size_t p = 0; p < du_probe.patterns().size(); ++p) {
+    if (report.detects_per_pattern[p] > 0) {
+      std::printf("  cc %-6llu -> %u faults\n",
+                  static_cast<unsigned long long>(du_probe.patterns().cc(p)),
+                  report.detects_per_pattern[p]);
+    }
+  }
+
+  // --- 4. The five-stage compaction. ---
+  compact::Compactor compactor(du, trace::TargetModule::kDecoderUnit);
+  const compact::CompactionResult res = compactor.CompactPtp(ptp);
+  std::printf(
+      "\nCompaction: %zu -> %zu instructions (%zu of %zu SBs removed), "
+      "FC %.2f%% -> %.2f%% (diff %+.2f)\n",
+      res.original.size_instr, res.result.size_instr, res.removed_sbs,
+      res.num_sbs, res.original.fc_percent, res.result.fc_percent,
+      res.diff_fc);
+  std::printf("\nCompacted PTP:\n%s", isa::DisassembleProgram(res.compacted).c_str());
+  return 0;
+}

@@ -1,0 +1,408 @@
+#include "atpg/podem.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace gpustl::atpg {
+
+using fault::Fault;
+using netlist::CellType;
+using netlist::Gate;
+using netlist::kMaxFanin;
+using netlist::NetId;
+using netlist::Netlist;
+
+namespace {
+
+constexpr std::uint8_t kV0 = 0;
+constexpr std::uint8_t kV1 = 1;
+constexpr std::uint8_t kVX = 2;
+
+/// 3-valued cell evaluation by completion enumeration: every X input is
+/// expanded both ways; if all completions agree the output is defined.
+/// Cells have at most 4 inputs, so at most 16 completions.
+std::uint8_t Eval3(CellType type, const std::uint8_t* in, int n) {
+  // Fast path: fully-defined inputs evaluate with one table lookup.
+  // Otherwise X inputs are expanded both ways in a single bit-parallel
+  // EvalCell call: each X input contributes its two completions on
+  // different word bits (2^x <= 16 completions, packed into one word).
+  int x_pos[kMaxFanin];
+  int x_count = 0;
+  std::uint64_t words[kMaxFanin];
+  for (int i = 0; i < n; ++i) {
+    if (in[i] == kVX) {
+      x_pos[x_count++] = i;
+      words[i] = 0;
+    } else {
+      words[i] = in[i] == kV1 ? ~0ull : 0ull;
+    }
+  }
+  if (x_count == 0) {
+    return static_cast<std::uint8_t>(netlist::EvalCell(type, words) & 1);
+  }
+  const int combos = 1 << x_count;
+  // Lane c carries completion c: X input k reads bit k of c.
+  for (int k = 0; k < x_count; ++k) {
+    std::uint64_t lane_bits = 0;
+    for (int c = 0; c < combos; ++c) {
+      if ((c >> k) & 1) lane_bits |= 1ull << c;
+    }
+    // Defined inputs already replicate across all lanes (0 or ~0).
+    words[x_pos[k]] = lane_bits;
+  }
+  const std::uint64_t out = netlist::EvalCell(type, words);
+  const std::uint64_t mask = combos >= 64 ? ~0ull : ((1ull << combos) - 1);
+  const std::uint64_t seen = out & mask;
+  if (seen == 0) return kV0;
+  if (seen == mask) return kV1;
+  return kVX;
+}
+
+/// Controlling value / inversion per cell type for the backtrace heuristic.
+/// Returns false when the cell has no single controlling value.
+bool ControllingValue(CellType type, std::uint8_t* c, bool* inv) {
+  switch (type) {
+    case CellType::kAnd2: case CellType::kAnd3: case CellType::kAnd4:
+      *c = kV0; *inv = false; return true;
+    case CellType::kNand2: case CellType::kNand3: case CellType::kNand4:
+      *c = kV0; *inv = true; return true;
+    case CellType::kOr2: case CellType::kOr3: case CellType::kOr4:
+      *c = kV1; *inv = false; return true;
+    case CellType::kNor2: case CellType::kNor3: case CellType::kNor4:
+      *c = kV1; *inv = true; return true;
+    case CellType::kBuf:
+      *c = kVX; *inv = false; return true;
+    case CellType::kInv:
+      *c = kVX; *inv = true; return true;
+    default:
+      return false;
+  }
+}
+
+bool IsInverting(CellType type) {
+  switch (type) {
+    case CellType::kInv:
+    case CellType::kNand2: case CellType::kNand3: case CellType::kNand4:
+    case CellType::kNor2: case CellType::kNor3: case CellType::kNor4:
+    case CellType::kXnor2:
+    case CellType::kAoi21: case CellType::kAoi22:
+    case CellType::kOai21: case CellType::kOai22:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class PodemEngine {
+ public:
+  PodemEngine(const Netlist& nl, const Fault& f, const AtpgOptions& options)
+      : nl_(nl), fault_(f), options_(options) {
+    good_.assign(nl.gate_count(), kVX);
+    faulty_.assign(nl.gate_count(), kVX);
+    assign_.assign(nl.gate_count(), kVX);  // indexed by PI net id
+  }
+
+  AtpgResult Run() {
+    AtpgResult result;
+    Simulate();
+    const bool found = Search();
+    result.assignment.assign(nl_.num_inputs(), kVX);
+    for (std::size_t i = 0; i < nl_.num_inputs(); ++i) {
+      result.assignment[i] = assign_[nl_.inputs()[i]];
+    }
+    if (found) {
+      result.status = AtpgStatus::kDetected;
+    } else {
+      result.status = aborted_ ? AtpgStatus::kAborted : AtpgStatus::kUntestable;
+    }
+    return result;
+  }
+
+ private:
+  /// Full 3-valued good/faulty resimulation from the current PI assignment.
+  void Simulate() {
+    for (NetId pi : nl_.inputs()) {
+      good_[pi] = assign_[pi];
+      faulty_[pi] = assign_[pi];
+    }
+    if (fault_.pin == Fault::kOutputPin &&
+        nl_.gate(fault_.gate).type == CellType::kInput) {
+      faulty_[fault_.gate] = fault_.sa1 ? kV1 : kV0;
+    }
+    std::uint8_t in[kMaxFanin];
+    for (NetId id : nl_.topo_order()) {
+      const Gate& g = nl_.gate(id);
+      const int n = g.fanin_count();
+      for (int i = 0; i < n; ++i) in[i] = good_[g.fanin[i]];
+      good_[id] = Eval3(g.type, in, n);
+
+      for (int i = 0; i < n; ++i) {
+        in[i] = (id == fault_.gate && i == fault_.pin)
+                    ? (fault_.sa1 ? kV1 : kV0)
+                    : faulty_[g.fanin[i]];
+      }
+      faulty_[id] = Eval3(g.type, in, n);
+      if (id == fault_.gate && fault_.pin == Fault::kOutputPin) {
+        faulty_[id] = fault_.sa1 ? kV1 : kV0;
+      }
+    }
+  }
+
+  bool Detected() const {
+    for (NetId o : nl_.outputs()) {
+      if (good_[o] != kVX && faulty_[o] != kVX && good_[o] != faulty_[o]) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// The net whose good value must become ~sa for the fault to activate.
+  NetId SiteNet() const {
+    return fault_.pin == Fault::kOutputPin
+               ? fault_.gate
+               : nl_.gate(fault_.gate).fanin[fault_.pin];
+  }
+
+  bool Activated() const {
+    const std::uint8_t want = fault_.sa1 ? kV0 : kV1;
+    return good_[SiteNet()] == want;
+  }
+
+  /// Finds the next objective (net, value). Returns false if the search
+  /// space at this node is exhausted (no D-frontier / activation conflict).
+  bool Objective(NetId* net, std::uint8_t* value) const {
+    const NetId site = SiteNet();
+    const std::uint8_t want = fault_.sa1 ? kV0 : kV1;
+    if (good_[site] == kVX) {
+      *net = site;
+      *value = want;
+      return true;
+    }
+    if (good_[site] != want) return false;  // activation conflict
+
+    // For an input-pin fault the D exists only at the faulted pin and never
+    // appears as a net difference, so the faulted gate itself is the first
+    // D-frontier member while its output is still undefined.
+    if (fault_.pin != Fault::kOutputPin &&
+        (good_[fault_.gate] == kVX || faulty_[fault_.gate] == kVX)) {
+      const Gate& g = nl_.gate(fault_.gate);
+      std::uint8_t c;
+      bool inv;
+      std::uint8_t obj_value = kV1;
+      if (ControllingValue(g.type, &c, &inv) && c != kVX) {
+        obj_value = c == kV0 ? kV1 : kV0;
+      }
+      for (int i = 0; i < g.fanin_count(); ++i) {
+        if (i != fault_.pin && good_[g.fanin[i]] == kVX) {
+          *net = g.fanin[i];
+          *value = obj_value;
+          return true;
+        }
+      }
+    }
+
+    // D-frontier: a gate with a D on some input and an undefined output.
+    for (NetId id : nl_.topo_order()) {
+      if (good_[id] != kVX && faulty_[id] != kVX) continue;
+      const Gate& g = nl_.gate(id);
+      bool has_d = false;
+      for (int i = 0; i < g.fanin_count(); ++i) {
+        const NetId f = g.fanin[i];
+        if (good_[f] != kVX && faulty_[f] != kVX && good_[f] != faulty_[f]) {
+          has_d = true;
+          break;
+        }
+      }
+      if (!has_d) continue;
+      // Objective: set an X input to the non-controlling value.
+      std::uint8_t c;
+      bool inv;
+      std::uint8_t obj_value = kV1;
+      if (ControllingValue(g.type, &c, &inv) && c != kVX) {
+        obj_value = c == kV0 ? kV1 : kV0;  // non-controlling
+      }
+      for (int i = 0; i < g.fanin_count(); ++i) {
+        if (good_[g.fanin[i]] == kVX) {
+          *net = g.fanin[i];
+          *value = obj_value;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Maps an objective to an unassigned PI. Returns false on a dead end.
+  bool Backtrace(NetId net, std::uint8_t value, NetId* pi,
+                 std::uint8_t* pi_value) const {
+    while (true) {
+      const Gate& g = nl_.gate(net);
+      if (g.type == CellType::kInput) {
+        if (assign_[net] != kVX) return false;
+        *pi = net;
+        *pi_value = value;
+        return true;
+      }
+      if (g.fanin_count() == 0) return false;  // constant: no path
+
+      std::uint8_t c;
+      bool inv;
+      std::uint8_t next_value;
+      if (ControllingValue(g.type, &c, &inv) && c != kVX) {
+        const std::uint8_t v = inv ? (value == kV1 ? kV0 : kV1) : value;
+        next_value = v == c ? c : (c == kV0 ? kV1 : kV0);
+      } else {
+        next_value = IsInverting(g.type) ? (value == kV1 ? kV0 : kV1) : value;
+      }
+
+      NetId next = netlist::kNoNet;
+      for (int i = 0; i < g.fanin_count(); ++i) {
+        if (good_[g.fanin[i]] == kVX) {
+          next = g.fanin[i];
+          break;
+        }
+      }
+      if (next == netlist::kNoNet) return false;
+      net = next;
+      value = next_value;
+    }
+  }
+
+  bool Search() {
+    if (Detected()) return true;
+    if (aborted_) return false;
+
+    NetId obj_net;
+    std::uint8_t obj_value;
+    if (!Objective(&obj_net, &obj_value)) return false;
+
+    NetId pi;
+    std::uint8_t pi_value;
+    if (!Backtrace(obj_net, obj_value, &pi, &pi_value)) return false;
+
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      assign_[pi] = attempt == 0 ? pi_value : (pi_value == kV1 ? kV0 : kV1);
+      Simulate();
+      if (Search()) return true;
+      if (aborted_) break;
+      if (++backtracks_ > options_.backtrack_limit) {
+        aborted_ = true;
+        break;
+      }
+    }
+    assign_[pi] = kVX;
+    Simulate();
+    return false;
+  }
+
+  const Netlist& nl_;
+  const Fault fault_;
+  const AtpgOptions& options_;
+  std::vector<std::uint8_t> good_, faulty_, assign_;
+  int backtracks_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+AtpgResult GeneratePattern(const Netlist& nl, const Fault& f,
+                           const AtpgOptions& options) {
+  GPUSTL_ASSERT(nl.frozen(), "ATPG requires a frozen netlist");
+  GPUSTL_ASSERT(nl.dffs().empty(), "ATPG supports combinational modules only");
+  PodemEngine engine(nl, f, options);
+  return engine.Run();
+}
+
+AtpgRunResult GeneratePatternSet(const Netlist& nl,
+                                 const std::vector<Fault>& faults, Rng rng,
+                                 const AtpgOptions& options) {
+  AtpgRunResult run;
+  const int width = static_cast<int>(nl.num_inputs());
+  run.patterns = netlist::PatternSet(width);
+
+  BitVec covered(faults.size(), false);
+  const std::size_t wpp = run.patterns.words_per_pattern();
+  std::vector<std::uint64_t> row(wpp);
+
+  auto fixup = [&](std::uint64_t* r) {
+    if (options.pattern_fixup) options.pattern_fixup(r);
+    if (width % 64 != 0) r[wpp - 1] &= (1ull << (width % 64)) - 1;
+  };
+
+  // Phase 1 (standard ATPG tool flow): random patterns with fault
+  // dropping; only patterns that contribute first detections are kept.
+  for (int remaining = options.random_phase_patterns; remaining > 0;) {
+    const int count = std::min(remaining, 64);
+    remaining -= count;
+    netlist::PatternSet batch(width);
+    for (int p = 0; p < count; ++p) {
+      for (auto& w : row) w = rng();
+      fixup(row.data());
+      batch.Add(static_cast<std::uint64_t>(p), row.data());
+    }
+    const auto sim = fault::RunFaultSim(nl, batch, faults, &covered,
+                                        {.drop_detected = true});
+    covered |= sim.detected_mask;
+    for (std::size_t p = 0; p < batch.size(); ++p) {
+      if (sim.detects_per_pattern[p] > 0) {
+        run.patterns.Add(run.patterns.size(), batch.Row(p));
+        ++run.random_patterns;
+      }
+    }
+  }
+
+  // Phase 2: PODEM per surviving fault, with collateral dropping through
+  // periodic batch fault simulation. Coverage is confirmed strictly by the
+  // fault simulator (the fixup may legitimately invalidate a pattern).
+  netlist::PatternSet batch(width);
+  auto flush_batch = [&] {
+    if (batch.empty()) return;
+    const auto sim = fault::RunFaultSim(nl, batch, faults, &covered,
+                                        {.drop_detected = true});
+    covered |= sim.detected_mask;
+    for (std::size_t p = 0; p < batch.size(); ++p) {
+      run.patterns.Add(run.patterns.size(), batch.Row(p));
+      ++run.deterministic_patterns;
+    }
+    batch = netlist::PatternSet(width);
+  };
+
+  std::size_t attempts = 0;
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    if (covered.Get(fi)) continue;
+    if (options.deterministic_fault_budget != 0 &&
+        attempts >= options.deterministic_fault_budget) {
+      ++run.aborted;  // out of budget: left to collateral detection
+      continue;
+    }
+    ++attempts;
+    const AtpgResult res = GeneratePattern(nl, faults[fi], options);
+    switch (res.status) {
+      case AtpgStatus::kUntestable:
+        ++run.untestable;
+        continue;
+      case AtpgStatus::kAborted:
+        ++run.aborted;
+        continue;
+      case AtpgStatus::kDetected:
+        break;
+    }
+    std::fill(row.begin(), row.end(), 0);
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+      const std::uint8_t v = res.assignment[i];
+      const bool bit = v == kVX ? rng.chance(0.5) : v == kV1;
+      if (bit) row[i / 64] |= 1ull << (i % 64);
+    }
+    fixup(row.data());
+    batch.Add(batch.size(), row.data());
+    if (batch.size() == 64) flush_batch();
+  }
+  flush_batch();
+
+  run.detected = covered.Count();
+  return run;
+}
+
+}  // namespace gpustl::atpg

@@ -1,0 +1,92 @@
+#include "baseline/iterative.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "isa/cfg.h"
+
+namespace gpustl::baseline {
+
+using compact::SegmentSmallBlocks;
+using compact::SmallBlock;
+using fault::RunFaultSim;
+using isa::Program;
+
+namespace {
+
+struct Measurement {
+  double fc = 0.0;
+  std::uint64_t duration = 0;
+};
+
+Measurement Measure(const netlist::Netlist& module,
+                    trace::TargetModule target,
+                    const std::vector<fault::Fault>& faults,
+                    const gpu::SmConfig& sm_config, const Program& ptp) {
+  trace::PatternProbe probe(target);
+  gpu::Sm sm(sm_config);
+  sm.AddMonitor(&probe);
+  const gpu::RunResult run = sm.Run(ptp);
+  const auto report = RunFaultSim(module, probe.patterns(), faults, nullptr,
+                                  {.drop_detected = true});
+  return {fault::CoveragePercent(report.num_detected, faults.size()),
+          run.total_cycles};
+}
+
+}  // namespace
+
+IterativeResult IterativeCompact(const netlist::Netlist& module,
+                                 trace::TargetModule target,
+                                 const Program& ptp,
+                                 const IterativeOptions& options) {
+  Timer timer;
+  IterativeResult res;
+  res.original_size = ptp.size();
+
+  const std::vector<fault::Fault> faults = fault::CollapsedFaultList(module);
+
+  Program current = ptp;
+  Measurement best = Measure(module, target, faults, options.sm, current);
+  res.fault_simulations = 1;
+  res.logic_simulations = 1;
+  res.original_duration = best.duration;
+
+  // Walk SBs from the last to the first, re-segmenting after each accepted
+  // removal (indices shift).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    const isa::Cfg cfg(current);
+    const auto sbs = SegmentSmallBlocks(current, cfg.AdmissibleMask());
+    // Candidates from last to first.
+    for (std::size_t k = sbs.size(); k-- > 0;) {
+      const SmallBlock& sb = sbs[k];
+      if (!sb.admissible || sb.size() == 0) continue;
+      std::vector<std::size_t> removal;
+      for (std::uint32_t i = sb.begin; i < sb.end; ++i) removal.push_back(i);
+      Program candidate = current.RemoveInstructions(removal);
+
+      const Measurement m =
+          Measure(module, target, faults, options.sm, candidate);
+      ++res.fault_simulations;
+      ++res.logic_simulations;
+
+      if (m.fc + 1e-12 >= best.fc - options.fc_tolerance) {
+        current = std::move(candidate);
+        best = m;
+        progress = true;
+        break;  // re-segment and continue
+      }
+    }
+  }
+
+  compact::RelocateData(current);
+  res.final_size = current.size();
+  res.final_duration = best.duration;
+  res.fc_percent = best.fc;
+  res.compacted = std::move(current);
+  res.compaction_seconds = timer.Seconds();
+  return res;
+}
+
+}  // namespace gpustl::baseline

@@ -1,0 +1,45 @@
+// Prior-work baseline: iterative compaction with per-candidate fault
+// re-simulation (the approach of [13]-[16] the paper compares against).
+//
+// The baseline walks the PTP's Small Blocks from last to first; for each SB
+// it tentatively removes the block, re-runs the logic simulation AND a full
+// fault simulation of the candidate PTP, and accepts the removal only if
+// the fault coverage is preserved. Complexity: one fault simulation per
+// candidate (hundreds to thousands per PTP), versus the proposed method's
+// single fault simulation — this is exactly the cost gap the paper's
+// "compaction time" column quantifies, reproduced by bench_baseline_compare.
+#pragma once
+
+#include <cstdint>
+
+#include "compact/compactor.h"
+
+namespace gpustl::baseline {
+
+struct IterativeResult {
+  isa::Program compacted;
+  std::size_t original_size = 0;
+  std::size_t final_size = 0;
+  std::uint64_t original_duration = 0;
+  std::uint64_t final_duration = 0;
+  double fc_percent = 0.0;        // coverage of the compacted PTP
+  std::size_t fault_simulations = 0;
+  std::size_t logic_simulations = 0;
+  double compaction_seconds = 0.0;
+};
+
+struct IterativeOptions {
+  /// Accept a removal if the coverage drops by at most this many percent
+  /// points (0 = strict preservation).
+  double fc_tolerance = 0.0;
+
+  gpu::SmConfig sm;
+};
+
+/// Runs the baseline on one PTP against one module.
+IterativeResult IterativeCompact(const netlist::Netlist& module,
+                                 trace::TargetModule target,
+                                 const isa::Program& ptp,
+                                 const IterativeOptions& options = {});
+
+}  // namespace gpustl::baseline

@@ -1,0 +1,236 @@
+#include "circuits/blocks.h"
+
+#include "common/error.h"
+
+namespace gpustl::circuits {
+
+using netlist::CellType;
+
+NetId ConstBit(Netlist& nl, bool value) {
+  return nl.AddGate(value ? CellType::kConst1 : CellType::kConst0, {});
+}
+
+Bus ConstWord(Netlist& nl, std::uint64_t value, int width) {
+  Bus out;
+  out.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) out.push_back(ConstBit(nl, (value >> i) & 1));
+  return out;
+}
+
+namespace {
+Bus Elementwise(Netlist& nl, CellType type, const Bus& a, const Bus& b) {
+  GPUSTL_ASSERT(a.size() == b.size(), "bus width mismatch");
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(nl.AddGate(type, {a[i], b[i]}));
+  }
+  return out;
+}
+}  // namespace
+
+Bus NotBus(Netlist& nl, const Bus& a) {
+  Bus out;
+  out.reserve(a.size());
+  for (NetId n : a) out.push_back(nl.AddGate(CellType::kInv, {n}));
+  return out;
+}
+
+Bus AndBus(Netlist& nl, const Bus& a, const Bus& b) {
+  return Elementwise(nl, CellType::kAnd2, a, b);
+}
+Bus OrBus(Netlist& nl, const Bus& a, const Bus& b) {
+  return Elementwise(nl, CellType::kOr2, a, b);
+}
+Bus XorBus(Netlist& nl, const Bus& a, const Bus& b) {
+  return Elementwise(nl, CellType::kXor2, a, b);
+}
+
+Bus MuxBus(Netlist& nl, NetId sel, const Bus& a, const Bus& b) {
+  GPUSTL_ASSERT(a.size() == b.size(), "mux bus width mismatch");
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(nl.AddGate(CellType::kMux2, {a[i], b[i], sel}));
+  }
+  return out;
+}
+
+namespace {
+NetId ReduceTree(Netlist& nl, Bus bits, CellType two, CellType three,
+                 CellType four) {
+  GPUSTL_ASSERT(!bits.empty(), "reduction over empty bus");
+  while (bits.size() > 1) {
+    Bus next;
+    std::size_t i = 0;
+    while (i < bits.size()) {
+      const std::size_t left = bits.size() - i;
+      if (left >= 4) {
+        next.push_back(nl.AddGate(four, {bits[i], bits[i + 1], bits[i + 2], bits[i + 3]}));
+        i += 4;
+      } else if (left == 3) {
+        next.push_back(nl.AddGate(three, {bits[i], bits[i + 1], bits[i + 2]}));
+        i += 3;
+      } else if (left == 2) {
+        next.push_back(nl.AddGate(two, {bits[i], bits[i + 1]}));
+        i += 2;
+      } else {
+        next.push_back(bits[i]);
+        i += 1;
+      }
+    }
+    bits = std::move(next);
+  }
+  return bits[0];
+}
+}  // namespace
+
+NetId ReduceAnd(Netlist& nl, Bus bits) {
+  return ReduceTree(nl, std::move(bits), CellType::kAnd2, CellType::kAnd3,
+                    CellType::kAnd4);
+}
+
+NetId ReduceOr(Netlist& nl, Bus bits) {
+  return ReduceTree(nl, std::move(bits), CellType::kOr2, CellType::kOr3,
+                    CellType::kOr4);
+}
+
+NetId EqualsConst(Netlist& nl, const Bus& a, std::uint64_t value) {
+  Bus terms;
+  terms.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    terms.push_back((value >> i) & 1
+                        ? a[i]
+                        : nl.AddGate(CellType::kInv, {a[i]}));
+  }
+  return ReduceAnd(nl, std::move(terms));
+}
+
+NetId EqualsBus(Netlist& nl, const Bus& a, const Bus& b) {
+  GPUSTL_ASSERT(a.size() == b.size(), "equality width mismatch");
+  Bus terms;
+  terms.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    terms.push_back(nl.AddGate(CellType::kXnor2, {a[i], b[i]}));
+  }
+  return ReduceAnd(nl, std::move(terms));
+}
+
+Bus Adder(Netlist& nl, const Bus& a, const Bus& b, NetId carry_in,
+          NetId* carry_out) {
+  GPUSTL_ASSERT(a.size() == b.size(), "adder width mismatch");
+  Bus sum;
+  sum.reserve(a.size());
+  NetId carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const NetId axb = nl.AddGate(CellType::kXor2, {a[i], b[i]});
+    sum.push_back(nl.AddGate(CellType::kXor2, {axb, carry}));
+    // carry = (a & b) | (carry & (a ^ b)); realized as AOI + INV.
+    const NetId aoi = nl.AddGate(CellType::kAoi22, {a[i], b[i], carry, axb});
+    carry = nl.AddGate(CellType::kInv, {aoi});
+  }
+  if (carry_out != nullptr) *carry_out = carry;
+  return sum;
+}
+
+Bus Subtractor(Netlist& nl, const Bus& a, const Bus& b, NetId* no_borrow) {
+  // a - b = a + ~b + 1. Carry-out == 1 iff a >= b (unsigned).
+  const Bus nb = NotBus(nl, b);
+  NetId carry_out = netlist::kNoNet;
+  Bus diff = Adder(nl, a, nb, ConstBit(nl, true), &carry_out);
+  if (no_borrow != nullptr) *no_borrow = carry_out;
+  return diff;
+}
+
+Bus Negate(Netlist& nl, const Bus& a) {
+  const Bus na = NotBus(nl, a);
+  return Adder(nl, na, ConstWord(nl, 0, static_cast<int>(a.size())),
+               ConstBit(nl, true));
+}
+
+NetId LessUnsigned(Netlist& nl, const Bus& a, const Bus& b) {
+  NetId no_borrow = netlist::kNoNet;
+  Subtractor(nl, a, b, &no_borrow);
+  return nl.AddGate(CellType::kInv, {no_borrow});  // a < b iff borrow
+}
+
+NetId LessSigned(Netlist& nl, const Bus& a, const Bus& b) {
+  // a < b  <=>  (a - b) overflow-adjusted sign.
+  GPUSTL_ASSERT(!a.empty() && a.size() == b.size(), "cmp width mismatch");
+  const Bus diff = Subtractor(nl, a, b, nullptr);
+  const NetId sa = a.back();
+  const NetId sb = b.back();
+  const NetId sd = diff.back();
+  // less = (sa & !sb) | ((sa ^ sb ? 0 : 1) ? ... ) Classic: less = sd XOR overflow;
+  // overflow = (sa ^ sb) & (sa ^ sd).
+  const NetId sab = nl.AddGate(CellType::kXor2, {sa, sb});
+  const NetId sad = nl.AddGate(CellType::kXor2, {sa, sd});
+  const NetId ovf = nl.AddGate(CellType::kAnd2, {sab, sad});
+  return nl.AddGate(CellType::kXor2, {sd, ovf});
+}
+
+Bus BarrelShifter(Netlist& nl, const Bus& a, const Bus& amount, ShiftDir dir,
+                  bool arithmetic) {
+  const std::size_t width = a.size();
+  GPUSTL_ASSERT((width & (width - 1)) == 0, "shifter width must be power of 2");
+  int stages = 0;
+  while ((1u << stages) < width) ++stages;
+  GPUSTL_ASSERT(static_cast<std::size_t>(stages) <= amount.size(),
+                "shift amount bus too narrow");
+
+  const NetId zero = ConstBit(nl, false);
+  const NetId fill_base = dir == ShiftDir::kRight && arithmetic
+                              ? a.back()  // sign fill
+                              : zero;
+  Bus cur = a;
+  for (int s = 0; s < stages; ++s) {
+    const std::size_t step = 1ull << s;
+    Bus shifted(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      if (dir == ShiftDir::kLeft) {
+        shifted[i] = i >= step ? cur[i - step] : zero;
+      } else {
+        shifted[i] = i + step < width ? cur[i + step] : fill_base;
+      }
+    }
+    cur = MuxBus(nl, amount[static_cast<std::size_t>(s)], cur, shifted);
+  }
+  return cur;
+}
+
+Bus Multiplier(Netlist& nl, const Bus& a, const Bus& b) {
+  const std::size_t wa = a.size();
+  const std::size_t wb = b.size();
+  const std::size_t wout = wa + wb;
+  const NetId zero = ConstBit(nl, false);
+
+  // Accumulate shifted partial products with ripple adders.
+  Bus acc(wout, zero);
+  for (std::size_t j = 0; j < wb; ++j) {
+    Bus partial(wout, zero);
+    for (std::size_t i = 0; i < wa; ++i) {
+      partial[i + j] = nl.AddGate(CellType::kAnd2, {a[i], b[j]});
+    }
+    acc = Adder(nl, acc, partial, zero);
+  }
+  return acc;
+}
+
+Bus Slice(const Bus& a, int lo, int width) {
+  GPUSTL_ASSERT(lo >= 0 && lo + width <= static_cast<int>(a.size()),
+                "slice out of range");
+  return Bus(a.begin() + lo, a.begin() + lo + width);
+}
+
+Bus ZeroExtend(Netlist& nl, const Bus& a, int width) {
+  Bus out = a;
+  if (static_cast<int>(out.size()) > width) {
+    out.resize(static_cast<std::size_t>(width));
+  }
+  while (static_cast<int>(out.size()) < width) {
+    out.push_back(ConstBit(nl, false));
+  }
+  return out;
+}
+
+}  // namespace gpustl::circuits

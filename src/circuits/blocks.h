@@ -1,0 +1,79 @@
+// Word-level combinational building blocks used to construct the gate-level
+// GPU modules (Decoder Unit, SP core datapath, SFU datapath).
+//
+// All helpers append gates to the target netlist and return the output bus.
+// Word buses are little-endian (bus[0] = LSB). These blocks are the
+// "synthesis" stand-in for the paper's Nangate 15 nm flow: the modules are
+// constructed directly as structural netlists.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace gpustl::circuits {
+
+using netlist::Bus;
+using netlist::NetId;
+using netlist::Netlist;
+
+/// Constant driver net for a single bit.
+NetId ConstBit(Netlist& nl, bool value);
+
+/// Constant word of `width` bits.
+Bus ConstWord(Netlist& nl, std::uint64_t value, int width);
+
+/// Elementwise NOT / AND / OR / XOR over equal-width buses.
+Bus NotBus(Netlist& nl, const Bus& a);
+Bus AndBus(Netlist& nl, const Bus& a, const Bus& b);
+Bus OrBus(Netlist& nl, const Bus& a, const Bus& b);
+Bus XorBus(Netlist& nl, const Bus& a, const Bus& b);
+
+/// 2:1 word mux: sel ? b : a.
+Bus MuxBus(Netlist& nl, NetId sel, const Bus& a, const Bus& b);
+
+/// Balanced AND / OR reduction of arbitrarily many bits.
+NetId ReduceAnd(Netlist& nl, Bus bits);
+NetId ReduceOr(Netlist& nl, Bus bits);
+
+/// 1 iff bus value == the constant `value` (equality comparator).
+NetId EqualsConst(Netlist& nl, const Bus& a, std::uint64_t value);
+
+/// 1 iff a == b.
+NetId EqualsBus(Netlist& nl, const Bus& a, const Bus& b);
+
+/// Ripple-carry adder; returns sum (same width) and writes carry-out to
+/// *carry_out if non-null. carry_in may be ConstBit(.., false).
+Bus Adder(Netlist& nl, const Bus& a, const Bus& b, NetId carry_in,
+          NetId* carry_out = nullptr);
+
+/// a - b (two's complement); *borrow_free is 1 when a >= b (unsigned).
+Bus Subtractor(Netlist& nl, const Bus& a, const Bus& b,
+               NetId* no_borrow = nullptr);
+
+/// Two's-complement negation.
+Bus Negate(Netlist& nl, const Bus& a);
+
+/// Unsigned comparison: 1 iff a < b.
+NetId LessUnsigned(Netlist& nl, const Bus& a, const Bus& b);
+
+/// Signed comparison: 1 iff a < b (two's complement).
+NetId LessSigned(Netlist& nl, const Bus& a, const Bus& b);
+
+/// Logarithmic barrel shifter. `amount` is read modulo bus width (which
+/// must be a power of two). arith only applies to right shifts.
+enum class ShiftDir { kLeft, kRight };
+Bus BarrelShifter(Netlist& nl, const Bus& a, const Bus& amount, ShiftDir dir,
+                  bool arithmetic);
+
+/// Unsigned array multiplier: returns the low `a.size()+b.size()` bits of
+/// a*b (callers slice what they need).
+Bus Multiplier(Netlist& nl, const Bus& a, const Bus& b);
+
+/// Slices bits [lo, lo+width) of a bus (pure wiring).
+Bus Slice(const Bus& a, int lo, int width);
+
+/// Zero-extends / truncates a bus to `width` bits.
+Bus ZeroExtend(Netlist& nl, const Bus& a, int width);
+
+}  // namespace gpustl::circuits

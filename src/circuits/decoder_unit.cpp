@@ -1,0 +1,148 @@
+#include "circuits/decoder_unit.h"
+
+#include "circuits/blocks.h"
+#include "common/error.h"
+#include "isa/opcode.h"
+
+namespace gpustl::circuits {
+
+using isa::ExecUnit;
+using isa::Format;
+using isa::GetOpcodeInfo;
+using isa::kNumOpcodes;
+using isa::Opcode;
+using isa::OpcodeInfo;
+using netlist::CellType;
+using netlist::Netlist;
+
+netlist::Netlist BuildDecoderUnit() {
+  Netlist nl("decoder_unit");
+  const Bus word = netlist::AddInputBus(nl, "iw", 64);
+
+  const Bus op_field = Slice(word, 0, 8);
+  const Bus op_inv = NotBus(nl, op_field);
+
+  // Per-opcode enable: equality comparator against each opcode value,
+  // sharing the inverted literals.
+  std::vector<netlist::NetId> is_op(static_cast<std::size_t>(kNumOpcodes));
+  for (int k = 0; k < kNumOpcodes; ++k) {
+    Bus literals;
+    literals.reserve(8);
+    for (int b = 0; b < 8; ++b) {
+      literals.push_back((k >> b) & 1 ? op_field[static_cast<std::size_t>(b)]
+                                      : op_inv[static_cast<std::size_t>(b)]);
+    }
+    is_op[static_cast<std::size_t>(k)] = ReduceAnd(nl, literals);
+  }
+
+  auto or_of_ops = [&](auto&& predicate) {
+    Bus terms;
+    for (int k = 0; k < kNumOpcodes; ++k) {
+      if (predicate(GetOpcodeInfo(static_cast<Opcode>(k)))) {
+        terms.push_back(is_op[static_cast<std::size_t>(k)]);
+      }
+    }
+    if (terms.empty()) return ConstBit(nl, false);
+    return ReduceOr(nl, std::move(terms));
+  };
+
+  const netlist::NetId valid = or_of_ops([](const OpcodeInfo&) { return true; });
+
+  // Output assembly in DuOutputIndex order.
+  nl.MarkOutput(valid, "valid");
+  for (int u = 0; u < 5; ++u) {
+    const auto unit = static_cast<ExecUnit>(u);
+    nl.MarkOutput(
+        or_of_ops([&](const OpcodeInfo& info) { return info.unit == unit; }),
+        "unit[" + std::to_string(u) + "]");
+  }
+  nl.MarkOutput(or_of_ops([](const OpcodeInfo& i) { return i.writes_reg; }),
+                "writes_reg");
+  nl.MarkOutput(or_of_ops([](const OpcodeInfo& i) { return i.writes_pred; }),
+                "writes_pred");
+  nl.MarkOutput(or_of_ops([](const OpcodeInfo& i) { return i.reads_memory; }),
+                "reads_mem");
+  nl.MarkOutput(or_of_ops([](const OpcodeInfo& i) { return i.writes_memory; }),
+                "writes_mem");
+  nl.MarkOutput(or_of_ops([](const OpcodeInfo& i) { return i.is_branch; }),
+                "is_branch");
+
+  auto buffer = [&](netlist::NetId n) {
+    return nl.AddGate(CellType::kBuf, {n});
+  };
+  nl.MarkOutput(buffer(word[30]), "has_imm");
+  nl.MarkOutput(buffer(word[10]), "predicated");
+  nl.MarkOutput(buffer(word[11]), "pred_neg");
+  for (int i = 0; i < 2; ++i) {
+    nl.MarkOutput(buffer(word[8 + static_cast<std::size_t>(i)]),
+                  "pred_reg[" + std::to_string(i) + "]");
+  }
+  auto mark_field = [&](const char* name, int lo, int width) {
+    for (int i = 0; i < width; ++i) {
+      nl.MarkOutput(buffer(word[static_cast<std::size_t>(lo + i)]),
+                    std::string(name) + "[" + std::to_string(i) + "]");
+    }
+  };
+  mark_field("dst", 12, 6);
+  mark_field("src_a", 18, 6);
+  mark_field("src_b", 24, 6);
+  mark_field("src_c", 32, 6);
+
+  // Comparison one-hot from bits [38,41).
+  const Bus cmp_field = Slice(word, 38, 3);
+  const Bus cmp_inv = NotBus(nl, cmp_field);
+  for (int k = 0; k < 6; ++k) {
+    Bus literals;
+    for (int b = 0; b < 3; ++b) {
+      literals.push_back((k >> b) & 1 ? cmp_field[static_cast<std::size_t>(b)]
+                                      : cmp_inv[static_cast<std::size_t>(b)]);
+    }
+    nl.MarkOutput(ReduceAnd(nl, literals), "cmp[" + std::to_string(k) + "]");
+  }
+
+  // Format one-hot (8 formats).
+  for (int fmt = 0; fmt < 8; ++fmt) {
+    const auto format = static_cast<Format>(fmt);
+    nl.MarkOutput(
+        or_of_ops([&](const OpcodeInfo& i) { return i.format == format; }),
+        "format[" + std::to_string(fmt) + "]");
+  }
+
+  // Per-op micro-enable bus.
+  for (int k = 0; k < kNumOpcodes; ++k) {
+    nl.MarkOutput(buffer(is_op[static_cast<std::size_t>(k)]),
+                  "op_en[" + std::to_string(k) + "]");
+  }
+
+  // GPRF write-address decoder: one enable line per destination register,
+  // the downstream interface of the decode stage to the register file.
+  const Bus dst_field = Slice(word, 12, 6);
+  const Bus dst_inv = NotBus(nl, dst_field);
+  for (int r = 0; r < 64; ++r) {
+    Bus literals;
+    literals.reserve(6);
+    for (int b = 0; b < 6; ++b) {
+      literals.push_back((r >> b) & 1 ? dst_field[static_cast<std::size_t>(b)]
+                                      : dst_inv[static_cast<std::size_t>(b)]);
+    }
+    nl.MarkOutput(ReduceAnd(nl, literals), "dst_en[" + std::to_string(r) + "]");
+  }
+
+  // Operand-hazard comparators (dst vs source fields) and immediate-field
+  // quick looks used by the operand-collect stage.
+  nl.MarkOutput(EqualsBus(nl, dst_field, Slice(word, 18, 6)), "hazard_a");
+  nl.MarkOutput(EqualsBus(nl, dst_field, Slice(word, 24, 6)), "hazard_b");
+  {
+    Bus imm_bits = Slice(word, 32, 32);
+    const netlist::NetId any = ReduceOr(nl, imm_bits);
+    nl.MarkOutput(nl.AddGate(CellType::kInv, {any}), "imm_zero");
+  }
+  nl.MarkOutput(buffer(word[63]), "imm_sign");
+
+  GPUSTL_ASSERT(nl.num_outputs() == DuOutputIndex::kCount,
+                "DU output arity drifted from DuOutputIndex");
+  nl.Freeze();
+  return nl;
+}
+
+}  // namespace gpustl::circuits

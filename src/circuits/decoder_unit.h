@@ -1,0 +1,51 @@
+// Gate-level Decoder Unit (DU) of the SM.
+//
+// The DU receives the 64-bit SASS-style instruction word from the fetch
+// stage and produces the SM's control signals: validity, execution-unit
+// steering, register/memory/branch flags, operand-field buffers, the
+// comparison-op one-hot, the format one-hot, and one enable line per opcode
+// (the per-op micro-enable bus driving the downstream pipeline).
+//
+// Input order:  instruction word bits 0..63 (see isa/instruction.h layout).
+// Output order: documented in DuOutputIndex below; DuReference() in
+// reference.h computes the same vector in software.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace gpustl::circuits {
+
+/// Symbolic indices into the DU output vector.
+struct DuOutputIndex {
+  static constexpr int kValid = 0;
+  static constexpr int kUnitOneHot = 1;   // 5 lines (ExecUnit order)
+  static constexpr int kWritesReg = 6;
+  static constexpr int kWritesPred = 7;
+  static constexpr int kReadsMem = 8;
+  static constexpr int kWritesMem = 9;
+  static constexpr int kIsBranch = 10;
+  static constexpr int kHasImm = 11;
+  static constexpr int kPredicated = 12;
+  static constexpr int kPredNeg = 13;
+  static constexpr int kPredReg = 14;     // 2 lines
+  static constexpr int kDst = 16;         // 6 lines
+  static constexpr int kSrcA = 22;        // 6 lines
+  static constexpr int kSrcB = 28;        // 6 lines
+  static constexpr int kSrcC = 34;        // 6 lines
+  static constexpr int kCmpOneHot = 40;   // 6 lines
+  static constexpr int kFormatOneHot = 46;  // 8 lines (Format order)
+  static constexpr int kOpEnable = 54;    // 52 lines, one per opcode
+  static constexpr int kDstOneHot = 106;  // 64 lines: GPRF write-address
+                                          // decoder (one line per register)
+  static constexpr int kHazardA = 170;    // dst == src_a comparator
+  static constexpr int kHazardB = 171;    // dst == src_b comparator
+  static constexpr int kImmZero = 172;    // imm32 field is all zeros
+  static constexpr int kImmSign = 173;    // imm32 sign bit
+  static constexpr int kCount = 174;
+};
+
+/// Builds and freezes the DU netlist (64 inputs, DuOutputIndex::kCount
+/// outputs).
+netlist::Netlist BuildDecoderUnit();
+
+}  // namespace gpustl::circuits

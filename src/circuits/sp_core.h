@@ -1,0 +1,32 @@
+// Gate-level SP core integer/logic datapath.
+//
+// One Streaming Processor lane as a combinational datapath between the
+// operand-read and write-back pipeline registers. Inputs are the micro-op
+// selector (the opcode value, 6 bits), the comparison selector (3 bits) and
+// the three 32-bit operands already resolved by the operand-collect stage
+// (immediates and special registers arrive through operand B). Outputs are
+// the 32-bit result and the predicate outcome.
+//
+// Input order:  uop[0..5], cmp[0..2], A[0..31], B[0..31], C[0..31]   (105)
+// Output order: R[0..31], pred                                       (33)
+//
+// SpIntOp() in reference.h is the bit-exact software model.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace gpustl::circuits {
+
+inline constexpr int kSpNumInputs = 6 + 3 + 32 * 3;
+inline constexpr int kSpNumOutputs = 33;
+
+/// Builds and freezes the SP datapath netlist.
+netlist::Netlist BuildSpCore();
+
+/// Packs an SP input pattern (uop, cmp, a, b, c) into `words[0..2]`
+/// following the input order above. `words` must hold >= 2 entries
+/// ((105+63)/64 = 2).
+void EncodeSpPattern(int uop, int cmp, std::uint32_t a, std::uint32_t b,
+                     std::uint32_t c, std::uint64_t* words);
+
+}  // namespace gpustl::circuits

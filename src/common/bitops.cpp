@@ -1,0 +1,87 @@
+#include "common/bitops.h"
+
+#include <bit>
+
+#include "common/error.h"
+
+namespace gpustl {
+
+int PopCount(std::uint64_t x) { return std::popcount(x); }
+
+int LowestSetBit(std::uint64_t x) {
+  if (x == 0) return -1;
+  return std::countr_zero(x);
+}
+
+BitVec::BitVec(std::size_t n, bool value) { Resize(n, value); }
+
+void BitVec::Resize(std::size_t n, bool value) {
+  const std::size_t old_size = size_;
+  size_ = n;
+  words_.resize((n + 63) / 64, value ? ~0ull : 0ull);
+  if (value && old_size < n && old_size % 64 != 0) {
+    // Bits [old_size, end-of-word) in the previously-last word must be set.
+    words_[old_size / 64] |= ~0ull << (old_size % 64);
+  }
+  ClearPadding();
+}
+
+bool BitVec::Get(std::size_t i) const {
+  GPUSTL_ASSERT(i < size_, "BitVec::Get out of range");
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void BitVec::Set(std::size_t i, bool value) {
+  GPUSTL_ASSERT(i < size_, "BitVec::Set out of range");
+  const std::uint64_t mask = 1ull << (i % 64);
+  if (value)
+    words_[i / 64] |= mask;
+  else
+    words_[i / 64] &= ~mask;
+}
+
+std::size_t BitVec::Count() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+std::size_t BitVec::FindFirstSet(std::size_t from) const {
+  if (from >= size_) return npos;
+  std::size_t wi = from / 64;
+  std::uint64_t w = words_[wi] & (~0ull << (from % 64));
+  for (;;) {
+    if (w != 0) {
+      const std::size_t bit = wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+      return bit < size_ ? bit : npos;
+    }
+    if (++wi >= words_.size()) return npos;
+    w = words_[wi];
+  }
+}
+
+BitVec& BitVec::operator|=(const BitVec& other) {
+  GPUSTL_ASSERT(size_ == other.size_, "BitVec size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& other) {
+  GPUSTL_ASSERT(size_ == other.size_, "BitVec size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::AndNot(const BitVec& other) {
+  GPUSTL_ASSERT(size_ == other.size_, "BitVec size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+void BitVec::ClearPadding() {
+  if (size_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= (1ull << (size_ % 64)) - 1;
+  }
+}
+
+}  // namespace gpustl

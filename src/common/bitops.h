@@ -1,0 +1,69 @@
+// Bit-manipulation helpers used by the instruction encoder and the
+// bit-parallel (64 patterns per word) logic/fault simulators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gpustl {
+
+/// Extracts bits [lo, lo+width) of a 64-bit word.
+constexpr std::uint64_t BitField(std::uint64_t word, unsigned lo, unsigned width) {
+  return (word >> lo) & (width >= 64 ? ~0ull : ((1ull << width) - 1));
+}
+
+/// Inserts `value` into bits [lo, lo+width) of `word` (value is masked).
+constexpr std::uint64_t SetBitField(std::uint64_t word, unsigned lo,
+                                    unsigned width, std::uint64_t value) {
+  const std::uint64_t mask = (width >= 64 ? ~0ull : ((1ull << width) - 1)) << lo;
+  return (word & ~mask) | ((value << lo) & mask);
+}
+
+/// Population count.
+int PopCount(std::uint64_t x);
+
+/// Index of lowest set bit; -1 if x == 0.
+int LowestSetBit(std::uint64_t x);
+
+/// A dynamically sized bit vector used for fault masks and per-pattern
+/// detection bitmaps. Stored as packed 64-bit words.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t n, bool value = false);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Resize(std::size_t n, bool value = false);
+
+  bool Get(std::size_t i) const;
+  void Set(std::size_t i, bool value);
+
+  /// Number of set bits.
+  std::size_t Count() const;
+
+  /// Index of the first set bit at or after `from`; npos if none.
+  std::size_t FindFirstSet(std::size_t from = 0) const;
+
+  /// In-place union / intersection / difference. Sizes must match.
+  BitVec& operator|=(const BitVec& other);
+  BitVec& operator&=(const BitVec& other);
+  BitVec& AndNot(const BitVec& other);
+
+  bool operator==(const BitVec& other) const = default;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Raw word access for the bit-parallel simulators.
+  const std::vector<std::uint64_t>& Words() const { return words_; }
+  std::vector<std::uint64_t>& MutableWords() { return words_; }
+
+ private:
+  void ClearPadding();
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace gpustl

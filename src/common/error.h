@@ -1,0 +1,52 @@
+// Error handling for the gpustl library.
+//
+// The library throws gpustl::Error for all recoverable user-facing failures
+// (malformed assembly, bad netlist construction, report-format errors).
+// Programming errors use assertions (GPUSTL_ASSERT) and are never thrown.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gpustl {
+
+/// Base exception type for all gpustl failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on malformed assembly source or encoding violations.
+class AsmError : public Error {
+ public:
+  explicit AsmError(const std::string& what) : Error("asm: " + what) {}
+};
+
+/// Thrown on ill-formed netlist construction (cycles, dangling nets, ...).
+class NetlistError : public Error {
+ public:
+  explicit NetlistError(const std::string& what) : Error("netlist: " + what) {}
+};
+
+/// Thrown on report parse/format failures (tracing, VCDE, fault-sim reports).
+class ReportError : public Error {
+ public:
+  explicit ReportError(const std::string& what) : Error("report: " + what) {}
+};
+
+/// Thrown when the GPU model hits an unrecoverable execution problem
+/// (invalid memory access, malformed kernel, watchdog expiry).
+class SimError : public Error {
+ public:
+  explicit SimError(const std::string& what) : Error("sim: " + what) {}
+};
+
+}  // namespace gpustl
+
+#define GPUSTL_ASSERT(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      throw ::gpustl::Error(std::string("internal: ") + (msg) + " at " + \
+                            __FILE__ + ":" + std::to_string(__LINE__)); \
+    }                                                                   \
+  } while (0)

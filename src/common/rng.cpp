@@ -1,0 +1,73 @@
+#include "common/rng.h"
+
+#include "common/error.h"
+
+namespace gpustl {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  GPUSTL_ASSERT(bound > 0, "Rng::below bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  GPUSTL_ASSERT(lo <= hi, "Rng::range requires lo <= hi");
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::uniform() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  Rng copy = *this;
+  std::uint64_t mix = copy() ^ (stream * 0xD1342543DE82EF95ull);
+  return Rng(mix);
+}
+
+}  // namespace gpustl

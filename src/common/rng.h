@@ -1,0 +1,51 @@
+// Deterministic pseudorandom number generation.
+//
+// All stochastic components of the library (pseudorandom PTP generators,
+// random pattern sources, property-test sweeps) draw from this RNG so that
+// every experiment is reproducible from a single seed. The generator is
+// xoshiro256** (public domain, Blackman & Vigna), which is fast and has
+// excellent statistical quality for non-cryptographic use.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gpustl {
+
+/// xoshiro256** pseudorandom generator with a splitmix64 seeder.
+/// Satisfies the UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 64 random bits.
+  std::uint64_t operator()();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform float in [0, 1).
+  double uniform();
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// A derived generator; streams from distinct indices are independent.
+  Rng fork(std::uint64_t stream) const;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace gpustl

@@ -1,0 +1,40 @@
+// Small string helpers shared by the assembler and the report readers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpustl {
+
+/// Removes leading/trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits on a delimiter; empty fields are preserved.
+std::vector<std::string_view> Split(std::string_view s, char delim);
+
+/// Splits on any run of whitespace; no empty fields.
+std::vector<std::string_view> SplitWs(std::string_view s);
+
+/// ASCII upper-casing (the assembler is case-insensitive on mnemonics).
+std::string ToUpper(std::string_view s);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a signed integer with optional 0x/0b prefix and sign.
+/// Returns nullopt on malformed input or overflow.
+std::optional<std::int64_t> ParseInt(std::string_view s);
+
+/// Parses a float literal. Returns nullopt on malformed input.
+std::optional<double> ParseFloat(std::string_view s);
+
+/// printf-style formatting into std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace gpustl

@@ -1,0 +1,63 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace gpustl {
+namespace {
+const std::string kRuleSentinel = "\x01rule";
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  GPUSTL_ASSERT(!header_.empty(), "table header must be non-empty");
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  GPUSTL_ASSERT(row.size() == header_.size(), "table row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddRule() { rows_.push_back({kRuleSentinel}); }
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kRuleSentinel) continue;
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto render_rule = [&] {
+    std::string line;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      line += std::string(width[c] + 2, '-');
+      line += c + 1 < width.size() ? "+" : "\n";
+    }
+    return line;
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line += std::string(width[c] - row[c].size() + 1, ' ');
+      line += c + 1 < row.size() ? "|" : "\n";
+    }
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  out += render_rule();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kRuleSentinel)
+      out += render_rule();
+    else
+      out += render_row(row);
+  }
+  return out;
+}
+
+}  // namespace gpustl

@@ -1,0 +1,33 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// Each bench binary reproduces one of the paper's tables; TextTable renders
+// the same rows the paper reports, aligned for terminal reading.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gpustl {
+
+/// Column-aligned text table. Rows are added as string cells; Render()
+/// produces a monospace table with a header rule.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one data row. Must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator at the current position.
+  void AddRule();
+
+  /// Renders to a printable string (includes a trailing newline).
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  // A row with the sentinel value {"\x01rule"} renders as a rule.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gpustl

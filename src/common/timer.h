@@ -1,0 +1,26 @@
+// Wall-clock timing for compaction-time reporting (Tables II/III last column).
+#pragma once
+
+#include <chrono>
+
+namespace gpustl {
+
+/// Monotonic stopwatch. Starts at construction; Seconds() reads elapsed time.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gpustl

@@ -1,0 +1,264 @@
+#include "compact/compactor.h"
+
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/timer.h"
+#include "fault/transition.h"
+#include "isa/cfg.h"
+
+namespace gpustl::compact {
+
+using fault::FaultSimResult;
+using fault::RunFaultSim;
+using isa::Program;
+using netlist::PatternSet;
+
+std::vector<SmallBlock> SegmentSmallBlocks(const Program& prog,
+                                           const std::vector<bool>& admissible) {
+  GPUSTL_ASSERT(admissible.size() == prog.size(), "mask size mismatch");
+  const isa::Cfg cfg(prog);
+  std::vector<SmallBlock> sbs;
+
+  for (const isa::BasicBlock& bb : cfg.blocks()) {
+    std::uint32_t cursor = bb.begin;
+    while (cursor < bb.end) {
+      SmallBlock sb;
+      sb.begin = cursor;
+      sb.admissible = admissible[cursor];
+      // Extend while admissibility stays constant; close after a
+      // propagation instruction (memory write).
+      while (cursor < bb.end && admissible[cursor] == sb.admissible) {
+        const bool propagates = prog.code()[cursor].info().writes_memory;
+        ++cursor;
+        if (propagates) break;
+      }
+      sb.end = cursor;
+      sbs.push_back(sb);
+    }
+  }
+  return sbs;
+}
+
+std::vector<bool> LabelInstructions(const Program& prog,
+                                    const trace::TracingReport& tracing,
+                                    const PatternSet& patterns,
+                                    const FaultSimResult& fault_report) {
+  GPUSTL_ASSERT(fault_report.detects_per_pattern.size() == patterns.size(),
+                "fault report does not match pattern set");
+
+  // Detecting clock cycles: cc stamp -> number of faults detected there.
+  std::unordered_map<std::uint64_t, std::uint32_t> detects_at_cc;
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    const std::uint32_t d = fault_report.detects_per_pattern[p];
+    if (d != 0) detects_at_cc[patterns.cc(p)] += d;
+  }
+
+  // Fig. 2: for each instruction, for each warp execution (= each decode
+  // cc), the instruction is essential as soon as one of its cycles detects
+  // a fault.
+  std::vector<bool> essential(prog.size(), false);
+  const auto ccs_by_pc = tracing.CcsByPc(prog.size());
+  for (std::size_t pc = 0; pc < prog.size(); ++pc) {
+    for (std::uint64_t cc : ccs_by_pc[pc]) {
+      const auto it = detects_at_cc.find(cc);
+      if (it != detects_at_cc.end() && it->second > 0) {
+        essential[pc] = true;
+        break;
+      }
+    }
+  }
+  return essential;
+}
+
+std::vector<std::size_t> SelectRemovals(const std::vector<SmallBlock>& sbs,
+                                        const std::vector<bool>& labels) {
+  std::vector<std::size_t> removals;
+  for (const SmallBlock& sb : sbs) {
+    if (!sb.admissible) continue;
+    bool any_essential = false;
+    for (std::uint32_t i = sb.begin; i < sb.end; ++i) {
+      if (labels[i]) {
+        any_essential = true;
+        break;
+      }
+    }
+    if (any_essential) continue;  // Fig. 3: the SB stays in the CPTP
+    for (std::uint32_t i = sb.begin; i < sb.end; ++i) {
+      removals.push_back(i);
+    }
+  }
+  return removals;
+}
+
+void RelocateData(Program& prog) {
+  auto referenced = [&](const isa::DataSegment& seg) {
+    const std::uint64_t lo = seg.addr;
+    const std::uint64_t hi = seg.addr + seg.words.size() * 4;
+    for (const isa::Instruction& inst : prog.code()) {
+      if (!inst.has_imm) continue;
+      if (inst.info().format == isa::Format::kBranch) continue;
+      if (inst.imm >= lo && inst.imm < hi) return true;
+    }
+    return false;
+  };
+  auto& data = prog.data();
+  std::vector<isa::DataSegment> kept;
+  for (auto& seg : data) {
+    if (referenced(seg)) kept.push_back(std::move(seg));
+  }
+  data = std::move(kept);
+}
+
+Compactor::Compactor(const netlist::Netlist& module,
+                     trace::TargetModule target, CompactorOptions options)
+    : module_(&module),
+      target_(target),
+      options_(std::move(options)),
+      faults_(fault::CollapsedFaultList(module)),
+      detected_(faults_.size(), false) {}
+
+Compactor::TraceRun Compactor::RunLogicTrace(const Program& ptp) const {
+  TraceRun out;
+  trace::TraceRecorder recorder;
+  trace::PatternProbe probe(target_);
+  gpu::Sm sm(options_.sm);
+  sm.AddMonitor(&recorder);
+  sm.AddMonitor(&probe);
+  out.run = sm.Run(ptp);
+  out.tracing = recorder.report();
+  out.patterns = probe.patterns();
+  return out;
+}
+
+fault::FaultSimResult Compactor::SimulateFaults(
+    const netlist::PatternSet& patterns, const BitVec* skip,
+    bool drop_detected) const {
+  const fault::FaultSimOptions sim_options{.drop_detected = drop_detected};
+  switch (options_.fault_model) {
+    case FaultModel::kTransition:
+      return fault::RunTransitionFaultSim(*module_, patterns, faults_, skip,
+                                          sim_options);
+    case FaultModel::kStuckAt:
+      break;
+  }
+  return RunFaultSim(*module_, patterns, faults_, skip, sim_options);
+}
+
+CompactionResult Compactor::CompactPtp(const Program& ptp) {
+  Timer timer;
+  CompactionResult res;
+
+  // Stage 1: partitioning.
+  const isa::Cfg cfg(ptp);
+  const std::vector<bool> admissible = cfg.AdmissibleMask();
+  const std::vector<SmallBlock> sbs = SegmentSmallBlocks(ptp, admissible);
+
+  // Stage 2: one logic simulation (tracing + pattern capture).
+  const TraceRun original_run = RunLogicTrace(ptp);
+  const PatternSet patterns = options_.reverse_patterns
+                                  ? original_run.patterns.Reversed()
+                                  : original_run.patterns;
+
+  // Stage 3: one optimized fault simulation + labeling.
+  res.fault_report =
+      SimulateFaults(patterns, &detected_, options_.drop_within_ptp);
+  res.labels =
+      LabelInstructions(ptp, original_run.tracing, patterns, res.fault_report);
+
+  // Stage 4: reduction.
+  const std::vector<std::size_t> removals = SelectRemovals(sbs, res.labels);
+  res.compacted = ptp.RemoveInstructions(removals);
+  RelocateData(res.compacted);
+
+  // Stage 5: reassembly + validation (logic + fault sim of the CPTP,
+  // against the same fault-list state, for the FC difference).
+  const TraceRun compacted_run = RunLogicTrace(res.compacted);
+  const PatternSet compacted_patterns =
+      options_.reverse_patterns ? compacted_run.patterns.Reversed()
+                                : compacted_run.patterns;
+  const FaultSimResult validation =
+      SimulateFaults(compacted_patterns, &detected_, true);
+
+  res.compaction_seconds = timer.Seconds();
+
+  // FC bookkeeping follows the paper's tables: the FC of a PTP (and hence
+  // the "Diff FC" column) is its STANDALONE coverage of the module's full
+  // fault list. This is what makes RAND lose coverage after TPGEN: the
+  // instructions removed as unessential (because TPGEN already detected
+  // their faults in the dropped flow) did detect faults standalone.
+  const fault::FaultSimResult standalone_before =
+      SimulateFaults(patterns, nullptr, true);
+  const fault::FaultSimResult standalone_after =
+      SimulateFaults(compacted_patterns, nullptr, true);
+  res.validation_detections = validation.num_detected;
+
+  res.original.size_instr = ptp.size();
+  res.original.duration_cc = original_run.run.total_cycles;
+  res.original.arc_percent = cfg.ArcFraction() * 100.0;
+  res.original.fc_percent = fault::CoveragePercent(
+      standalone_before.num_detected, faults_.size());
+
+  res.result.size_instr = res.compacted.size();
+  res.result.duration_cc = compacted_run.run.total_cycles;
+  res.result.arc_percent = isa::Cfg(res.compacted).ArcFraction() * 100.0;
+  res.result.fc_percent = fault::CoveragePercent(
+      standalone_after.num_detected, faults_.size());
+
+  res.diff_fc = res.result.fc_percent - res.original.fc_percent;
+
+  res.num_sbs = 0;
+  res.removed_sbs = 0;
+  for (const SmallBlock& sb : sbs) {
+    if (!sb.admissible) continue;
+    ++res.num_sbs;
+    bool any_essential = false;
+    for (std::uint32_t i = sb.begin; i < sb.end; ++i) {
+      if (res.labels[i]) any_essential = true;
+    }
+    if (!any_essential) ++res.removed_sbs;
+  }
+  std::size_t essentials = 0;
+  for (bool e : res.labels) essentials += e ? 1 : 0;
+  res.essential_instructions = essentials;
+
+  res.tracing = original_run.tracing;
+
+  // Update the persistent fault-list report (inter-PTP dropping): the list
+  // is updated after each stage-3 fault simulation, as in the paper.
+  if (options_.update_fault_list) {
+    detected_ |= res.fault_report.detected_mask;
+  }
+
+  return res;
+}
+
+PtpStats Compactor::MeasureStandalone(const Program& ptp) const {
+  PtpStats stats;
+  const TraceRun run = RunLogicTrace(ptp);
+  const FaultSimResult report =
+      SimulateFaults(run.patterns, nullptr, true);
+  stats.size_instr = ptp.size();
+  stats.duration_cc = run.run.total_cycles;
+  stats.fc_percent =
+      fault::CoveragePercent(report.num_detected, faults_.size());
+  stats.arc_percent = isa::Cfg(ptp).ArcFraction() * 100.0;
+  return stats;
+}
+
+double Compactor::AbsorbCoverage(const isa::Program& ptp) {
+  const TraceRun run = RunLogicTrace(ptp);
+  const PatternSet patterns = options_.reverse_patterns
+                                  ? run.patterns.Reversed()
+                                  : run.patterns;
+  const fault::FaultSimResult report =
+      SimulateFaults(patterns, &detected_, true);
+  detected_ |= report.detected_mask;
+  return CumulativeFcPercent();
+}
+
+double Compactor::CumulativeFcPercent() const {
+  return fault::CoveragePercent(detected_.Count(), faults_.size());
+}
+
+}  // namespace gpustl::compact

@@ -1,0 +1,190 @@
+// The paper's compaction method (Section III), as a library.
+//
+// Five stages per PTP:
+//  1. PTP partitioning  — CFG/basic-block analysis, ARC selection
+//                         (isa::Cfg::AdmissibleMask) and Small-Block (SB)
+//                         segmentation;
+//  2. Logic tracing     — ONE logic simulation of the PTP on the GPU model
+//                         with the hardware monitor attached, producing the
+//                         Tracing Report and the per-cc module test-pattern
+//                         report (VCDE);
+//  3. Fault analysis    — ONE optimized gate-level fault simulation of the
+//                         target module against the captured patterns
+//                         (module-level observability, fault dropping), then
+//                         instruction labeling (Fig. 2): an instruction is
+//                         `essential` iff at least one of its issue cycles
+//                         carries a fault-detecting pattern in any warp;
+//  4. PTP reduction     — SB removal (Fig. 3): an SB is removed iff all of
+//                         its instructions are unessential; input-data
+//                         segments no longer referenced are relocated out;
+//  5. Reassembly        — branch retargeting, validation run of the
+//                         compacted PTP (logic sim + fault sim) to report
+//                         the FC difference.
+//
+// A Compactor instance owns the persistent fault-list report: compacting a
+// sequence of PTPs that target the same module drops already-detected
+// faults from later fault simulations, exactly as in the paper (this is why
+// MEM compacts harder than IMM, and why RAND collapses after TPGEN).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.h"
+#include "fault/faultsim.h"
+#include "gpu/sm.h"
+#include "isa/program.h"
+#include "netlist/netlist.h"
+#include "trace/trace.h"
+
+namespace gpustl::compact {
+
+/// One Small Block: a load-operands / execute / propagate sequence inside a
+/// basic block's admissible region.
+struct SmallBlock {
+  std::uint32_t begin = 0;  // instruction index, inclusive
+  std::uint32_t end = 0;    // exclusive
+  bool admissible = true;   // false: outside the ARC, never removed
+
+  std::uint32_t size() const { return end - begin; }
+};
+
+/// Stage-1 output: SB segmentation of a PTP. An SB closes at each
+/// observable-propagation instruction (memory write), at admissibility
+/// boundaries and at basic-block boundaries.
+std::vector<SmallBlock> SegmentSmallBlocks(const isa::Program& prog,
+                                           const std::vector<bool>& admissible);
+
+/// Instruction labeling (the paper's Fig. 2): joins the tracing report with
+/// the fault-sim report through the cc stamps and returns one flag per
+/// instruction — true = essential.
+std::vector<bool> LabelInstructions(const isa::Program& prog,
+                                    const trace::TracingReport& tracing,
+                                    const netlist::PatternSet& patterns,
+                                    const fault::FaultSimResult& fault_report);
+
+/// Reduction (the paper's Fig. 3): indices of all instructions inside
+/// removable SBs (admissible SBs whose instructions are all unessential).
+std::vector<std::size_t> SelectRemovals(const std::vector<SmallBlock>& sbs,
+                                        const std::vector<bool>& labels);
+
+/// Drops input-data segments that are no longer referenced by any
+/// immediate operand of the surviving code (stage-4 data relocation).
+void RelocateData(isa::Program& prog);
+
+/// Size/duration/coverage features of a PTP (Table I columns).
+struct PtpStats {
+  std::size_t size_instr = 0;
+  std::uint64_t duration_cc = 0;
+  double fc_percent = 0.0;   // marginal FC given the current fault list
+  double arc_percent = 0.0;  // fraction of instructions inside the ARC
+};
+
+/// Full per-PTP compaction outcome (Tables II/III columns + reports).
+struct CompactionResult {
+  isa::Program compacted;
+
+  PtpStats original;
+  PtpStats result;
+
+  std::size_t num_sbs = 0;
+  std::size_t removed_sbs = 0;
+  std::size_t essential_instructions = 0;
+
+  /// FC difference in percent points (result - original, both standalone
+  /// against the module's full fault list); negative = loss.
+  double diff_fc = 0.0;
+
+  /// Marginal detections of the compacted PTP under the campaign's
+  /// dropping state (the stage-5 validation fault simulation).
+  std::size_t validation_detections = 0;
+
+  /// Wall-clock seconds spent compacting this PTP.
+  double compaction_seconds = 0.0;
+
+  /// Stage-2/3 artifacts, for inspection and report I/O.
+  trace::TracingReport tracing;
+  fault::FaultSimResult fault_report;
+  std::vector<bool> labels;  // the LPTP
+};
+
+/// Fault model driving the stage-3/stage-5 fault simulations. The paper
+/// works on stuck-at faults and notes the method "can be adapted
+/// considering other fault models as well"; kTransition is that extension
+/// (slow-to-rise/slow-to-fall over consecutive per-cc pattern pairs).
+enum class FaultModel { kStuckAt, kTransition };
+
+struct CompactorOptions {
+  /// Fault model for all fault simulations of this compactor.
+  FaultModel fault_model = FaultModel::kStuckAt;
+
+  /// Intra-PTP fault dropping during the stage-3 fault simulation.
+  bool drop_within_ptp = true;
+
+  /// Apply the captured patterns in reverse order during stage 3 (the
+  /// paper's SFU_IMM configuration).
+  bool reverse_patterns = false;
+
+  /// Persist detections into the fault-list report so later PTPs compact
+  /// against the remaining faults only (inter-PTP dropping).
+  bool update_fault_list = true;
+
+  gpu::SmConfig sm;
+};
+
+/// Compacts PTPs targeting one gate-level module.
+class Compactor {
+ public:
+  /// `module` must outlive the Compactor. The fault list starts full.
+  Compactor(const netlist::Netlist& module, trace::TargetModule target,
+            CompactorOptions options = {});
+
+  /// Runs the five stages on one PTP.
+  CompactionResult CompactPtp(const isa::Program& ptp);
+
+  /// Measures a PTP's standalone features (Table I): duration, size, ARC%
+  /// and FC against the full fault list (no dropping state).
+  PtpStats MeasureStandalone(const isa::Program& ptp) const;
+
+  /// Runs one logic + fault simulation of `ptp` under the current dropping
+  /// state, merges its detections into the persistent fault list, and
+  /// returns the new cumulative coverage in percent. This is how union
+  /// ("IMM+MEM+CNTRL"-style) coverage rows are computed without compacting.
+  double AbsorbCoverage(const isa::Program& ptp);
+
+  /// Faults detected so far across all compacted PTPs (the fault-list
+  /// report after dropping).
+  const BitVec& detected() const { return detected_; }
+
+  /// Mutable fault-list state, for transplanting dropping state between
+  /// compactors that target the same module (see StlCampaign).
+  BitVec& MutableDetected() { return detected_; }
+
+  /// Marginal coverage state in percent.
+  double CumulativeFcPercent() const;
+
+  const std::vector<fault::Fault>& faults() const { return faults_; }
+  const netlist::Netlist& module() const { return *module_; }
+
+ private:
+  /// Stage 2: one logic simulation with monitors attached.
+  struct TraceRun {
+    trace::TracingReport tracing;
+    netlist::PatternSet patterns;
+    gpu::RunResult run;
+  };
+  TraceRun RunLogicTrace(const isa::Program& ptp) const;
+
+  /// Stage-3/5 fault simulation under the configured fault model.
+  fault::FaultSimResult SimulateFaults(const netlist::PatternSet& patterns,
+                                       const BitVec* skip,
+                                       bool drop_detected) const;
+
+  const netlist::Netlist* module_;
+  trace::TargetModule target_;
+  CompactorOptions options_;
+  std::vector<fault::Fault> faults_;
+  BitVec detected_;
+};
+
+}  // namespace gpustl::compact

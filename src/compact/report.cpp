@@ -1,0 +1,83 @@
+#include "compact/report.h"
+
+#include <ostream>
+
+#include "common/strutil.h"
+#include "common/table.h"
+#include "isa/cfg.h"
+#include "isa/disasm.h"
+
+namespace gpustl::compact {
+
+std::string RenderCompactionReport(const isa::Program& original,
+                                   const CompactionResult& result) {
+  using ::gpustl::Format;
+  std::string out;
+  out += "=== Compaction report: " +
+         (original.name().empty() ? std::string("<anon>") : original.name()) +
+         " ===\n\n";
+
+  // Headline numbers.
+  const auto pct = [](std::size_t before, std::size_t after) {
+    return before == 0 ? 0.0
+                       : 100.0 * (1.0 - static_cast<double>(after) /
+                                            static_cast<double>(before));
+  };
+  out += Format("size      %zu -> %zu instructions (-%.2f%%)\n",
+                result.original.size_instr, result.result.size_instr,
+                pct(result.original.size_instr, result.result.size_instr));
+  out += Format("duration  %llu -> %llu ccs (-%.2f%%)\n",
+                static_cast<unsigned long long>(result.original.duration_cc),
+                static_cast<unsigned long long>(result.result.duration_cc),
+                pct(static_cast<std::size_t>(result.original.duration_cc),
+                    static_cast<std::size_t>(result.result.duration_cc)));
+  out += Format("ARC       %.2f%% of instructions admissible\n",
+                result.original.arc_percent);
+  out += Format("FC        %.2f%% -> %.2f%% (diff %+.2f)\n",
+                result.original.fc_percent, result.result.fc_percent,
+                result.diff_fc);
+  out += Format("labels    %zu essential / %zu total\n",
+                result.essential_instructions, result.labels.size());
+  out += Format("SBs       %zu removed of %zu admissible\n",
+                result.removed_sbs, result.num_sbs);
+  out += Format("wall      %.3f s (1 logic sim + 1 fault sim + validation)\n\n",
+                result.compaction_seconds);
+
+  // Small-Block disposition.
+  const isa::Cfg cfg(original);
+  const auto sbs = SegmentSmallBlocks(original, cfg.AdmissibleMask());
+  TextTable table({"SB", "range", "admissible", "essential", "disposition"});
+  for (std::size_t k = 0; k < sbs.size(); ++k) {
+    const SmallBlock& sb = sbs[k];
+    std::size_t essential = 0;
+    for (std::uint32_t i = sb.begin; i < sb.end; ++i) {
+      essential += result.labels[i] ? 1 : 0;
+    }
+    const char* disposition = !sb.admissible ? "kept (inadmissible)"
+                              : essential == 0 ? "REMOVED"
+                                               : "kept";
+    table.AddRow({std::to_string(k),
+                  Format("[%u,%u)", sb.begin, sb.end),
+                  sb.admissible ? "yes" : "no",
+                  Format("%zu/%u", essential, sb.size()), disposition});
+  }
+  out += table.Render();
+  out += "\n";
+
+  // Essential-instruction listing (the LPTP's essential side).
+  out += "Essential instructions:\n";
+  for (std::size_t i = 0; i < result.labels.size(); ++i) {
+    if (result.labels[i]) {
+      out += Format("  [%4zu] %s\n", i,
+                    isa::Disassemble(original.code()[i]).c_str());
+    }
+  }
+  return out;
+}
+
+void WriteCompactionReport(std::ostream& os, const isa::Program& original,
+                           const CompactionResult& result) {
+  os << RenderCompactionReport(original, result);
+}
+
+}  // namespace gpustl::compact

@@ -1,0 +1,22 @@
+// Human-readable compaction reports: what an STL maintainer reviews after
+// a compaction run — per-stage summary, Small-Block disposition table,
+// essential-instruction listing and the detection profile over the PTP.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "compact/compactor.h"
+
+namespace gpustl::compact {
+
+/// Renders the full report for one compacted PTP. `original` must be the
+/// program passed to CompactPtp for the labels/SBs to line up.
+std::string RenderCompactionReport(const isa::Program& original,
+                                   const CompactionResult& result);
+
+/// Writes the report to a stream.
+void WriteCompactionReport(std::ostream& os, const isa::Program& original,
+                           const CompactionResult& result);
+
+}  // namespace gpustl::compact

@@ -1,0 +1,98 @@
+#include "compact/stl_campaign.h"
+
+#include "common/error.h"
+
+namespace gpustl::compact {
+
+double CampaignSummary::size_reduction_percent() const {
+  if (original_size == 0) return 0.0;
+  return 100.0 * (1.0 - static_cast<double>(final_size) /
+                            static_cast<double>(original_size));
+}
+
+double CampaignSummary::duration_reduction_percent() const {
+  if (original_duration == 0) return 0.0;
+  return 100.0 * (1.0 - static_cast<double>(final_duration) /
+                            static_cast<double>(original_duration));
+}
+
+StlCampaign::StlCampaign(const netlist::Netlist& du, const netlist::Netlist& sp,
+                         const netlist::Netlist& sfu,
+                         const CompactorOptions& base,
+                         const netlist::Netlist* fp32)
+    : base_(base) {
+  compactors_.emplace(trace::TargetModule::kDecoderUnit,
+                      Compactor(du, trace::TargetModule::kDecoderUnit, base));
+  compactors_.emplace(trace::TargetModule::kSpCore,
+                      Compactor(sp, trace::TargetModule::kSpCore, base));
+  compactors_.emplace(trace::TargetModule::kSfu,
+                      Compactor(sfu, trace::TargetModule::kSfu, base));
+  if (fp32 != nullptr) {
+    compactors_.emplace(trace::TargetModule::kFp32,
+                        Compactor(*fp32, trace::TargetModule::kFp32, base));
+  }
+}
+
+Compactor& StlCampaign::compactor(trace::TargetModule target) {
+  const auto it = compactors_.find(target);
+  if (it == compactors_.end()) {
+    throw Error("STL campaign has no compactor for module '" +
+                std::string(trace::TargetModuleName(target)) +
+                "' (FP32 requires passing its netlist at construction)");
+  }
+  return it->second;
+}
+
+const CampaignRecord& StlCampaign::Process(const StlEntry& entry) {
+  CampaignRecord rec;
+  rec.name = entry.ptp.name();
+  rec.target = entry.target;
+
+  if (!entry.compactable) {
+    // Carried through unchanged: measure size/duration only.
+    Compactor& c = compactor(entry.target);
+    const PtpStats stats = c.MeasureStandalone(entry.ptp);
+    rec.compacted = false;
+    rec.original_size = stats.size_instr;
+    rec.original_duration = stats.duration_cc;
+    rec.final_size = stats.size_instr;
+    rec.final_duration = stats.duration_cc;
+  } else {
+    Compactor& c = compactor(entry.target);
+    rec.compacted = true;
+    if (entry.reverse_patterns != base_.reverse_patterns) {
+      // Per-PTP pattern-order override (the SFU_IMM reverse trick): run a
+      // compactor with the adjusted options and transplant the persistent
+      // fault-list state so inter-PTP dropping is preserved.
+      CompactorOptions adjusted = base_;
+      adjusted.reverse_patterns = entry.reverse_patterns;
+      Compactor tmp(c.module(), entry.target, adjusted);
+      tmp.MutableDetected() = c.detected();
+      rec.result = tmp.CompactPtp(entry.ptp);
+      c.MutableDetected() = tmp.detected();
+    } else {
+      rec.result = c.CompactPtp(entry.ptp);
+    }
+    rec.original_size = rec.result.original.size_instr;
+    rec.original_duration = rec.result.original.duration_cc;
+    rec.final_size = rec.result.result.size_instr;
+    rec.final_duration = rec.result.result.duration_cc;
+  }
+
+  records_.push_back(std::move(rec));
+  return records_.back();
+}
+
+CampaignSummary StlCampaign::Summary() const {
+  CampaignSummary s;
+  for (const CampaignRecord& rec : records_) {
+    s.original_size += rec.original_size;
+    s.original_duration += rec.original_duration;
+    s.final_size += rec.final_size;
+    s.final_duration += rec.final_duration;
+    if (rec.compacted) s.compaction_seconds += rec.result.compaction_seconds;
+  }
+  return s;
+}
+
+}  // namespace gpustl::compact

@@ -1,0 +1,76 @@
+// STL-level orchestration: compacting a whole Self-Test Library.
+//
+// An STL is an ordered list of PTPs, each targeting one gate-level module.
+// The campaign keeps one Compactor (and hence one persistent fault-list
+// report) per module, compacts the compactable PTPs in order, carries the
+// uncompactable remainder (control-unit PTPs, in the paper 9.31% of the STL
+// size) through unchanged, and aggregates whole-STL size/duration reduction
+// (the paper's 80.71% / 64.43% headline).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compact/compactor.h"
+
+namespace gpustl::compact {
+
+/// One STL entry.
+struct StlEntry {
+  isa::Program ptp;
+  trace::TargetModule target = trace::TargetModule::kDecoderUnit;
+  bool compactable = true;        // false: carried through unchanged
+  bool reverse_patterns = false;  // per-PTP stage-3 pattern order
+};
+
+/// Per-PTP campaign record.
+struct CampaignRecord {
+  std::string name;
+  trace::TargetModule target;
+  bool compacted = false;
+  CompactionResult result;            // valid when compacted
+  std::size_t original_size = 0;
+  std::uint64_t original_duration = 0;
+  std::size_t final_size = 0;
+  std::uint64_t final_duration = 0;
+};
+
+/// Whole-STL totals.
+struct CampaignSummary {
+  std::size_t original_size = 0;
+  std::uint64_t original_duration = 0;
+  std::size_t final_size = 0;
+  std::uint64_t final_duration = 0;
+  double compaction_seconds = 0.0;
+
+  double size_reduction_percent() const;
+  double duration_reduction_percent() const;
+};
+
+/// Runs the compaction method over an ordered STL.
+class StlCampaign {
+ public:
+  /// The module netlists must outlive the campaign. `fp32` is optional
+  /// (the paper's STL has no FP32-targeted PTPs; pass the netlist to enable
+  /// the extension target).
+  StlCampaign(const netlist::Netlist& du, const netlist::Netlist& sp,
+              const netlist::Netlist& sfu, const CompactorOptions& base = {},
+              const netlist::Netlist* fp32 = nullptr);
+
+  /// Compacts (or carries through) one entry; records are appended in call
+  /// order. Returns the new record.
+  const CampaignRecord& Process(const StlEntry& entry);
+
+  const std::vector<CampaignRecord>& records() const { return records_; }
+  CampaignSummary Summary() const;
+
+  Compactor& compactor(trace::TargetModule target);
+
+ private:
+  CompactorOptions base_;
+  std::map<trace::TargetModule, Compactor> compactors_;
+  std::vector<CampaignRecord> records_;
+};
+
+}  // namespace gpustl::compact

@@ -1,0 +1,162 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace gpustl::fault {
+
+using netlist::CellType;
+using netlist::Gate;
+using netlist::NetId;
+using netlist::Netlist;
+
+std::string FaultName(const Netlist& nl, const Fault& f) {
+  (void)nl;
+  std::string name = "g" + std::to_string(f.gate);
+  if (f.pin == Fault::kOutputPin) {
+    name += "/Z";
+  } else {
+    name += "/A" + std::to_string(static_cast<int>(f.pin) + 1);
+  }
+  name += f.sa1 ? " SA1" : " SA0";
+  return name;
+}
+
+std::vector<Fault> EnumerateFaults(const Netlist& nl) {
+  GPUSTL_ASSERT(nl.frozen(), "fault enumeration requires a frozen netlist");
+
+  // Structural observability: a fault on logic with no path to any primary
+  // output can never be detected; synthesis flows sweep such logic away, so
+  // it is excluded from the universe (reverse reachability from outputs).
+  std::vector<bool> observable(nl.gate_count(), false);
+  std::vector<NetId> work(nl.outputs().begin(), nl.outputs().end());
+  for (NetId o : work) observable[o] = true;
+  while (!work.empty()) {
+    const NetId id = work.back();
+    work.pop_back();
+    const Gate& g = nl.gate(id);
+    for (int i = 0; i < g.fanin_count(); ++i) {
+      const NetId f = g.fanin[i];
+      if (!observable[f]) {
+        observable[f] = true;
+        work.push_back(f);
+      }
+    }
+  }
+
+  std::vector<Fault> out;
+  for (NetId id = 0; id < nl.gate_count(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (g.type == CellType::kConst0 || g.type == CellType::kConst1) continue;
+    if (!observable[id]) continue;
+    for (bool sa1 : {false, true}) {
+      out.push_back(Fault{id, Fault::kOutputPin, sa1});
+    }
+    for (int pin = 0; pin < g.fanin_count(); ++pin) {
+      for (bool sa1 : {false, true}) {
+        out.push_back(Fault{id, static_cast<std::int8_t>(pin), sa1});
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Controlling-value equivalence: an input stuck at the gate's controlling
+// value is equivalent to the output stuck at the corresponding value.
+// Returns true and fills `out_sa1` when (pin SA `sa1`) collapses to
+// (output SA `out_sa1`) for this cell type.
+bool InputFaultCollapsesToOutput(CellType type, bool sa1, bool* out_sa1) {
+  switch (type) {
+    case CellType::kAnd2:
+    case CellType::kAnd3:
+    case CellType::kAnd4:
+      if (!sa1) { *out_sa1 = false; return true; }
+      return false;
+    case CellType::kNand2:
+    case CellType::kNand3:
+    case CellType::kNand4:
+      if (!sa1) { *out_sa1 = true; return true; }
+      return false;
+    case CellType::kOr2:
+    case CellType::kOr3:
+    case CellType::kOr4:
+      if (sa1) { *out_sa1 = true; return true; }
+      return false;
+    case CellType::kNor2:
+    case CellType::kNor3:
+    case CellType::kNor4:
+      if (sa1) { *out_sa1 = false; return true; }
+      return false;
+    case CellType::kBuf:
+      *out_sa1 = sa1;
+      return true;
+    case CellType::kInv:
+      *out_sa1 = !sa1;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<Fault> CollapseFaults(const Netlist& nl,
+                                  const std::vector<Fault>& faults) {
+  GPUSTL_ASSERT(nl.frozen(), "collapsing requires a frozen netlist");
+
+  // Fanout count per net, to detect single-fanout stems.
+  std::vector<int> fanout_count(nl.gate_count(), 0);
+  for (NetId id = 0; id < nl.gate_count(); ++id) {
+    fanout_count[id] = static_cast<int>(nl.fanout(id).size());
+  }
+
+  auto key = [](const Fault& f) {
+    return (static_cast<std::uint64_t>(f.gate) << 4) |
+           (static_cast<std::uint64_t>(static_cast<std::uint8_t>(f.pin + 1)) << 1) |
+           (f.sa1 ? 1u : 0u);
+  };
+
+  std::vector<Fault> out;
+  out.reserve(faults.size());
+  for (const Fault& f : faults) {
+    Fault rep = f;
+    // Iterate to a fixed point: branch -> stem -> (via buf/inv chains) ...
+    for (;;) {
+      if (rep.pin != Fault::kOutputPin) {
+        const Gate& g = nl.gate(rep.gate);
+        bool out_sa1 = false;
+        if (InputFaultCollapsesToOutput(g.type, rep.sa1, &out_sa1)) {
+          rep = Fault{rep.gate, Fault::kOutputPin, out_sa1};
+          continue;
+        }
+        // A branch on a single-fanout net is the same site as the stem.
+        const NetId src = g.fanin[rep.pin];
+        if (fanout_count[src] == 1) {
+          rep = Fault{src, Fault::kOutputPin, rep.sa1};
+          continue;
+        }
+      } else {
+        // Output fault of a BUF/INV also collapses backwards only through
+        // the explicit input-fault rule; stems stay as they are.
+      }
+      break;
+    }
+    out.push_back(rep);
+  }
+
+  // Deterministic order by (gate, pin, sa); drop duplicates.
+  std::sort(out.begin(), out.end(), [&](const Fault& a, const Fault& b) {
+    return key(a) < key(b);
+  });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Fault> CollapsedFaultList(const Netlist& nl) {
+  return CollapseFaults(nl, EnumerateFaults(nl));
+}
+
+}  // namespace gpustl::fault

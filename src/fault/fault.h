@@ -1,0 +1,49 @@
+// Single-stuck-at fault model over gate-level netlists.
+//
+// Fault sites are gate output nets (stems) and gate input pins (branches),
+// matching the universe a commercial fault simulator enumerates after
+// synthesis. `CollapseFaults` applies standard structural equivalence
+// collapsing so the fault counts reported by the benches are comparable to
+// the paper's collapsed lists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace gpustl::fault {
+
+/// One stuck-at fault. pin == kOutputPin addresses the gate's output net;
+/// pin in [0, fanin) addresses that input branch.
+struct Fault {
+  static constexpr std::int8_t kOutputPin = -1;
+
+  netlist::NetId gate = 0;
+  std::int8_t pin = kOutputPin;
+  bool sa1 = false;  // false: stuck-at-0, true: stuck-at-1
+
+  bool operator==(const Fault&) const = default;
+};
+
+/// Human-readable site name, e.g. "g42/A1 SA0" or "g42/Z SA1".
+std::string FaultName(const netlist::Netlist& nl, const Fault& f);
+
+/// Enumerates the full uncollapsed fault universe: two faults per gate
+/// output (except primary-input pseudo-gates keep theirs: PI stems are
+/// valid sites) and two per gate input pin.
+std::vector<Fault> EnumerateFaults(const netlist::Netlist& nl);
+
+/// Structural equivalence collapsing:
+///  * single-fanout stems absorb their unique branch fault,
+///  * AND/NAND input SA0 ≡ output SA0/SA1; OR/NOR input SA1 ≡ output SA1/SA0,
+///  * BUF/INV input faults ≡ (possibly inverted) output faults.
+/// Returns the representative set (deterministic order).
+std::vector<Fault> CollapseFaults(const netlist::Netlist& nl,
+                                  const std::vector<Fault>& faults);
+
+/// Convenience: collapsed fault list of the whole netlist.
+std::vector<Fault> CollapsedFaultList(const netlist::Netlist& nl);
+
+}  // namespace gpustl::fault

@@ -1,0 +1,66 @@
+#include "fault/faultlist_io.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/strutil.h"
+
+namespace gpustl::fault {
+
+void WriteFaultList(std::ostream& os, const std::string& module,
+                    const std::vector<Fault>& faults, const BitVec& detected) {
+  GPUSTL_ASSERT(detected.size() == faults.size(), "mask size mismatch");
+  os << "$faultlist " << module << " faults " << faults.size() << " detected "
+     << detected.Count() << "\n";
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    os << faults[i].gate << " " << static_cast<int>(faults[i].pin) << " "
+       << (faults[i].sa1 ? 1 : 0) << " " << (detected.Get(i) ? 1 : 0) << "\n";
+  }
+  os << "$end\n";
+}
+
+BitVec ReadFaultList(std::istream& is, const std::string& module,
+                     const std::vector<Fault>& faults) {
+  std::string line;
+  if (!std::getline(is, line)) throw ReportError("faultlist: empty stream");
+  const auto head = SplitWs(line);
+  if (head.size() != 6 || head[0] != "$faultlist" || head[2] != "faults" ||
+      head[4] != "detected") {
+    throw ReportError("faultlist: malformed header");
+  }
+  if (head[1] != module) {
+    throw ReportError("faultlist: module mismatch: file has '" +
+                      std::string(head[1]) + "', expected '" + module + "'");
+  }
+  const auto count = ParseInt(head[3]);
+  if (!count || static_cast<std::size_t>(*count) != faults.size()) {
+    throw ReportError("faultlist: fault count mismatch (stale state file?)");
+  }
+
+  BitVec detected(faults.size(), false);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (!std::getline(is, line)) throw ReportError("faultlist: truncated");
+    const auto toks = SplitWs(line);
+    if (toks.size() != 4) throw ReportError("faultlist: bad row");
+    const auto gate = ParseInt(toks[0]);
+    const auto pin = ParseInt(toks[1]);
+    const auto sa = ParseInt(toks[2]);
+    const auto det = ParseInt(toks[3]);
+    if (!gate || !pin || !sa || !det) throw ReportError("faultlist: bad field");
+    const Fault& f = faults[i];
+    if (static_cast<netlist::NetId>(*gate) != f.gate ||
+        static_cast<std::int8_t>(*pin) != f.pin ||
+        (*sa != 0) != f.sa1) {
+      throw ReportError("faultlist: fault " + std::to_string(i) +
+                        " does not match the module's collapsed list");
+    }
+    if (*det != 0) detected.Set(i, true);
+  }
+  if (!std::getline(is, line) || Trim(line) != "$end") {
+    throw ReportError("faultlist: missing $end");
+  }
+  return detected;
+}
+
+}  // namespace gpustl::fault

@@ -1,0 +1,35 @@
+// The persistent Fault List Report as a file.
+//
+// The paper's cross-PTP dropping keeps "one fault list report ... employed
+// as a supporting mechanism to perform the compaction. This fault list
+// report initially includes all faults of a target module. Then, after each
+// fault simulation (one per PTP), the fault list is updated". This module
+// serializes that state so a campaign can span tool invocations
+// (`gpustlc campaign --state <file>` / Compactor::MutableDetected()).
+//
+// Format:
+//   $faultlist <module> faults <N> detected <D>
+//   <gate> <pin> <sa> <0|1>          (one line per fault, in list order)
+//   $end
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/bitops.h"
+#include "fault/fault.h"
+
+namespace gpustl::fault {
+
+/// Writes the report. `detected.size()` must equal `faults.size()`.
+void WriteFaultList(std::ostream& os, const std::string& module,
+                    const std::vector<Fault>& faults, const BitVec& detected);
+
+/// Reads a report and returns the detected mask. The fault list in the file
+/// must match `faults` exactly (site-by-site), or ReportError is thrown —
+/// a mismatch means the netlist changed under a stale state file.
+BitVec ReadFaultList(std::istream& is, const std::string& module,
+                     const std::vector<Fault>& faults);
+
+}  // namespace gpustl::fault

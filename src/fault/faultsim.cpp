@@ -1,0 +1,190 @@
+#include "fault/faultsim.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.h"
+
+namespace gpustl::fault {
+
+using netlist::BitSimulator;
+using netlist::CellType;
+using netlist::Gate;
+using netlist::kMaxFanin;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::PatternSet;
+
+namespace {
+
+/// Scratch state for single-fault forward propagation within one block.
+/// Faulty net values are stored copy-on-write with epoch stamps so that
+/// per-fault cleanup is O(1).
+struct PropagationScratch {
+  explicit PropagationScratch(std::size_t n)
+      : fval(n, 0), touched_epoch(n, 0), queued_epoch(n, 0) {}
+
+  std::vector<std::uint64_t> fval;
+  std::vector<std::uint32_t> touched_epoch;
+  std::vector<std::uint32_t> queued_epoch;
+  std::uint32_t epoch = 0;
+  std::priority_queue<NetId, std::vector<NetId>, std::greater<NetId>> queue;
+
+  void NewFault() { ++epoch; }
+
+  std::uint64_t FaultyValue(const std::vector<std::uint64_t>& good,
+                            NetId net) const {
+    return touched_epoch[net] == epoch ? fval[net] : good[net];
+  }
+
+  void SetFaulty(NetId net, std::uint64_t value) {
+    fval[net] = value;
+    touched_epoch[net] = epoch;
+  }
+
+  void Enqueue(NetId net) {
+    if (queued_epoch[net] != epoch) {
+      queued_epoch[net] = epoch;
+      queue.push(net);
+    }
+  }
+};
+
+}  // namespace
+
+FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
+                           const std::vector<Fault>& faults, const BitVec* skip,
+                           const FaultSimOptions& options) {
+  GPUSTL_ASSERT(nl.frozen(), "fault sim requires a frozen netlist");
+  GPUSTL_ASSERT(nl.dffs().empty(),
+                "fault sim supports combinational modules only");
+  if (skip != nullptr) {
+    GPUSTL_ASSERT(skip->size() == faults.size(), "skip mask size mismatch");
+  }
+
+  FaultSimResult result;
+  result.first_detect.assign(faults.size(), FaultSimResult::kNotDetected);
+  result.detects_per_pattern.assign(patterns.size(), 0);
+  result.activates_per_pattern.assign(patterns.size(), 0);
+  result.detected_mask.Resize(faults.size(), false);
+
+  // `live[i]` = fault i still needs simulation.
+  std::vector<std::uint32_t> live;
+  live.reserve(faults.size());
+  for (std::uint32_t i = 0; i < faults.size(); ++i) {
+    if (skip == nullptr || !skip->Get(i)) live.push_back(i);
+  }
+
+  BitSimulator sim(nl);
+  std::vector<std::uint64_t> good;
+  PropagationScratch scratch(nl.gate_count());
+  const auto& outputs = nl.outputs();
+
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const int count = sim.LoadBlock(patterns, base);
+    if (count == 0) break;
+    const std::uint64_t valid =
+        count >= 64 ? ~0ull : ((1ull << count) - 1);
+    sim.Eval();
+    good = sim.values();
+
+    std::size_t w = 0;  // compaction write index over `live`
+    for (std::size_t r = 0; r < live.size(); ++r) {
+      const std::uint32_t fi = live[r];
+      const Fault& f = faults[fi];
+      const Gate& g = nl.gate(f.gate);
+      const std::uint64_t stuck = f.sa1 ? ~0ull : 0ull;
+
+      // Activation: patterns whose good value at the site differs from the
+      // stuck value.
+      const NetId site_net =
+          f.pin == Fault::kOutputPin ? f.gate : g.fanin[f.pin];
+      std::uint64_t act = (good[site_net] ^ stuck) & valid;
+      for (std::uint64_t bits = act; bits != 0; bits &= bits - 1) {
+        result.activates_per_pattern[base + static_cast<std::size_t>(
+                                                LowestSetBit(bits))]++;
+      }
+      if (act == 0) {
+        live[w++] = fi;  // fault untouched this block, keep it
+        continue;
+      }
+
+      // Single-fault propagation, event-driven in topological (id) order.
+      scratch.NewFault();
+      if (f.pin == Fault::kOutputPin) {
+        scratch.SetFaulty(f.gate, stuck);
+        for (NetId fo : nl.fanout(f.gate)) scratch.Enqueue(fo);
+      } else {
+        // Re-evaluate the faulted gate with the pin forced.
+        std::uint64_t in[kMaxFanin];
+        for (int i = 0; i < g.fanin_count(); ++i) {
+          in[i] = i == f.pin ? stuck : good[g.fanin[i]];
+        }
+        const std::uint64_t out = netlist::EvalCell(g.type, in);
+        if (out != good[f.gate]) {
+          scratch.SetFaulty(f.gate, out);
+          for (NetId fo : nl.fanout(f.gate)) scratch.Enqueue(fo);
+        }
+      }
+
+      while (!scratch.queue.empty()) {
+        const NetId id = scratch.queue.top();
+        scratch.queue.pop();
+        const Gate& gg = nl.gate(id);
+        std::uint64_t in[kMaxFanin];
+        for (int i = 0; i < gg.fanin_count(); ++i) {
+          in[i] = scratch.FaultyValue(good, gg.fanin[i]);
+        }
+        const std::uint64_t out = netlist::EvalCell(gg.type, in);
+        if (out != good[id]) {
+          scratch.SetFaulty(id, out);
+          for (NetId fo : nl.fanout(id)) scratch.Enqueue(fo);
+        }
+      }
+
+      // Detection: any touched primary output that differs from good.
+      std::uint64_t diff = 0;
+      for (NetId o : outputs) {
+        if (scratch.touched_epoch[o] == scratch.epoch) {
+          diff |= (scratch.fval[o] ^ good[o]);
+        }
+      }
+      diff &= valid;
+
+      if (diff == 0) {
+        live[w++] = fi;
+        continue;
+      }
+
+      const auto first_pattern =
+          base + static_cast<std::size_t>(LowestSetBit(diff));
+      if (result.first_detect[fi] == FaultSimResult::kNotDetected) {
+        result.first_detect[fi] = static_cast<std::uint32_t>(first_pattern);
+        result.detected_mask.Set(fi, true);
+        ++result.num_detected;
+      }
+
+      if (options.drop_detected) {
+        result.detects_per_pattern[first_pattern]++;
+        // dropped: do not keep in `live`.
+      } else {
+        for (std::uint64_t bits = diff; bits != 0; bits &= bits - 1) {
+          result.detects_per_pattern[base + static_cast<std::size_t>(
+                                                LowestSetBit(bits))]++;
+        }
+        live[w++] = fi;
+      }
+    }
+    live.resize(w);
+    if (live.empty() && options.drop_detected) break;
+  }
+
+  return result;
+}
+
+double CoveragePercent(std::size_t detected, std::size_t total) {
+  if (total == 0) return 0.0;
+  return 100.0 * static_cast<double>(detected) / static_cast<double>(total);
+}
+
+}  // namespace gpustl::fault

@@ -1,0 +1,71 @@
+// PPSFP (Parallel-Pattern Single-Fault Propagation) stuck-at fault simulator.
+//
+// This implements the paper's "optimized GL fault simulation": the target
+// module is fault-simulated in isolation against the per-cc test patterns
+// captured from the PTP execution, with fault observability at the module's
+// output ports (module-level observability). The simulator records, for
+// every pattern, how many faults it activates and how many it detects —
+// exactly the contents of the paper's Fault Sim Report — and supports fault
+// dropping both within a run and across runs (cross-PTP dropping via the
+// persistent fault-list mask).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.h"
+#include "fault/fault.h"
+#include "netlist/logicsim.h"
+#include "netlist/patterns.h"
+
+namespace gpustl::fault {
+
+struct FaultSimOptions {
+  /// Stop simulating a fault after its first detection (fault dropping).
+  /// When false every detection of every fault is counted per pattern.
+  bool drop_detected = true;
+};
+
+/// Per-run result: the paper's Fault Sim Report.
+struct FaultSimResult {
+  static constexpr std::uint32_t kNotDetected = UINT32_MAX;
+
+  /// Per fault (same order as the fault list): index of the first pattern
+  /// that detects it, or kNotDetected.
+  std::vector<std::uint32_t> first_detect;
+
+  /// Per pattern: number of faults detected at that pattern. With dropping
+  /// this counts first detections only.
+  std::vector<std::uint32_t> detects_per_pattern;
+
+  /// Per pattern: number of (not-yet-dropped) faults whose site was
+  /// activated (good value differs from the stuck value) by that pattern.
+  std::vector<std::uint32_t> activates_per_pattern;
+
+  /// Faults detected in this run.
+  std::size_t num_detected = 0;
+
+  /// Convenience: detected-mask over the fault list.
+  BitVec detected_mask;
+};
+
+/// Runs the fault simulation.
+///
+/// `skip` (optional) marks faults to exclude entirely — the cross-PTP
+/// fault-dropping list: faults already detected by previously compacted
+/// PTPs of the same module. Pass nullptr to simulate the full list.
+///
+/// The netlist must be combinational (no DFFs): the modelled GPU modules
+/// (Decoder Unit, SP datapath, SFU datapath) are combinational between
+/// pipeline registers, which is also what module-level observability
+/// assumes.
+FaultSimResult RunFaultSim(const netlist::Netlist& nl,
+                           const netlist::PatternSet& patterns,
+                           const std::vector<Fault>& faults,
+                           const BitVec* skip = nullptr,
+                           const FaultSimOptions& options = {});
+
+/// Fault coverage in percent given a detected mask and list size.
+double CoveragePercent(std::size_t detected, std::size_t total);
+
+}  // namespace gpustl::fault

@@ -1,0 +1,192 @@
+#include "fault/transition.h"
+
+#include <queue>
+
+#include "common/error.h"
+
+namespace gpustl::fault {
+
+using netlist::BitSimulator;
+using netlist::Gate;
+using netlist::kMaxFanin;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::PatternSet;
+
+std::vector<TransitionFault> TransitionFaultList(const Netlist& nl) {
+  // Same collapsed sites as the stuck-at list; SA0 representative == STR,
+  // SA1 == STF.
+  return CollapsedFaultList(nl);
+}
+
+namespace {
+
+/// Copy-on-write faulty-value scratch (same scheme as faultsim.cpp).
+struct Scratch {
+  explicit Scratch(std::size_t n)
+      : fval(n, 0), touched_epoch(n, 0), queued_epoch(n, 0) {}
+
+  std::vector<std::uint64_t> fval;
+  std::vector<std::uint32_t> touched_epoch;
+  std::vector<std::uint32_t> queued_epoch;
+  std::uint32_t epoch = 0;
+  std::priority_queue<NetId, std::vector<NetId>, std::greater<NetId>> queue;
+
+  void NewFault() { ++epoch; }
+  std::uint64_t Value(const std::vector<std::uint64_t>& good, NetId net) const {
+    return touched_epoch[net] == epoch ? fval[net] : good[net];
+  }
+  void Set(NetId net, std::uint64_t value) {
+    fval[net] = value;
+    touched_epoch[net] = epoch;
+  }
+  void Enqueue(NetId net) {
+    if (queued_epoch[net] != epoch) {
+      queued_epoch[net] = epoch;
+      queue.push(net);
+    }
+  }
+};
+
+}  // namespace
+
+FaultSimResult RunTransitionFaultSim(const Netlist& nl,
+                                     const PatternSet& patterns,
+                                     const std::vector<TransitionFault>& faults,
+                                     const BitVec* skip,
+                                     const FaultSimOptions& options) {
+  GPUSTL_ASSERT(nl.frozen(), "transition sim requires a frozen netlist");
+  GPUSTL_ASSERT(nl.dffs().empty(),
+                "transition sim supports combinational modules only");
+  if (skip != nullptr) {
+    GPUSTL_ASSERT(skip->size() == faults.size(), "skip mask size mismatch");
+  }
+
+  FaultSimResult result;
+  result.first_detect.assign(faults.size(), FaultSimResult::kNotDetected);
+  result.detects_per_pattern.assign(patterns.size(), 0);
+  result.activates_per_pattern.assign(patterns.size(), 0);
+  result.detected_mask.Resize(faults.size(), false);
+
+  std::vector<std::uint32_t> live;
+  live.reserve(faults.size());
+  // Launch-side history: the site value of the last pattern of the previous
+  // block, per fault. Initialized to the FINAL value so pattern 0 (which
+  // has no launch vector) can never activate.
+  std::vector<std::uint8_t> prev_site_bit(faults.size());
+  for (std::uint32_t i = 0; i < faults.size(); ++i) {
+    if (skip == nullptr || !skip->Get(i)) live.push_back(i);
+    prev_site_bit[i] = faults[i].sa1 ? 0 : 1;  // != init value
+  }
+
+  BitSimulator sim(nl);
+  std::vector<std::uint64_t> good;
+  Scratch scratch(nl.gate_count());
+  const auto& outputs = nl.outputs();
+
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const int count = sim.LoadBlock(patterns, base);
+    if (count == 0) break;
+    const std::uint64_t valid = count >= 64 ? ~0ull : ((1ull << count) - 1);
+    sim.Eval();
+    good = sim.values();
+
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < live.size(); ++r) {
+      const std::uint32_t fi = live[r];
+      const TransitionFault& f = faults[fi];
+      const Gate& g = nl.gate(f.gate);
+      const std::uint64_t stuck = f.sa1 ? ~0ull : 0ull;  // value during capture
+
+      const NetId site_net =
+          f.pin == Fault::kOutputPin ? f.gate : g.fanin[f.pin];
+      const std::uint64_t site = good[site_net];
+
+      // Launch values: site at pattern j-1 (carry from the previous block).
+      const std::uint64_t launch =
+          (site << 1) | static_cast<std::uint64_t>(prev_site_bit[fi]);
+      prev_site_bit[fi] =
+          static_cast<std::uint8_t>((site >> (count - 1)) & 1);
+
+      // Activation: launch == init (== stuck value) and capture toggles.
+      const std::uint64_t act =
+          (f.sa1 ? launch : ~launch) & (site ^ stuck) & valid;
+      for (std::uint64_t bits = act; bits != 0; bits &= bits - 1) {
+        result.activates_per_pattern[base + static_cast<std::size_t>(
+                                                LowestSetBit(bits))]++;
+      }
+      if (act == 0) {
+        live[w++] = fi;
+        continue;
+      }
+
+      // Propagate the late value (a stuck-at of the initial value) on the
+      // capture vectors.
+      scratch.NewFault();
+      if (f.pin == Fault::kOutputPin) {
+        scratch.Set(f.gate, stuck);
+        for (NetId fo : nl.fanout(f.gate)) scratch.Enqueue(fo);
+      } else {
+        std::uint64_t in[kMaxFanin];
+        for (int i = 0; i < g.fanin_count(); ++i) {
+          in[i] = i == f.pin ? stuck : good[g.fanin[i]];
+        }
+        const std::uint64_t out = netlist::EvalCell(g.type, in);
+        if (out != good[f.gate]) {
+          scratch.Set(f.gate, out);
+          for (NetId fo : nl.fanout(f.gate)) scratch.Enqueue(fo);
+        }
+      }
+      while (!scratch.queue.empty()) {
+        const NetId id = scratch.queue.top();
+        scratch.queue.pop();
+        const Gate& gg = nl.gate(id);
+        std::uint64_t in[kMaxFanin];
+        for (int i = 0; i < gg.fanin_count(); ++i) {
+          in[i] = scratch.Value(good, gg.fanin[i]);
+        }
+        const std::uint64_t out = netlist::EvalCell(gg.type, in);
+        if (out != good[id]) {
+          scratch.Set(id, out);
+          for (NetId fo : nl.fanout(id)) scratch.Enqueue(fo);
+        }
+      }
+
+      std::uint64_t diff = 0;
+      for (NetId o : outputs) {
+        if (scratch.touched_epoch[o] == scratch.epoch) {
+          diff |= scratch.fval[o] ^ good[o];
+        }
+      }
+      diff &= act;  // detection only on properly-launched capture vectors
+
+      if (diff == 0) {
+        live[w++] = fi;
+        continue;
+      }
+
+      const auto first_pattern =
+          base + static_cast<std::size_t>(LowestSetBit(diff));
+      if (result.first_detect[fi] == FaultSimResult::kNotDetected) {
+        result.first_detect[fi] = static_cast<std::uint32_t>(first_pattern);
+        result.detected_mask.Set(fi, true);
+        ++result.num_detected;
+      }
+      if (options.drop_detected) {
+        result.detects_per_pattern[first_pattern]++;
+      } else {
+        for (std::uint64_t bits = diff; bits != 0; bits &= bits - 1) {
+          result.detects_per_pattern[base + static_cast<std::size_t>(
+                                                LowestSetBit(bits))]++;
+        }
+        live[w++] = fi;
+      }
+    }
+    live.resize(w);
+    if (live.empty() && options.drop_detected) break;
+  }
+
+  return result;
+}
+
+}  // namespace gpustl::fault

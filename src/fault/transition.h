@@ -1,0 +1,39 @@
+// Transition-delay fault model (the paper's "future works: targeting other
+// fault models" extension).
+//
+// A slow-to-rise (STR) / slow-to-fall (STF) fault at a site is detected by
+// an ordered pattern pair (launch, capture): the launch pattern sets the
+// site to the initial value (0 for STR, 1 for STF), the capture pattern
+// toggles it, and the late transition behaves like a stuck-at of the
+// initial value under the capture pattern — so detection reduces to
+// stuck-at propagation on the capture vector, gated by the launch-value
+// condition. Consecutive captured per-cc patterns form the pairs, which is
+// exactly what an at-speed functional STL applies.
+#pragma once
+
+#include "fault/fault.h"
+#include "fault/faultsim.h"
+
+namespace gpustl::fault {
+
+/// A transition fault reuses the stuck-at site addressing: `sa1 == false`
+/// means slow-to-rise (site stuck at 0 during capture), `sa1 == true`
+/// slow-to-fall.
+using TransitionFault = Fault;
+
+/// Enumerates the collapsed transition-fault universe (same sites as the
+/// collapsed stuck-at list; STR/STF map onto SA0/SA1 site addressing).
+std::vector<TransitionFault> TransitionFaultList(const netlist::Netlist& nl);
+
+/// Runs transition-fault simulation over consecutive pattern pairs
+/// (pattern p-1 launches, pattern p captures; pattern 0 cannot capture).
+/// The result uses the same report layout as RunFaultSim;
+/// `detects_per_pattern[p]` counts faults whose detecting *capture* vector
+/// is p, which keeps the labeling join unchanged.
+FaultSimResult RunTransitionFaultSim(const netlist::Netlist& nl,
+                                     const netlist::PatternSet& patterns,
+                                     const std::vector<TransitionFault>& faults,
+                                     const BitVec* skip = nullptr,
+                                     const FaultSimOptions& options = {});
+
+}  // namespace gpustl::fault

@@ -1,0 +1,35 @@
+// SM configuration, mirroring FlexGripPlus's configurability: the number of
+// SP cores per SM is selectable among 8, 16 and 32; the model has 8 FP32
+// lanes and 2 SFUs (the G80 ratio), one SM, and a 5-stage pipeline whose
+// fill cost appears as a fixed per-issue overhead in the timing model.
+#pragma once
+
+#include <cstdint>
+
+namespace gpustl::gpu {
+
+struct SmConfig {
+  /// SP cores per SM (FlexGripPlus supports 8, 16, 32).
+  int num_sp = 8;
+
+  /// SFUs per SM.
+  int num_sfu = 2;
+
+  /// Fixed per-issue pipeline overhead in clock cycles (fetch/decode/read
+  /// stages of the 5-stage pipeline).
+  int issue_overhead = 3;
+
+  /// Watchdog: abort execution after this many clock cycles.
+  std::uint64_t max_cycles = 200'000'000;
+
+  /// Shared memory words per block.
+  std::uint32_t shared_words = 4096;
+
+  /// Local memory words per thread.
+  std::uint32_t local_words = 64;
+
+  /// Constant memory words.
+  std::uint32_t const_words = 2048;
+};
+
+}  // namespace gpustl::gpu

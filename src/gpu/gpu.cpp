@@ -1,0 +1,73 @@
+#include "gpu/gpu.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace gpustl::gpu {
+
+Gpu::Gpu(const GpuConfig& config) : config_(config) {
+  GPUSTL_ASSERT(config_.num_sms >= 1, "GPU needs at least one SM");
+}
+
+void Gpu::AddMonitor(ExecMonitor* monitor, int sm_index) {
+  GPUSTL_ASSERT(sm_index >= -1 && sm_index < config_.num_sms,
+                "monitor SM index out of range");
+  monitors_.push_back({monitor, sm_index});
+}
+
+GpuRunResult Gpu::Run(const isa::Program& prog) {
+  prog.Validate();
+  GpuRunResult result;
+  result.per_sm_cycles.assign(static_cast<std::size_t>(config_.num_sms), 0);
+
+  // Initial global image (the preloaded input data), for write detection.
+  GlobalMemory initial;
+  for (const auto& seg : prog.data()) {
+    for (std::size_t i = 0; i < seg.words.size(); ++i) {
+      initial.Store(seg.addr + static_cast<std::uint32_t>(i) * 4,
+                    seg.words[i]);
+    }
+  }
+  result.global = initial;
+
+  for (int s = 0; s < config_.num_sms; ++s) {
+    // Blocks dispatched round-robin by the general controller.
+    std::vector<int> blocks;
+    for (int b = s; b < prog.config().blocks; b += config_.num_sms) {
+      blocks.push_back(b);
+    }
+    if (blocks.empty()) continue;
+
+    Sm sm(config_.sm);
+    for (const auto& [monitor, filter] : monitors_) {
+      if (filter == -1 || filter == s) sm.AddMonitor(monitor);
+    }
+    const RunResult r = sm.Run(prog, blocks);
+    result.per_sm_cycles[static_cast<std::size_t>(s)] = r.total_cycles;
+    result.sum_cycles += r.total_cycles;
+    result.total_cycles = std::max(result.total_cycles, r.total_cycles);
+    result.dynamic_instructions += r.dynamic_instructions;
+
+    // Merge this SM's writes into the global image.
+    for (const auto& [word, value] : r.global.words()) {
+      const std::uint32_t addr = word * 4;
+      const bool is_initial = initial.words().count(word) != 0 &&
+                              initial.Load(addr) == value;
+      if (is_initial) continue;  // unchanged input data
+      const auto merged_it = result.global.words().find(word);
+      const bool merged_has = merged_it != result.global.words().end();
+      const bool merged_is_initial =
+          initial.words().count(word) != 0 &&
+          merged_has && merged_it->second == initial.Load(addr);
+      if (merged_has && !merged_is_initial && merged_it->second != value) {
+        ++result.write_conflicts;
+      }
+      result.global.Store(addr, value);
+    }
+  }
+
+  return result;
+}
+
+}  // namespace gpustl::gpu

@@ -1,0 +1,59 @@
+// The full GPU: an array of SMs under a general controller.
+//
+// FlexGripPlus "is organized as a set of arrays of SMs. One general
+// controller controls the tasks submitted to every SM." The Gpu class
+// models that level: grid blocks are dispatched round-robin to `num_sms`
+// SMs, each SM executes its blocks with its own clock, and the kernel's
+// duration is the slowest SM's. Global memory is shared (block-disjoint
+// result windows, as STL kernels use, stay race-free by construction; the
+// model merges per-SM write sets and reports conflicts).
+//
+// Monitors observe all SMs; DecodeEvent/LaneEvent.block identifies the
+// originating block, so per-module pattern capture and tracing work
+// unchanged — the paper instruments exactly one SM, which corresponds to
+// `Gpu::Run` with a monitor filter on the SM of interest.
+#pragma once
+
+#include <vector>
+
+#include "gpu/sm.h"
+
+namespace gpustl::gpu {
+
+struct GpuConfig {
+  int num_sms = 1;
+  SmConfig sm;
+};
+
+/// Result of a whole-GPU kernel run.
+struct GpuRunResult {
+  std::uint64_t total_cycles = 0;       // max over SMs (parallel execution)
+  std::uint64_t sum_cycles = 0;         // sum over SMs (total work)
+  std::uint64_t dynamic_instructions = 0;
+  GlobalMemory global;                  // merged write image
+  std::size_t write_conflicts = 0;      // same word written by two SMs
+  std::vector<std::uint64_t> per_sm_cycles;
+};
+
+/// Multi-SM executor.
+class Gpu {
+ public:
+  explicit Gpu(const GpuConfig& config = {});
+
+  /// Attaches a monitor to one SM (the paper's single-SM hardware monitor)
+  /// or to all SMs (sm_index = -1). Not owned.
+  void AddMonitor(ExecMonitor* monitor, int sm_index = 0);
+
+  /// Runs the kernel: blocks are assigned round-robin to SMs
+  /// (block b -> SM b % num_sms), each SM runs its block list in order.
+  GpuRunResult Run(const isa::Program& prog);
+
+  const GpuConfig& config() const { return config_; }
+
+ private:
+  GpuConfig config_;
+  // monitor, sm filter (-1 = all)
+  std::vector<std::pair<ExecMonitor*, int>> monitors_;
+};
+
+}  // namespace gpustl::gpu

@@ -1,0 +1,40 @@
+#include "gpu/memory.h"
+
+#include "common/error.h"
+#include "common/strutil.h"
+
+namespace gpustl::gpu {
+
+std::uint32_t WordIndex(std::uint32_t byte_addr) {
+  if (byte_addr % 4 != 0) {
+    throw SimError(Format("misaligned word access at 0x%x", byte_addr));
+  }
+  return byte_addr / 4;
+}
+
+std::uint32_t GlobalMemory::Load(std::uint32_t byte_addr) const {
+  const auto it = words_.find(WordIndex(byte_addr));
+  return it == words_.end() ? 0u : it->second;
+}
+
+void GlobalMemory::Store(std::uint32_t byte_addr, std::uint32_t value) {
+  words_[WordIndex(byte_addr)] = value;
+}
+
+std::uint32_t DenseMemory::Load(std::uint32_t byte_addr) const {
+  const std::uint32_t idx = WordIndex(byte_addr);
+  if (idx >= words_.size()) {
+    throw SimError(Format("memory load out of range at 0x%x", byte_addr));
+  }
+  return words_[idx];
+}
+
+void DenseMemory::Store(std::uint32_t byte_addr, std::uint32_t value) {
+  const std::uint32_t idx = WordIndex(byte_addr);
+  if (idx >= words_.size()) {
+    throw SimError(Format("memory store out of range at 0x%x", byte_addr));
+  }
+  words_[idx] = value;
+}
+
+}  // namespace gpustl::gpu

@@ -1,0 +1,50 @@
+// GPU memory spaces.
+//
+// The model exposes the FlexGripPlus memory hierarchy: a global memory
+// (sparse, word-addressed), per-block shared memory, per-thread local
+// memory, and a read-only constant memory. All accesses are 32-bit words at
+// byte addresses (word-aligned); misaligned or out-of-range accesses raise
+// SimError — a PTP that faults the memory system is a malformed test.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace gpustl::gpu {
+
+/// Sparse word-addressed global memory. Reads of untouched words return 0.
+class GlobalMemory {
+ public:
+  std::uint32_t Load(std::uint32_t byte_addr) const;
+  void Store(std::uint32_t byte_addr, std::uint32_t value);
+
+  /// All words ever written (the observable "memory output of the GPU").
+  const std::map<std::uint32_t, std::uint32_t>& words() const { return words_; }
+
+  bool operator==(const GlobalMemory&) const = default;
+
+ private:
+  std::map<std::uint32_t, std::uint32_t> words_;
+};
+
+/// Dense bounded word memory for shared/local/constant spaces.
+class DenseMemory {
+ public:
+  explicit DenseMemory(std::uint32_t num_words) : words_(num_words, 0) {}
+
+  std::uint32_t Load(std::uint32_t byte_addr) const;
+  void Store(std::uint32_t byte_addr, std::uint32_t value);
+
+  std::uint32_t size_words() const {
+    return static_cast<std::uint32_t>(words_.size());
+  }
+
+ private:
+  std::vector<std::uint32_t> words_;
+};
+
+/// Checks alignment; returns the word index. Throws SimError on misalign.
+std::uint32_t WordIndex(std::uint32_t byte_addr);
+
+}  // namespace gpustl::gpu

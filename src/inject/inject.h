@@ -1,0 +1,76 @@
+// Architectural fault injection: executing a PTP on a GPU whose SP integer
+// datapath carries a real gate-level stuck-at fault.
+//
+// The paper's optimized fault simulation observes faults at the target
+// module's outputs and argues this is sound because "test patterns unable
+// to propagate fault effects to the outputs of a module are also unable to
+// propagate these effects to the output of the complete GPU". This module
+// closes the loop experimentally: it injects a stuck-at fault into the SP
+// netlist, computes every lane's faulty result by gate-level simulation of
+// the lane's operand pattern, lets the faulty values flow through the
+// program (registers, signatures, control flow) and compares the final
+// global-memory image against the golden run — the GPU-level observable
+// point an in-field STL actually checks.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.h"
+#include "gpu/sm.h"
+#include "isa/program.h"
+#include "netlist/netlist.h"
+
+namespace gpustl::inject {
+
+/// Computes SP-datapath results under a stuck-at fault by single-pattern
+/// gate-level simulation of the SP netlist.
+class FaultySpModel {
+ public:
+  /// `sp` must be the BuildSpCore netlist and outlive the model.
+  FaultySpModel(const netlist::Netlist& sp, const fault::Fault& fault);
+
+  /// Gate-level faulty evaluation of one lane operation. Returns the
+  /// faulty 32-bit result and predicate.
+  std::uint32_t Eval(isa::Opcode op, isa::CmpOp cmp, std::uint32_t a,
+                     std::uint32_t b, std::uint32_t c, bool* pred) const;
+
+ private:
+  const netlist::Netlist* sp_;
+  fault::Fault fault_;
+};
+
+/// Outcome of one faulty execution.
+struct InjectionResult {
+  bool detected = false;        // memory image differs, or exception raised
+  bool exception = false;       // invalid access raised by the faulty run
+  std::size_t mismatching_words = 0;
+};
+
+/// Runs `ptp` with `fault` injected into every SP lane (all SP cores are
+/// instances of the same module) and compares against `golden`.
+InjectionResult RunWithFault(const isa::Program& ptp,
+                             const netlist::Netlist& sp,
+                             const fault::Fault& fault,
+                             const gpu::GlobalMemory& golden,
+                             const gpu::SmConfig& config = {});
+
+/// End-to-end observability campaign: for each fault in `sample`, executes
+/// the PTP on the faulty GPU and records whether the corruption reaches
+/// global memory.
+struct CampaignResult {
+  std::size_t injected = 0;
+  std::size_t detected_at_memory = 0;
+
+  double DetectionPercent() const {
+    return injected == 0 ? 0.0
+                         : 100.0 * static_cast<double>(detected_at_memory) /
+                               static_cast<double>(injected);
+  }
+};
+
+CampaignResult RunInjectionCampaign(const isa::Program& ptp,
+                                    const netlist::Netlist& sp,
+                                    const std::vector<fault::Fault>& sample,
+                                    const gpu::SmConfig& config = {});
+
+}  // namespace gpustl::inject

@@ -1,0 +1,311 @@
+#include "isa/assembler.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/strutil.h"
+
+namespace gpustl::isa {
+namespace {
+
+struct PendingInst {
+  Instruction inst;
+  std::string target_label;  // non-empty for branches awaiting resolution
+  int line = 0;
+};
+
+[[noreturn]] void Fail(int line, const std::string& msg) {
+  throw AsmError("line " + std::to_string(line) + ": " + msg);
+}
+
+// Strips comments and the optional trailing ';'.
+std::string_view CleanLine(std::string_view line) {
+  for (std::string_view marker : {"//", "#"}) {
+    if (const auto pos = line.find(marker); pos != std::string_view::npos) {
+      line = line.substr(0, pos);
+    }
+  }
+  line = Trim(line);
+  while (!line.empty() && line.back() == ';') {
+    line.remove_suffix(1);
+    line = Trim(line);
+  }
+  return line;
+}
+
+int ParseReg(std::string_view tok, int line) {
+  tok = Trim(tok);
+  if (tok.size() < 2 || (tok[0] != 'R' && tok[0] != 'r')) {
+    Fail(line, "expected register, got '" + std::string(tok) + "'");
+  }
+  const auto n = ParseInt(tok.substr(1));
+  if (!n || *n < 0 || *n >= kNumRegs) {
+    Fail(line, "bad register '" + std::string(tok) + "'");
+  }
+  return static_cast<int>(*n);
+}
+
+int ParsePredReg(std::string_view tok, int line) {
+  tok = Trim(tok);
+  if (tok.size() < 2 || (tok[0] != 'P' && tok[0] != 'p')) {
+    Fail(line, "expected predicate register, got '" + std::string(tok) + "'");
+  }
+  const auto n = ParseInt(tok.substr(1));
+  if (!n || *n < 0 || *n >= kNumPredRegs) {
+    Fail(line, "bad predicate register '" + std::string(tok) + "'");
+  }
+  return static_cast<int>(*n);
+}
+
+std::uint32_t ParseImm(std::string_view tok, int line) {
+  const auto v = ParseInt(tok);
+  if (!v) Fail(line, "bad immediate '" + std::string(tok) + "'");
+  return static_cast<std::uint32_t>(*v);
+}
+
+bool IsRegToken(std::string_view tok) {
+  tok = Trim(tok);
+  return tok.size() >= 2 && (tok[0] == 'R' || tok[0] == 'r') &&
+         ParseInt(tok.substr(1)).has_value();
+}
+
+// Parses "[Rn+off]" or "[Rn]" into (reg, offset).
+std::pair<int, std::uint32_t> ParseMemRef(std::string_view tok, int line) {
+  tok = Trim(tok);
+  if (tok.size() < 2 || tok.front() != '[' || tok.back() != ']') {
+    Fail(line, "expected memory reference, got '" + std::string(tok) + "'");
+  }
+  tok = tok.substr(1, tok.size() - 2);
+  const auto plus = tok.find('+');
+  if (plus == std::string_view::npos) return {ParseReg(tok, line), 0};
+  return {ParseReg(tok.substr(0, plus), line),
+          ParseImm(tok.substr(plus + 1), line)};
+}
+
+}  // namespace
+
+Program Assemble(std::string_view source) {
+  Program prog;
+  std::map<std::string, std::uint32_t, std::less<>> labels;
+  std::vector<PendingInst> pending;
+
+  int line_no = 0;
+  for (std::string_view raw : Split(source, '\n')) {
+    ++line_no;
+    std::string_view line = CleanLine(raw);
+    if (line.empty()) continue;
+
+    // Labels (possibly followed by code on the same line).
+    while (true) {
+      const auto colon = line.find(':');
+      if (colon == std::string_view::npos) break;
+      // Memory refs contain no ':' and .data uses "addr:" handled below.
+      const std::string_view head = Trim(line.substr(0, colon));
+      if (head.empty() || head[0] == '.' || head.find(' ') != std::string_view::npos ||
+          head.find('[') != std::string_view::npos) {
+        break;
+      }
+      const std::string label(head);
+      if (labels.count(label)) Fail(line_no, "duplicate label '" + label + "'");
+      labels[label] = static_cast<std::uint32_t>(pending.size());
+      line = Trim(line.substr(colon + 1));
+      if (line.empty()) break;
+    }
+    if (line.empty()) continue;
+
+    // Directives.
+    if (line[0] == '.') {
+      const auto toks = SplitWs(line);
+      const std::string dir = ToLower(toks[0]);
+      if (dir == ".entry") {
+        if (toks.size() != 2) Fail(line_no, ".entry expects a name");
+        prog.set_name(std::string(toks[1]));
+      } else if (dir == ".blocks") {
+        if (toks.size() != 2) Fail(line_no, ".blocks expects a count");
+        prog.config().blocks = static_cast<int>(ParseImm(toks[1], line_no));
+      } else if (dir == ".threads") {
+        if (toks.size() != 2) Fail(line_no, ".threads expects a count");
+        prog.config().threads_per_block =
+            static_cast<int>(ParseImm(toks[1], line_no));
+      } else if (dir == ".data") {
+        // ".data ADDR: w0 w1 w2 ..."
+        const auto colon = line.find(':');
+        if (colon == std::string_view::npos) Fail(line_no, ".data needs 'addr:'");
+        DataSegment seg;
+        const auto addr_toks = SplitWs(line.substr(5, colon - 5));
+        if (addr_toks.size() != 1) Fail(line_no, ".data needs one address");
+        seg.addr = ParseImm(addr_toks[0], line_no);
+        for (auto w : SplitWs(line.substr(colon + 1))) {
+          seg.words.push_back(ParseImm(w, line_no));
+        }
+        prog.data().push_back(std::move(seg));
+      } else {
+        Fail(line_no, "unknown directive '" + dir + "'");
+      }
+      continue;
+    }
+
+    // Optional predicate guard "@P0" / "@!P2".
+    bool predicated = false, pred_neg = false;
+    int pred_reg = 0;
+    if (line[0] == '@') {
+      auto sp = line.find_first_of(" \t");
+      if (sp == std::string_view::npos) Fail(line_no, "guard without opcode");
+      std::string_view guard = line.substr(1, sp - 1);
+      if (!guard.empty() && guard[0] == '!') {
+        pred_neg = true;
+        guard.remove_prefix(1);
+      }
+      pred_reg = ParsePredReg(guard, line_no);
+      predicated = true;
+      line = Trim(line.substr(sp));
+      if (line.empty()) Fail(line_no, "guard without opcode");
+    }
+
+    // Mnemonic (possibly with .CMP suffix) and comma-separated operands.
+    const auto sp = line.find_first_of(" \t");
+    std::string mnemonic(sp == std::string_view::npos ? line : line.substr(0, sp));
+    std::string_view rest =
+        sp == std::string_view::npos ? std::string_view{} : Trim(line.substr(sp));
+
+    CmpOp cmp = CmpOp::kEQ;
+    bool has_cmp_suffix = false;
+    if (const auto dot = mnemonic.find('.'); dot != std::string::npos) {
+      const auto c = CmpOpFromName(mnemonic.substr(dot + 1));
+      if (!c) Fail(line_no, "unknown suffix '" + mnemonic.substr(dot + 1) + "'");
+      cmp = *c;
+      has_cmp_suffix = true;
+      mnemonic.resize(dot);
+    }
+
+    const auto op = OpcodeFromMnemonic(mnemonic);
+    if (!op) Fail(line_no, "unknown mnemonic '" + mnemonic + "'");
+    const OpcodeInfo& info = GetOpcodeInfo(*op);
+    if (has_cmp_suffix && info.format != Format::kSetp) {
+      Fail(line_no, "comparison suffix on non-SETP instruction");
+    }
+
+    std::vector<std::string_view> ops;
+    if (!rest.empty()) {
+      for (auto o : Split(rest, ',')) ops.push_back(Trim(o));
+    }
+
+    PendingInst p;
+    p.line = line_no;
+    Instruction& inst = p.inst;
+    inst.op = *op;
+    inst.cmp = cmp;
+
+    switch (info.format) {
+      case Format::kRRR: {
+        const bool three_src =
+            *op == Opcode::IMAD || *op == Opcode::FFMA || *op == Opcode::SEL;
+        const std::size_t expect = three_src ? 4u : 3u;
+        if (ops.size() != expect) {
+          Fail(line_no, mnemonic + " expects " + std::to_string(expect) +
+                            " operands");
+        }
+        inst.dst = static_cast<std::uint8_t>(ParseReg(ops[0], line_no));
+        inst.src_a = static_cast<std::uint8_t>(ParseReg(ops[1], line_no));
+        if (IsRegToken(ops[2])) {
+          inst.src_b = static_cast<std::uint8_t>(ParseReg(ops[2], line_no));
+        } else {
+          inst.has_imm = true;
+          inst.imm = ParseImm(ops[2], line_no);
+        }
+        if (three_src) {
+          if (inst.has_imm) Fail(line_no, "immediate not allowed with 3 sources");
+          inst.src_c = static_cast<std::uint8_t>(ParseReg(ops[3], line_no));
+        }
+        break;
+      }
+      case Format::kRRI: {
+        if (ops.size() != 3) Fail(line_no, mnemonic + " expects 3 operands");
+        inst.dst = static_cast<std::uint8_t>(ParseReg(ops[0], line_no));
+        inst.src_a = static_cast<std::uint8_t>(ParseReg(ops[1], line_no));
+        inst.has_imm = true;
+        inst.imm = ParseImm(ops[2], line_no);
+        break;
+      }
+      case Format::kRI: {
+        if (ops.size() != 2) Fail(line_no, mnemonic + " expects 2 operands");
+        inst.dst = static_cast<std::uint8_t>(ParseReg(ops[0], line_no));
+        inst.has_imm = true;
+        if (*op == Opcode::S2R) {
+          const auto sr = SpecialRegFromName(ops[1]);
+          if (!sr) Fail(line_no, "unknown special register '" + std::string(ops[1]) + "'");
+          inst.imm = static_cast<std::uint32_t>(*sr);
+        } else {
+          inst.imm = ParseImm(ops[1], line_no);
+        }
+        break;
+      }
+      case Format::kRR: {
+        if (ops.size() != 2) Fail(line_no, mnemonic + " expects 2 operands");
+        inst.dst = static_cast<std::uint8_t>(ParseReg(ops[0], line_no));
+        inst.src_a = static_cast<std::uint8_t>(ParseReg(ops[1], line_no));
+        break;
+      }
+      case Format::kSetp: {
+        if (ops.size() != 3) Fail(line_no, mnemonic + " expects 3 operands");
+        inst.dst = static_cast<std::uint8_t>(ParsePredReg(ops[0], line_no));
+        inst.src_a = static_cast<std::uint8_t>(ParseReg(ops[1], line_no));
+        if (IsRegToken(ops[2])) {
+          inst.src_b = static_cast<std::uint8_t>(ParseReg(ops[2], line_no));
+        } else {
+          inst.has_imm = true;
+          inst.imm = ParseImm(ops[2], line_no);
+        }
+        break;
+      }
+      case Format::kMem: {
+        if (ops.size() != 2) Fail(line_no, mnemonic + " expects 2 operands");
+        const bool is_store = info.writes_memory;
+        const std::string_view ref = is_store ? ops[0] : ops[1];
+        const std::string_view reg = is_store ? ops[1] : ops[0];
+        const auto [addr_reg, offset] = ParseMemRef(ref, line_no);
+        inst.dst = static_cast<std::uint8_t>(ParseReg(reg, line_no));
+        inst.src_a = static_cast<std::uint8_t>(addr_reg);
+        inst.has_imm = true;
+        inst.imm = offset;
+        break;
+      }
+      case Format::kBranch: {
+        if (ops.size() != 1) Fail(line_no, mnemonic + " expects a target");
+        inst.has_imm = true;
+        if (const auto v = ParseInt(ops[0])) {
+          inst.imm = static_cast<std::uint32_t>(*v);
+        } else {
+          p.target_label = std::string(ops[0]);
+        }
+        break;
+      }
+      case Format::kPlain: {
+        if (!ops.empty()) Fail(line_no, mnemonic + " takes no operands");
+        break;
+      }
+    }
+
+    if (predicated) inst = WithPred(inst, pred_reg, pred_neg);
+    pending.push_back(std::move(p));
+  }
+
+  // Second pass: resolve label targets.
+  for (auto& p : pending) {
+    if (!p.target_label.empty()) {
+      const auto it = labels.find(p.target_label);
+      if (it == labels.end()) {
+        Fail(p.line, "undefined label '" + p.target_label + "'");
+      }
+      p.inst.imm = it->second;
+    }
+    prog.Append(p.inst);
+  }
+
+  prog.Validate();
+  return prog;
+}
+
+}  // namespace gpustl::isa

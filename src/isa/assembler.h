@@ -1,0 +1,33 @@
+// Two-pass assembler for the SASS-like assembly language.
+//
+// Syntax (one instruction per line, `//` or `#` comments, optional `;`):
+//
+//   .entry  imm_ptp            // program name
+//   .blocks 1                  // grid size
+//   .threads 32                // threads per block
+//   .data 0x100: 1 2 3 0xffff  // global-memory initializer
+//
+//   start:                     // label
+//       MOV32I R1, 0x10;
+//       S2R    R2, SR_TID;
+//       SHL    R3, R2, R4;
+//       IADD32I R3, R3, 0x100;
+//       LDG    R5, [R3+0x0];
+//       ISETP.LT P0, R5, R2;
+//   @P0 BRA    start;
+//   @!P1 IADD  R6, R5, R2;
+//       STG    [R3+0x40], R6;
+//       EXIT;
+#pragma once
+
+#include <string_view>
+
+#include "isa/program.h"
+
+namespace gpustl::isa {
+
+/// Assembles source text into a Program. Throws AsmError with a
+/// line-numbered message on any syntax or semantic error.
+Program Assemble(std::string_view source);
+
+}  // namespace gpustl::isa

@@ -1,0 +1,108 @@
+#include "isa/binary.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace gpustl::isa {
+namespace {
+
+constexpr char kMagic[4] = {'G', 'P', 'T', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+void PutU32(std::ostream& os, std::uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  os.write(buf, 4);
+}
+
+void PutU64(std::ostream& os, std::uint64_t v) {
+  PutU32(os, static_cast<std::uint32_t>(v));
+  PutU32(os, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t GetU32(std::istream& is) {
+  char buf[4];
+  if (!is.read(buf, 4)) throw AsmError("binary: truncated stream");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(buf[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t GetU64(std::istream& is) {
+  const std::uint64_t lo = GetU32(is);
+  const std::uint64_t hi = GetU32(is);
+  return lo | (hi << 32);
+}
+
+}  // namespace
+
+void SaveBinary(std::ostream& os, const Program& prog) {
+  os.write(kMagic, 4);
+  PutU32(os, kVersion);
+  PutU32(os, static_cast<std::uint32_t>(prog.config().blocks));
+  PutU32(os, static_cast<std::uint32_t>(prog.config().threads_per_block));
+  PutU32(os, static_cast<std::uint32_t>(prog.name().size()));
+  os.write(prog.name().data(),
+           static_cast<std::streamsize>(prog.name().size()));
+  PutU32(os, static_cast<std::uint32_t>(prog.data().size()));
+  for (const DataSegment& seg : prog.data()) {
+    PutU32(os, seg.addr);
+    PutU32(os, static_cast<std::uint32_t>(seg.words.size()));
+    for (std::uint32_t w : seg.words) PutU32(os, w);
+  }
+  PutU32(os, static_cast<std::uint32_t>(prog.code().size()));
+  for (const Instruction& inst : prog.code()) PutU64(os, inst.Encode());
+  if (!os) throw Error("binary: write failed");
+}
+
+Program LoadBinary(std::istream& is) {
+  char magic[4];
+  if (!is.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    throw AsmError("binary: bad magic");
+  }
+  const std::uint32_t version = GetU32(is);
+  if (version != kVersion) {
+    throw AsmError("binary: unsupported version " + std::to_string(version));
+  }
+
+  Program prog;
+  prog.config().blocks = static_cast<int>(GetU32(is));
+  prog.config().threads_per_block = static_cast<int>(GetU32(is));
+
+  const std::uint32_t name_len = GetU32(is);
+  if (name_len > 4096) throw AsmError("binary: unreasonable name length");
+  std::string name(name_len, '\0');
+  if (name_len != 0 && !is.read(name.data(), name_len)) {
+    throw AsmError("binary: truncated name");
+  }
+  prog.set_name(std::move(name));
+
+  const std::uint32_t nseg = GetU32(is);
+  if (nseg > 1'000'000) throw AsmError("binary: unreasonable segment count");
+  for (std::uint32_t s = 0; s < nseg; ++s) {
+    DataSegment seg;
+    seg.addr = GetU32(is);
+    const std::uint32_t nwords = GetU32(is);
+    if (nwords > 100'000'000) throw AsmError("binary: unreasonable segment");
+    seg.words.reserve(nwords);
+    for (std::uint32_t w = 0; w < nwords; ++w) seg.words.push_back(GetU32(is));
+    prog.data().push_back(std::move(seg));
+  }
+
+  const std::uint32_t ncode = GetU32(is);
+  if (ncode > 100'000'000) throw AsmError("binary: unreasonable code size");
+  for (std::uint32_t i = 0; i < ncode; ++i) {
+    prog.Append(Instruction::Decode(GetU64(is)));
+  }
+
+  prog.Validate();
+  return prog;
+}
+
+}  // namespace gpustl::isa

@@ -1,0 +1,27 @@
+// Binary container for assembled PTPs (the "kernel image" format).
+//
+// Layout (little-endian):
+//   magic   "GPTP"            4 bytes
+//   version u32 (= 1)
+//   blocks  u32, threads u32
+//   name    u32 length + bytes
+//   nseg    u32, then per segment: addr u32, nwords u32, words u32[n]
+//   ncode   u32, then 64-bit instruction words
+//
+// The format is a faithful round trip of isa::Program and is what the
+// gpustlc CLI reads/writes between pipeline steps.
+#pragma once
+
+#include <iosfwd>
+
+#include "isa/program.h"
+
+namespace gpustl::isa {
+
+/// Serializes a program. Throws Error on stream failure.
+void SaveBinary(std::ostream& os, const Program& prog);
+
+/// Deserializes; throws AsmError on malformed input, validates the result.
+Program LoadBinary(std::istream& is);
+
+}  // namespace gpustl::isa

@@ -1,0 +1,288 @@
+#include "isa/cfg.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace gpustl::isa {
+namespace {
+
+bool EndsBlock(const Instruction& inst) {
+  // Any control transfer ends a block; SSY does not transfer control but
+  // its target must begin a block, which is handled via leaders.
+  const OpcodeInfo& info = inst.info();
+  return info.is_branch;
+}
+
+}  // namespace
+
+Cfg::Cfg(const Program& prog) : prog_(&prog) {
+  BuildBlocks(prog);
+  BuildEdges(prog);
+  ComputeDominators();
+  FindLoops(prog);
+}
+
+void Cfg::BuildBlocks(const Program& prog) {
+  const auto& code = prog.code();
+  std::set<std::uint32_t> leaders;
+  if (!code.empty()) leaders.insert(0);
+  for (std::uint32_t i = 0; i < code.size(); ++i) {
+    const Instruction& inst = code[i];
+    if (inst.info().format == Format::kBranch) {
+      leaders.insert(std::min<std::uint32_t>(
+          inst.imm, static_cast<std::uint32_t>(code.size())));
+    }
+    if (EndsBlock(inst) && i + 1 < code.size()) leaders.insert(i + 1);
+  }
+  leaders.insert(static_cast<std::uint32_t>(code.size()));
+
+  block_of_.assign(code.size(), 0);
+  auto it = leaders.begin();
+  while (it != leaders.end()) {
+    const std::uint32_t begin = *it;
+    ++it;
+    if (it == leaders.end()) break;
+    BasicBlock bb;
+    bb.begin = begin;
+    bb.end = *it;
+    const auto id = static_cast<std::uint32_t>(blocks_.size());
+    for (std::uint32_t i = bb.begin; i < bb.end; ++i) block_of_[i] = id;
+    blocks_.push_back(std::move(bb));
+  }
+}
+
+void Cfg::BuildEdges(const Program& prog) {
+  const auto& code = prog.code();
+  auto add_edge = [&](std::uint32_t from, std::uint32_t to_instr) {
+    if (to_instr >= code.size()) return;  // edge to program end
+    const std::uint32_t to = block_of_[to_instr];
+    auto& s = blocks_[from].succs;
+    if (std::find(s.begin(), s.end(), to) == s.end()) {
+      s.push_back(to);
+      blocks_[to].preds.push_back(from);
+    }
+  };
+
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
+    const BasicBlock& bb = blocks_[b];
+    if (bb.size() == 0) continue;
+    const Instruction& last = code[bb.end - 1];
+    const OpcodeInfo& info = last.info();
+    switch (last.op) {
+      case Opcode::BRA:
+        add_edge(b, last.imm);
+        if (last.predicated) add_edge(b, bb.end);
+        break;
+      case Opcode::CAL:
+        // Inline-call model: control reaches the callee and, after its RET,
+        // the fall-through. Model both as successors.
+        add_edge(b, last.imm);
+        add_edge(b, bb.end);
+        break;
+      case Opcode::RET:
+      case Opcode::EXIT:
+        break;  // no static successors
+      case Opcode::SYNC:
+        add_edge(b, bb.end);
+        break;
+      default:
+        if (!info.is_branch) add_edge(b, bb.end);
+        break;
+    }
+  }
+}
+
+void Cfg::ComputeDominators() {
+  const std::uint32_t n = static_cast<std::uint32_t>(blocks_.size());
+  idom_.assign(n, UINT32_MAX);
+  if (n == 0) return;
+
+  // Reverse postorder over the CFG from the entry block.
+  std::vector<std::uint32_t> order;
+  std::vector<int> state(n, 0);
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack{{0u, 0u}};
+  state[0] = 1;
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    if (next < blocks_[node].succs.size()) {
+      const std::uint32_t s = blocks_[node].succs[next++];
+      if (state[s] == 0) {
+        state[s] = 1;
+        stack.push_back({s, 0});
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());  // now reverse postorder
+
+  std::vector<std::uint32_t> rpo_index(n, UINT32_MAX);
+  for (std::uint32_t i = 0; i < order.size(); ++i) rpo_index[order[i]] = i;
+
+  auto intersect = [&](std::uint32_t a, std::uint32_t b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = idom_[a];
+      while (rpo_index[b] > rpo_index[a]) b = idom_[b];
+    }
+    return a;
+  };
+
+  idom_[0] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::uint32_t node : order) {
+      if (node == 0) continue;
+      std::uint32_t new_idom = UINT32_MAX;
+      for (std::uint32_t p : blocks_[node].preds) {
+        if (rpo_index[p] == UINT32_MAX) continue;  // unreachable pred
+        if (idom_[p] == UINT32_MAX) continue;      // not yet processed
+        new_idom = new_idom == UINT32_MAX ? p : intersect(p, new_idom);
+      }
+      if (new_idom != UINT32_MAX && idom_[node] != new_idom) {
+        idom_[node] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool Cfg::Dominates(std::uint32_t a, std::uint32_t b) const {
+  if (idom_.empty()) return false;
+  std::uint32_t cur = b;
+  for (;;) {
+    if (cur == a) return true;
+    if (cur == 0 || idom_[cur] == UINT32_MAX) return a == 0 && cur == 0;
+    if (idom_[cur] == cur) return a == cur;
+    cur = idom_[cur];
+    if (cur == 0) return a == 0;
+  }
+}
+
+void Cfg::FindLoops(const Program& prog) {
+  for (std::uint32_t u = 0; u < blocks_.size(); ++u) {
+    for (std::uint32_t h : blocks_[u].succs) {
+      if (idom_[u] == UINT32_MAX) continue;  // unreachable
+      if (!Dominates(h, u)) continue;        // not a back edge
+      Loop loop;
+      loop.header = h;
+      // Natural loop: h plus all nodes reaching u without passing h.
+      std::set<std::uint32_t> body{h, u};
+      std::vector<std::uint32_t> work{u};
+      while (!work.empty()) {
+        const std::uint32_t node = work.back();
+        work.pop_back();
+        if (node == h) continue;
+        for (std::uint32_t p : blocks_[node].preds) {
+          if (body.insert(p).second) work.push_back(p);
+        }
+      }
+      loop.blocks.assign(body.begin(), body.end());
+      loop.parametric = LoopIsParametric(prog, loop);
+      loops_.push_back(std::move(loop));
+    }
+  }
+}
+
+bool Cfg::LoopIsParametric(const Program& prog, const Loop& loop) const {
+  const auto& code = prog.code();
+
+  // Find the predicated branches inside the loop that jump to the header
+  // (the back-edge branches controlling iteration).
+  std::vector<const Instruction*> back_branches;
+  for (std::uint32_t b : loop.blocks) {
+    const BasicBlock& bb = blocks_[b];
+    if (bb.size() == 0) continue;
+    const Instruction& last = code[bb.end - 1];
+    if (last.op == Opcode::BRA &&
+        block_of_[std::min<std::uint32_t>(
+            last.imm, static_cast<std::uint32_t>(code.size() - 1))] ==
+            loop.header) {
+      if (!last.predicated) return true;  // unconditional back edge
+      back_branches.push_back(&last);
+    }
+  }
+  if (back_branches.empty()) return true;  // exit controlled elsewhere: be safe
+
+  // A register is "literal-defined" if every definition of it in the whole
+  // program is a MOV32I constant, an S2R of a launch constant is NOT
+  // accepted, and self-incrementing IADD32I r, r, imm is accepted as the
+  // induction update.
+  auto literal_defined = [&](std::uint8_t reg) {
+    bool has_def = false;
+    for (const Instruction& inst : code) {
+      if (!inst.info().writes_reg || inst.dst != reg) continue;
+      has_def = true;
+      const bool is_const_mov = inst.op == Opcode::MOV32I;
+      const bool is_induction =
+          inst.op == Opcode::IADD32I && inst.src_a == reg && inst.has_imm;
+      if (!is_const_mov && !is_induction) return false;
+    }
+    return has_def;
+  };
+
+  for (const Instruction* bra : back_branches) {
+    // Find the SETP defining this branch's predicate inside the loop.
+    const Instruction* setp = nullptr;
+    for (std::uint32_t b : loop.blocks) {
+      const BasicBlock& bb = blocks_[b];
+      for (std::uint32_t i = bb.begin; i < bb.end; ++i) {
+        const Instruction& inst = code[i];
+        if (inst.info().writes_pred && inst.dst == bra->pred_reg) setp = &inst;
+      }
+    }
+    if (setp == nullptr) return true;  // predicate set outside loop: parametric
+
+    if (!literal_defined(setp->src_a)) return true;
+    if (!setp->has_imm && !literal_defined(setp->src_b)) return true;
+  }
+  return false;
+}
+
+std::uint32_t Cfg::BlockOf(std::uint32_t instr) const {
+  GPUSTL_ASSERT(instr < block_of_.size(), "instruction index out of range");
+  return block_of_[instr];
+}
+
+std::vector<bool> Cfg::ParametricLoopMask() const {
+  std::vector<bool> mask(prog_->code().size(), false);
+  for (const Loop& loop : loops_) {
+    if (!loop.parametric) continue;
+    for (std::uint32_t b : loop.blocks) {
+      for (std::uint32_t i = blocks_[b].begin; i < blocks_[b].end; ++i) {
+        mask[i] = true;
+      }
+    }
+  }
+  return mask;
+}
+
+std::vector<bool> Cfg::AdmissibleMask() const {
+  const auto& code = prog_->code();
+  std::vector<bool> mask = ParametricLoopMask();
+  mask.flip();  // admissible = NOT in a parametric loop ...
+
+  // ... minus control-flow and synchronization instructions: they define
+  // the program structure the SBs live in (the paper's SBs are
+  // load-execute-propagate sequences; branches sit at region boundaries).
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Instruction& inst = code[i];
+    if (inst.info().unit == ExecUnit::kControl && inst.op != Opcode::NOP) {
+      mask[i] = false;
+    }
+  }
+  return mask;
+}
+
+double Cfg::ArcFraction() const {
+  const auto parametric = ParametricLoopMask();
+  if (parametric.empty()) return 0.0;
+  const auto excluded = static_cast<double>(
+      std::count(parametric.begin(), parametric.end(), true));
+  return 1.0 - excluded / static_cast<double>(parametric.size());
+}
+
+}  // namespace gpustl::isa

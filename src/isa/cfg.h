@@ -1,0 +1,86 @@
+// Control-flow graph over a PTP: basic blocks, dominators, natural loops.
+//
+// This is the analysis substrate for stage 1 of the compaction method
+// (PTP partitioning): a Basic Block is "a group of instructions that are
+// always executed in sequence", and the Admissible Region for Compaction
+// (ARC) is every BB except those involved in *parametric* loops — loops
+// whose iterative parameter is computed at run time rather than being a
+// literal constant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace gpustl::isa {
+
+/// Half-open instruction range [begin, end) forming one basic block.
+struct BasicBlock {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::vector<std::uint32_t> succs;  // successor block ids
+  std::vector<std::uint32_t> preds;  // predecessor block ids
+
+  std::uint32_t size() const { return end - begin; }
+  bool Contains(std::uint32_t instr) const {
+    return instr >= begin && instr < end;
+  }
+};
+
+/// A natural loop discovered from a back edge in the CFG.
+struct Loop {
+  std::uint32_t header = 0;              // header block id
+  std::vector<std::uint32_t> blocks;     // all block ids in the loop body
+  bool parametric = false;               // trip count is runtime-computed
+};
+
+/// Control-flow graph of a program.
+class Cfg {
+ public:
+  /// Builds blocks, edges, dominators and loops. CAL/RET are treated as
+  /// block terminators with a fall-through edge (the GPU model executes
+  /// calls inline; this matches FlexGripPlus's single-level call support).
+  explicit Cfg(const Program& prog);
+
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  const std::vector<Loop>& loops() const { return loops_; }
+
+  /// Block id containing instruction index `instr`.
+  std::uint32_t BlockOf(std::uint32_t instr) const;
+
+  /// Immediate dominator of each block (entry block dominates itself).
+  const std::vector<std::uint32_t>& idom() const { return idom_; }
+
+  /// True if block `a` dominates block `b`.
+  bool Dominates(std::uint32_t a, std::uint32_t b) const;
+
+  /// Per-instruction mask: true for instructions inside a parametric loop.
+  std::vector<bool> ParametricLoopMask() const;
+
+  /// Per-instruction admissibility used by the reduction stage: instructions
+  /// in BBs free of parametric loops (the paper's ARC), minus control-flow
+  /// and synchronization instructions (which SB removal must never touch —
+  /// they define the structure the SBs live in).
+  std::vector<bool> AdmissibleMask() const;
+
+  /// Fraction (0..1) of instructions inside the ARC (Table I's "ARC %"):
+  /// the paper's BB-level criterion, i.e. everything outside parametric
+  /// loops.
+  double ArcFraction() const;
+
+ private:
+  void BuildBlocks(const Program& prog);
+  void BuildEdges(const Program& prog);
+  void ComputeDominators();
+  void FindLoops(const Program& prog);
+  bool LoopIsParametric(const Program& prog, const Loop& loop) const;
+
+  const Program* prog_;
+  std::vector<BasicBlock> blocks_;
+  std::vector<std::uint32_t> block_of_;  // instruction index -> block id
+  std::vector<std::uint32_t> idom_;
+  std::vector<Loop> loops_;
+};
+
+}  // namespace gpustl::isa

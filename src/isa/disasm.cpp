@@ -1,0 +1,91 @@
+#include "isa/disasm.h"
+
+#include "common/strutil.h"
+
+namespace gpustl::isa {
+namespace {
+
+std::string Reg(int r) { return "R" + std::to_string(r); }
+std::string Pred(int p) { return "P" + std::to_string(p); }
+std::string Imm(std::uint32_t v) { return ::gpustl::Format("0x%x", v); }
+
+}  // namespace
+
+std::string Disassemble(const Instruction& inst) {
+  const OpcodeInfo& info = inst.info();
+  std::string out;
+  if (inst.predicated) {
+    out += "@";
+    if (inst.pred_negated) out += "!";
+    out += Pred(inst.pred_reg) + " ";
+  }
+  out += std::string(info.mnemonic);
+  if (info.format == Format::kSetp) {
+    out += ".";
+    out += std::string(CmpOpName(inst.cmp));
+  }
+
+  switch (info.format) {
+    case Format::kRRR: {
+      out += " " + Reg(inst.dst) + ", " + Reg(inst.src_a) + ", ";
+      out += inst.has_imm ? Imm(inst.imm) : Reg(inst.src_b);
+      const bool three_src = inst.op == Opcode::IMAD ||
+                             inst.op == Opcode::FFMA || inst.op == Opcode::SEL;
+      if (three_src && !inst.has_imm) out += ", " + Reg(inst.src_c);
+      break;
+    }
+    case Format::kRRI:
+      out += " " + Reg(inst.dst) + ", " + Reg(inst.src_a) + ", " + Imm(inst.imm);
+      break;
+    case Format::kRI:
+      if (inst.op == Opcode::S2R) {
+        out += " " + Reg(inst.dst) + ", " +
+               std::string(SpecialRegName(static_cast<SpecialReg>(inst.imm)));
+      } else {
+        out += " " + Reg(inst.dst) + ", " + Imm(inst.imm);
+      }
+      break;
+    case Format::kRR:
+      out += " " + Reg(inst.dst) + ", " + Reg(inst.src_a);
+      break;
+    case Format::kSetp:
+      out += " " + Pred(inst.dst) + ", " + Reg(inst.src_a) + ", ";
+      out += inst.has_imm ? Imm(inst.imm) : Reg(inst.src_b);
+      break;
+    case Format::kMem: {
+      const std::string ref =
+          "[" + Reg(inst.src_a) + "+" + Imm(inst.imm) + "]";
+      if (info.writes_memory)
+        out += " " + ref + ", " + Reg(inst.dst);
+      else
+        out += " " + Reg(inst.dst) + ", " + ref;
+      break;
+    }
+    case Format::kBranch:
+      out += " " + std::to_string(inst.imm);
+      break;
+    case Format::kPlain:
+      break;
+  }
+  out += ";";
+  return out;
+}
+
+std::string DisassembleProgram(const Program& prog) {
+  std::string out;
+  if (!prog.name().empty()) out += ".entry " + prog.name() + "\n";
+  out += ".blocks " + std::to_string(prog.config().blocks) + "\n";
+  out += ".threads " + std::to_string(prog.config().threads_per_block) + "\n";
+  for (const auto& seg : prog.data()) {
+    out += ".data " + Imm(seg.addr) + ":";
+    for (std::uint32_t w : seg.words) out += " " + Imm(w);
+    out += "\n";
+  }
+  for (std::size_t i = 0; i < prog.code().size(); ++i) {
+    out += ::gpustl::Format("    %-40s // [%zu]\n",
+                  Disassemble(prog.code()[i]).c_str(), i);
+  }
+  return out;
+}
+
+}  // namespace gpustl::isa

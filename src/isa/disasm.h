@@ -1,0 +1,18 @@
+// Disassembler: renders instructions/programs back to assembler-accepted
+// text. `Assemble(DisassembleProgram(p))` reproduces `p` exactly (branch
+// targets are emitted as numeric absolute indices).
+#pragma once
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace gpustl::isa {
+
+/// Renders one instruction (no trailing newline).
+std::string Disassemble(const Instruction& inst);
+
+/// Renders a whole program including directives and data segments.
+std::string DisassembleProgram(const Program& prog);
+
+}  // namespace gpustl::isa

@@ -1,0 +1,196 @@
+#include "isa/instruction.h"
+
+#include "common/bitops.h"
+#include "common/error.h"
+
+namespace gpustl::isa {
+
+std::uint64_t Instruction::Encode() const {
+  std::uint64_t w = 0;
+  w = SetBitField(w, 0, 8, static_cast<std::uint64_t>(op));
+  w = SetBitField(w, 8, 2, pred_reg);
+  w = SetBitField(w, 10, 1, predicated ? 1 : 0);
+  w = SetBitField(w, 11, 1, pred_negated ? 1 : 0);
+  w = SetBitField(w, 12, 6, dst);
+  w = SetBitField(w, 18, 6, src_a);
+  w = SetBitField(w, 30, 1, has_imm ? 1 : 0);
+  if (has_imm) {
+    w = SetBitField(w, 32, 32, imm);
+    if (info().format == Format::kSetp) {
+      // Immediate-compare form keeps the cmp-op in the srcB field (unused
+      // by the immediate operand) so the round trip stays lossless.
+      w = SetBitField(w, 24, 3, static_cast<std::uint64_t>(cmp));
+    }
+  } else {
+    w = SetBitField(w, 24, 6, src_b);
+    w = SetBitField(w, 32, 6, src_c);
+    w = SetBitField(w, 38, 3, static_cast<std::uint64_t>(cmp));
+  }
+  return w;
+}
+
+Instruction Instruction::Decode(std::uint64_t word) {
+  const std::uint64_t op_field = BitField(word, 0, 8);
+  if (op_field >= static_cast<std::uint64_t>(Opcode::kCount)) {
+    throw AsmError("invalid opcode field " + std::to_string(op_field));
+  }
+  Instruction inst;
+  inst.op = static_cast<Opcode>(op_field);
+  inst.pred_reg = static_cast<std::uint8_t>(BitField(word, 8, 2));
+  inst.predicated = BitField(word, 10, 1) != 0;
+  inst.pred_negated = BitField(word, 11, 1) != 0;
+  inst.dst = static_cast<std::uint8_t>(BitField(word, 12, 6));
+  inst.src_a = static_cast<std::uint8_t>(BitField(word, 18, 6));
+  inst.has_imm = BitField(word, 30, 1) != 0;
+  if (inst.has_imm) {
+    inst.imm = static_cast<std::uint32_t>(BitField(word, 32, 32));
+    inst.src_b = 0;
+    inst.src_c = 0;
+    if (inst.info().format == Format::kSetp) {
+      inst.cmp = static_cast<CmpOp>(BitField(word, 24, 3));
+    }
+  } else {
+    inst.src_b = static_cast<std::uint8_t>(BitField(word, 24, 6));
+    inst.src_c = static_cast<std::uint8_t>(BitField(word, 32, 6));
+    inst.cmp = static_cast<CmpOp>(BitField(word, 38, 3));
+  }
+  return inst;
+}
+
+namespace {
+void CheckReg(int r) {
+  GPUSTL_ASSERT(r >= 0 && r < kNumRegs, "register index out of range");
+}
+void CheckPred(int p) {
+  GPUSTL_ASSERT(p >= 0 && p < kNumPredRegs, "predicate index out of range");
+}
+}  // namespace
+
+Instruction MakeRRR(Opcode op, int dst, int a, int b) {
+  CheckReg(dst);
+  CheckReg(a);
+  CheckReg(b);
+  Instruction i;
+  i.op = op;
+  i.dst = static_cast<std::uint8_t>(dst);
+  i.src_a = static_cast<std::uint8_t>(a);
+  i.src_b = static_cast<std::uint8_t>(b);
+  return i;
+}
+
+Instruction MakeRRRC(Opcode op, int dst, int a, int b, int c) {
+  Instruction i = MakeRRR(op, dst, a, b);
+  CheckReg(c);
+  i.src_c = static_cast<std::uint8_t>(c);
+  return i;
+}
+
+Instruction MakeRRI(Opcode op, int dst, int a, std::uint32_t imm) {
+  CheckReg(dst);
+  CheckReg(a);
+  Instruction i;
+  i.op = op;
+  i.dst = static_cast<std::uint8_t>(dst);
+  i.src_a = static_cast<std::uint8_t>(a);
+  i.has_imm = true;
+  i.imm = imm;
+  return i;
+}
+
+Instruction MakeRR(Opcode op, int dst, int a) {
+  CheckReg(dst);
+  CheckReg(a);
+  Instruction i;
+  i.op = op;
+  i.dst = static_cast<std::uint8_t>(dst);
+  i.src_a = static_cast<std::uint8_t>(a);
+  return i;
+}
+
+Instruction MakeMov32(int dst, std::uint32_t imm) {
+  CheckReg(dst);
+  Instruction i;
+  i.op = Opcode::MOV32I;
+  i.dst = static_cast<std::uint8_t>(dst);
+  i.has_imm = true;
+  i.imm = imm;
+  return i;
+}
+
+Instruction MakeS2R(int dst, SpecialReg sr) {
+  CheckReg(dst);
+  Instruction i;
+  i.op = Opcode::S2R;
+  i.dst = static_cast<std::uint8_t>(dst);
+  i.has_imm = true;
+  i.imm = static_cast<std::uint32_t>(sr);
+  return i;
+}
+
+Instruction MakeSetp(Opcode op, CmpOp cmp, int pred_dst, int a, int b) {
+  GPUSTL_ASSERT(op == Opcode::ISETP || op == Opcode::FSETP, "not a SETP op");
+  CheckPred(pred_dst);
+  CheckReg(a);
+  CheckReg(b);
+  Instruction i;
+  i.op = op;
+  i.cmp = cmp;
+  i.dst = static_cast<std::uint8_t>(pred_dst);
+  i.src_a = static_cast<std::uint8_t>(a);
+  i.src_b = static_cast<std::uint8_t>(b);
+  return i;
+}
+
+Instruction MakeSetpImm(Opcode op, CmpOp cmp, int pred_dst, int a,
+                        std::uint32_t imm) {
+  GPUSTL_ASSERT(op == Opcode::ISETP || op == Opcode::FSETP, "not a SETP op");
+  CheckPred(pred_dst);
+  CheckReg(a);
+  Instruction i;
+  i.op = op;
+  i.cmp = cmp;
+  i.dst = static_cast<std::uint8_t>(pred_dst);
+  i.src_a = static_cast<std::uint8_t>(a);
+  i.has_imm = true;
+  i.imm = imm;
+  return i;
+}
+
+Instruction MakeMem(Opcode op, int reg, int addr_reg, std::uint32_t offset) {
+  GPUSTL_ASSERT(GetOpcodeInfo(op).format == Format::kMem, "not a memory op");
+  CheckReg(reg);
+  CheckReg(addr_reg);
+  Instruction i;
+  i.op = op;
+  i.dst = static_cast<std::uint8_t>(reg);
+  i.src_a = static_cast<std::uint8_t>(addr_reg);
+  i.has_imm = true;
+  i.imm = offset;
+  return i;
+}
+
+Instruction MakeBranch(Opcode op, std::uint32_t target) {
+  GPUSTL_ASSERT(GetOpcodeInfo(op).format == Format::kBranch, "not a branch op");
+  Instruction i;
+  i.op = op;
+  i.has_imm = true;
+  i.imm = target;
+  return i;
+}
+
+Instruction MakePlain(Opcode op) {
+  GPUSTL_ASSERT(GetOpcodeInfo(op).format == Format::kPlain, "not a plain op");
+  Instruction i;
+  i.op = op;
+  return i;
+}
+
+Instruction WithPred(Instruction inst, int pred_reg, bool negated) {
+  CheckPred(pred_reg);
+  inst.predicated = true;
+  inst.pred_reg = static_cast<std::uint8_t>(pred_reg);
+  inst.pred_negated = negated;
+  return inst;
+}
+
+}  // namespace gpustl::isa

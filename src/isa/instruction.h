@@ -1,0 +1,108 @@
+// In-memory instruction model and its 64-bit binary encoding.
+//
+// Every instruction occupies one 64-bit SASS-style word. The word layout is
+// what the gate-level Decoder Unit receives on its input port each time an
+// instruction is issued, so the encoding doubles as the DU test pattern:
+//
+//   [ 0, 8)  opcode
+//   [ 8,10)  predicate register index (P0..P3)
+//   [10]     predicated-execution flag
+//   [11]     predicate-negate flag
+//   [12,18)  dst register (R0..R63); for SETP: predicate dst in [12,14)
+//   [18,24)  srcA register
+//   [24,30)  srcB register (register form)
+//   [30]     immediate flag (srcB/operand-2 comes from imm32)
+//   [31]     reserved (always 0)
+//   [32,64)  imm32: immediate value, memory offset, branch target,
+//            special-register selector, or (register form) srcC in [32,38)
+//            and cmp-op in [38,41)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.h"
+
+namespace gpustl::isa {
+
+inline constexpr int kNumRegs = 64;
+inline constexpr int kNumPredRegs = 4;
+
+/// One decoded SASS-like instruction.
+///
+/// This is a plain value type: the assembler produces them, the GPU model
+/// executes them, the compactor relabels and removes them. The `Encode()` /
+/// `Decode()` pair is a lossless 64-bit round trip.
+struct Instruction {
+  Opcode op = Opcode::NOP;
+
+  // Predication (@P0 / @!P1 prefixes).
+  bool predicated = false;
+  bool pred_negated = false;
+  std::uint8_t pred_reg = 0;
+
+  // Register operands. Meaning depends on GetOpcodeInfo(op).format.
+  std::uint8_t dst = 0;   // general dst, or predicate dst for SETP
+  std::uint8_t src_a = 0;
+  std::uint8_t src_b = 0;
+  std::uint8_t src_c = 0;  // third source for IMAD/FFMA/SEL
+
+  // Immediate operand / memory offset / branch target / S2R selector.
+  bool has_imm = false;
+  std::uint32_t imm = 0;
+
+  // Comparison subfield for ISETP/FSETP.
+  CmpOp cmp = CmpOp::kEQ;
+
+  const OpcodeInfo& info() const { return GetOpcodeInfo(op); }
+
+  /// Packs into the 64-bit SASS-style word described above.
+  std::uint64_t Encode() const;
+
+  /// Unpacks a 64-bit word. Throws AsmError on an invalid opcode field.
+  static Instruction Decode(std::uint64_t word);
+
+  bool operator==(const Instruction&) const = default;
+};
+
+// --- Convenience constructors used by the PTP generators and tests. ---
+
+/// dst = a <op> b (register form).
+Instruction MakeRRR(Opcode op, int dst, int a, int b);
+
+/// dst = a * b + c style three-source ops.
+Instruction MakeRRRC(Opcode op, int dst, int a, int b, int c);
+
+/// dst = a <op> imm (immediate form).
+Instruction MakeRRI(Opcode op, int dst, int a, std::uint32_t imm);
+
+/// Unary dst = <op> a.
+Instruction MakeRR(Opcode op, int dst, int a);
+
+/// MOV32I dst, imm.
+Instruction MakeMov32(int dst, std::uint32_t imm);
+
+/// S2R dst, special-register.
+Instruction MakeS2R(int dst, SpecialReg sr);
+
+/// ISETP/FSETP pred_dst, a, b (register compare).
+Instruction MakeSetp(Opcode op, CmpOp cmp, int pred_dst, int a, int b);
+
+/// ISETP/FSETP pred_dst, a, imm (immediate compare).
+Instruction MakeSetpImm(Opcode op, CmpOp cmp, int pred_dst, int a,
+                        std::uint32_t imm);
+
+/// Memory access `reg, [addr_reg + offset]`. For loads `reg` is dst; for
+/// stores it is the data source.
+Instruction MakeMem(Opcode op, int reg, int addr_reg, std::uint32_t offset);
+
+/// Control transfer to absolute instruction index `target`.
+Instruction MakeBranch(Opcode op, std::uint32_t target);
+
+/// Opcode with no operands (EXIT/RET/SYNC/BAR/NOP).
+Instruction MakePlain(Opcode op);
+
+/// Applies an @P / @!P guard to any instruction.
+Instruction WithPred(Instruction inst, int pred_reg, bool negated);
+
+}  // namespace gpustl::isa

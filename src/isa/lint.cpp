@@ -1,0 +1,231 @@
+#include "isa/lint.h"
+
+#include <algorithm>
+#include <bitset>
+
+#include "common/strutil.h"
+#include "isa/cfg.h"
+
+namespace gpustl::isa {
+namespace {
+
+/// Source registers an instruction reads (including store data and address
+/// registers), as a (regs-read, has_pred-guard) summary.
+struct Reads {
+  std::vector<int> regs;
+  bool reads_pred_guard = false;
+};
+
+Reads ReadsOf(const Instruction& inst) {
+  Reads r;
+  const OpcodeInfo& info = inst.info();
+  r.reads_pred_guard = inst.predicated;
+  switch (info.format) {
+    case Format::kRRR: {
+      r.regs.push_back(inst.src_a);
+      if (!inst.has_imm) r.regs.push_back(inst.src_b);
+      const bool three_src =
+          inst.op == Opcode::IMAD || inst.op == Opcode::FFMA ||
+          inst.op == Opcode::SEL;
+      if (three_src && !inst.has_imm) r.regs.push_back(inst.src_c);
+      break;
+    }
+    case Format::kRRI:
+    case Format::kRR:
+      r.regs.push_back(inst.src_a);
+      break;
+    case Format::kSetp:
+      r.regs.push_back(inst.src_a);
+      if (!inst.has_imm) r.regs.push_back(inst.src_b);
+      break;
+    case Format::kMem:
+      r.regs.push_back(inst.src_a);                       // address
+      if (info.writes_memory) r.regs.push_back(inst.dst);  // store data
+      break;
+    case Format::kRI:
+    case Format::kBranch:
+    case Format::kPlain:
+      break;
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<LintFinding> Lint(const Program& prog) {
+  std::vector<LintFinding> findings;
+  const auto& code = prog.code();
+  if (code.empty()) return findings;
+  const Cfg cfg(prog);
+
+  auto add = [&](LintSeverity sev, std::uint32_t instr, std::string msg) {
+    findings.push_back({sev, instr, std::move(msg)});
+  };
+
+  // --- Reachability (W1) + E1 fall-off-end ---
+  std::vector<bool> reachable_block(cfg.blocks().size(), false);
+  {
+    std::vector<std::uint32_t> work{0};
+    reachable_block[0] = true;
+    while (!work.empty()) {
+      const std::uint32_t b = work.back();
+      work.pop_back();
+      for (std::uint32_t s : cfg.blocks()[b].succs) {
+        if (!reachable_block[s]) {
+          reachable_block[s] = true;
+          work.push_back(s);
+        }
+      }
+    }
+  }
+  for (std::uint32_t b = 0; b < cfg.blocks().size(); ++b) {
+    const BasicBlock& bb = cfg.blocks()[b];
+    if (!reachable_block[b]) {
+      add(LintSeverity::kWarning, bb.begin,
+          ::gpustl::Format("W1: instructions [%u,%u) are unreachable", bb.begin,
+                 bb.end));
+      continue;
+    }
+    // E1: a reachable block that falls through past the last instruction.
+    if (bb.end == code.size()) {
+      const Instruction& last = code[bb.end - 1];
+      const bool terminates =
+          last.op == Opcode::EXIT ||
+          (last.op == Opcode::RET && !last.predicated) ||
+          (last.op == Opcode::BRA && !last.predicated);
+      if (!terminates) {
+        add(LintSeverity::kError, bb.end - 1,
+            "E1: control can fall off the end of the program (missing "
+            "EXIT)");
+      }
+    }
+  }
+
+  // --- Definite-definition dataflow (W2) ---
+  // defined[b] = registers definitely written on every path to the END of
+  // block b. Meet over predecessors is intersection.
+  const std::size_t nblocks = cfg.blocks().size();
+  std::vector<std::bitset<64>> out_regs(nblocks);
+  std::vector<std::bitset<4>> out_preds(nblocks);
+  std::vector<bool> computed(nblocks, false);
+
+  auto transfer = [&](std::uint32_t b, std::bitset<64> regs,
+                      std::bitset<4> preds, bool report) {
+    const BasicBlock& bb = cfg.blocks()[b];
+    for (std::uint32_t i = bb.begin; i < bb.end; ++i) {
+      const Instruction& inst = code[i];
+      if (report) {
+        for (int r : ReadsOf(inst).regs) {
+          if (!regs.test(static_cast<std::size_t>(r))) {
+            add(LintSeverity::kWarning, i,
+                ::gpustl::Format("W2: R%d may be read before any write", r));
+            regs.set(static_cast<std::size_t>(r));  // report once
+          }
+        }
+        if (inst.predicated && !preds.test(inst.pred_reg)) {
+          add(LintSeverity::kWarning, i,
+              ::gpustl::Format("W2: P%d guard may be read before any SETP",
+                     static_cast<int>(inst.pred_reg)));
+          preds.set(inst.pred_reg);
+        }
+      }
+      // Predicated writes are not definite.
+      if (!inst.predicated) {
+        if (inst.info().writes_reg && !inst.info().writes_memory) {
+          regs.set(inst.dst);
+        }
+        if (inst.info().writes_pred) preds.set(inst.dst);
+      }
+    }
+    return std::pair{regs, preds};
+  };
+
+  // Two fixed-point rounds then one reporting pass (loops converge fast on
+  // the intersection lattice).
+  for (int round = 0; round < 3; ++round) {
+    const bool report = round == 2;
+    for (std::uint32_t b = 0; b < nblocks; ++b) {
+      if (!reachable_block[b]) continue;
+      std::bitset<64> in_regs;
+      std::bitset<4> in_preds;
+      bool first = true;
+      for (std::uint32_t p : cfg.blocks()[b].preds) {
+        if (!reachable_block[p] || !computed[p]) continue;
+        if (first) {
+          in_regs = out_regs[p];
+          in_preds = out_preds[p];
+          first = false;
+        } else {
+          in_regs &= out_regs[p];
+          in_preds &= out_preds[p];
+        }
+      }
+      if (b == 0) {
+        in_regs.reset();
+        in_preds.reset();
+      }
+      const auto [r, q] = transfer(b, in_regs, in_preds, report);
+      out_regs[b] = r;
+      out_preds[b] = q;
+      computed[b] = true;
+    }
+  }
+
+  // --- Global read sets (W3, W4, W5) ---
+  std::bitset<64> ever_read;
+  std::bitset<4> pred_ever_written;
+  for (const Instruction& inst : code) {
+    for (int r : ReadsOf(inst).regs) ever_read.set(static_cast<std::size_t>(r));
+    if (inst.info().writes_pred) pred_ever_written.set(inst.dst);
+  }
+  std::bitset<4> pred_reported;
+  for (std::uint32_t i = 0; i < code.size(); ++i) {
+    const Instruction& inst = code[i];
+    if (inst.predicated && !pred_ever_written.test(inst.pred_reg) &&
+        !pred_reported.test(inst.pred_reg)) {
+      add(LintSeverity::kWarning, i,
+          ::gpustl::Format("W3: P%d is consumed but no SETP ever writes it",
+                 static_cast<int>(inst.pred_reg)));
+      pred_reported.set(inst.pred_reg);
+    }
+    if (inst.info().writes_reg && !inst.info().writes_memory &&
+        !ever_read.test(inst.dst)) {
+      add(LintSeverity::kWarning, i,
+          ::gpustl::Format("W4: R%d is written here but never read", inst.dst));
+    }
+    if (inst.info().format == Format::kMem) {
+      bool addr_written = false;
+      for (const Instruction& other : code) {
+        if (other.info().writes_reg && !other.info().writes_memory &&
+            other.dst == inst.src_a) {
+          addr_written = true;
+          break;
+        }
+      }
+      if (!addr_written) {
+        add(LintSeverity::kWarning, i,
+            ::gpustl::Format("W5: address register R%d is never written "
+                   "(effective address is the literal offset)",
+                   inst.src_a));
+      }
+    }
+  }
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const LintFinding& a, const LintFinding& b) {
+                     return a.instr < b.instr;
+                   });
+  return findings;
+}
+
+std::string FormatFindings(const std::vector<LintFinding>& findings) {
+  std::string out;
+  for (const LintFinding& f : findings) {
+    out += ::gpustl::Format("%u: %s: %s\n", f.instr,
+                  f.severity == LintSeverity::kError ? "error" : "warning",
+                  f.message.c_str());
+  }
+  return out;
+}
+
+}  // namespace gpustl::isa

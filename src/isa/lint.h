@@ -1,0 +1,43 @@
+// Static PTP checks beyond Program::Validate(): the structural hygiene an
+// STL maintainer wants before shipping a test program (or after compacting
+// one). Pure analysis — no execution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace gpustl::isa {
+
+enum class LintSeverity { kWarning, kError };
+
+struct LintFinding {
+  LintSeverity severity = LintSeverity::kWarning;
+  std::uint32_t instr = 0;  // instruction index the finding anchors to
+  std::string message;
+
+  bool operator==(const LintFinding&) const = default;
+};
+
+/// Runs all checks; findings are ordered by instruction index.
+///
+/// Errors:
+///  * E1: control can fall off the end of the program (a reachable path
+///        reaches the last instruction without EXIT/RET/backward BRA).
+///
+/// Warnings:
+///  * W1: unreachable instructions (on no CFG path from the entry);
+///  * W2: register read before any possible write (registers reset to 0,
+///        so this is legal but usually a generator bug);
+///  * W3: predicate guard consumed but never produced by any SETP;
+///  * W4: register written but never read anywhere (dead code — the
+///        compactor's prime food);
+///  * W5: memory access whose address register is never written (the
+///        effective address is just the literal offset).
+std::vector<LintFinding> Lint(const Program& prog);
+
+/// Renders findings as "index: severity: message" lines.
+std::string FormatFindings(const std::vector<LintFinding>& findings);
+
+}  // namespace gpustl::isa

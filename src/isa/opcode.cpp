@@ -1,0 +1,120 @@
+#include "isa/opcode.h"
+
+#include <array>
+
+#include "common/error.h"
+#include "common/strutil.h"
+
+namespace gpustl::isa {
+namespace {
+
+constexpr int kAluLat = 1;
+constexpr int kFpLat = 2;
+constexpr int kSfuLat = 4;
+constexpr int kMemLat = 8;
+constexpr int kCtlLat = 2;
+
+// Indexed by Opcode. Keep in the exact enum order.
+constexpr std::array<OpcodeInfo, kNumOpcodes> kInfo = {{
+    // mnemonic, unit, format, wr, wp, rm, wm, br, lat
+    {"IADD", ExecUnit::kSpInt, Format::kRRR, true, false, false, false, false, kAluLat},
+    {"ISUB", ExecUnit::kSpInt, Format::kRRR, true, false, false, false, false, kAluLat},
+    {"IMUL", ExecUnit::kSpInt, Format::kRRR, true, false, false, false, false, kAluLat + 1},
+    {"IMAD", ExecUnit::kSpInt, Format::kRRR, true, false, false, false, false, kAluLat + 1},
+    {"IMIN", ExecUnit::kSpInt, Format::kRRR, true, false, false, false, false, kAluLat},
+    {"IMAX", ExecUnit::kSpInt, Format::kRRR, true, false, false, false, false, kAluLat},
+    {"IABS", ExecUnit::kSpInt, Format::kRR, true, false, false, false, false, kAluLat},
+    {"INEG", ExecUnit::kSpInt, Format::kRR, true, false, false, false, false, kAluLat},
+    {"IADD32I", ExecUnit::kSpInt, Format::kRRI, true, false, false, false, false, kAluLat},
+    {"AND", ExecUnit::kSpInt, Format::kRRR, true, false, false, false, false, kAluLat},
+    {"OR", ExecUnit::kSpInt, Format::kRRR, true, false, false, false, false, kAluLat},
+    {"XOR", ExecUnit::kSpInt, Format::kRRR, true, false, false, false, false, kAluLat},
+    {"NOT", ExecUnit::kSpInt, Format::kRR, true, false, false, false, false, kAluLat},
+    {"SHL", ExecUnit::kSpInt, Format::kRRR, true, false, false, false, false, kAluLat},
+    {"SHR", ExecUnit::kSpInt, Format::kRRR, true, false, false, false, false, kAluLat},
+    {"SAR", ExecUnit::kSpInt, Format::kRRR, true, false, false, false, false, kAluLat},
+    {"ISETP", ExecUnit::kSpInt, Format::kSetp, false, true, false, false, false, kAluLat},
+    {"FSETP", ExecUnit::kSpFp, Format::kSetp, false, true, false, false, false, kFpLat},
+    {"SEL", ExecUnit::kSpInt, Format::kRRR, true, false, false, false, false, kAluLat},
+    {"FADD", ExecUnit::kSpFp, Format::kRRR, true, false, false, false, false, kFpLat},
+    {"FMUL", ExecUnit::kSpFp, Format::kRRR, true, false, false, false, false, kFpLat},
+    {"FFMA", ExecUnit::kSpFp, Format::kRRR, true, false, false, false, false, kFpLat + 1},
+    {"FMIN", ExecUnit::kSpFp, Format::kRRR, true, false, false, false, false, kFpLat},
+    {"FMAX", ExecUnit::kSpFp, Format::kRRR, true, false, false, false, false, kFpLat},
+    {"FABS", ExecUnit::kSpFp, Format::kRR, true, false, false, false, false, kFpLat},
+    {"FNEG", ExecUnit::kSpFp, Format::kRR, true, false, false, false, false, kFpLat},
+    {"F2I", ExecUnit::kSpFp, Format::kRR, true, false, false, false, false, kFpLat},
+    {"I2F", ExecUnit::kSpFp, Format::kRR, true, false, false, false, false, kFpLat},
+    {"RCP", ExecUnit::kSfu, Format::kRR, true, false, false, false, false, kSfuLat},
+    {"RSQ", ExecUnit::kSfu, Format::kRR, true, false, false, false, false, kSfuLat},
+    {"SIN", ExecUnit::kSfu, Format::kRR, true, false, false, false, false, kSfuLat},
+    {"COS", ExecUnit::kSfu, Format::kRR, true, false, false, false, false, kSfuLat},
+    {"LG2", ExecUnit::kSfu, Format::kRR, true, false, false, false, false, kSfuLat},
+    {"EX2", ExecUnit::kSfu, Format::kRR, true, false, false, false, false, kSfuLat},
+    {"MOV", ExecUnit::kSpInt, Format::kRR, true, false, false, false, false, kAluLat},
+    {"MOV32I", ExecUnit::kSpInt, Format::kRI, true, false, false, false, false, kAluLat},
+    {"S2R", ExecUnit::kSpInt, Format::kRI, true, false, false, false, false, kAluLat},
+    {"LDG", ExecUnit::kMem, Format::kMem, true, false, true, false, false, kMemLat},
+    {"STG", ExecUnit::kMem, Format::kMem, false, false, false, true, false, kMemLat},
+    {"LDS", ExecUnit::kMem, Format::kMem, true, false, true, false, false, kMemLat / 2},
+    {"STS", ExecUnit::kMem, Format::kMem, false, false, false, true, false, kMemLat / 2},
+    {"LDC", ExecUnit::kMem, Format::kMem, true, false, true, false, false, kMemLat / 2},
+    {"LDL", ExecUnit::kMem, Format::kMem, true, false, true, false, false, kMemLat},
+    {"STL", ExecUnit::kMem, Format::kMem, false, false, false, true, false, kMemLat},
+    {"BRA", ExecUnit::kControl, Format::kBranch, false, false, false, false, true, kCtlLat},
+    {"CAL", ExecUnit::kControl, Format::kBranch, false, false, false, false, true, kCtlLat},
+    {"RET", ExecUnit::kControl, Format::kPlain, false, false, false, false, true, kCtlLat},
+    {"EXIT", ExecUnit::kControl, Format::kPlain, false, false, false, false, true, kCtlLat},
+    {"SSY", ExecUnit::kControl, Format::kBranch, false, false, false, false, false, kCtlLat},
+    {"SYNC", ExecUnit::kControl, Format::kPlain, false, false, false, false, true, kCtlLat},
+    {"BAR", ExecUnit::kControl, Format::kPlain, false, false, false, false, false, kCtlLat},
+    {"NOP", ExecUnit::kControl, Format::kPlain, false, false, false, false, false, 1},
+}};
+
+constexpr std::array<std::string_view, 6> kCmpNames = {"LT", "LE", "GT",
+                                                       "GE", "EQ", "NE"};
+constexpr std::array<std::string_view, 6> kSpecialNames = {
+    "SR_TID", "SR_CTAID", "SR_NTID", "SR_NCTAID", "SR_LANEID", "SR_WARPID"};
+
+}  // namespace
+
+const OpcodeInfo& GetOpcodeInfo(Opcode op) {
+  const auto idx = static_cast<std::size_t>(op);
+  GPUSTL_ASSERT(idx < kInfo.size(), "opcode out of range");
+  return kInfo[idx];
+}
+
+std::optional<Opcode> OpcodeFromMnemonic(std::string_view mnemonic) {
+  const std::string upper = ToUpper(mnemonic);
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    if (kInfo[static_cast<std::size_t>(i)].mnemonic == upper)
+      return static_cast<Opcode>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<CmpOp> CmpOpFromName(std::string_view name) {
+  const std::string upper = ToUpper(name);
+  for (std::size_t i = 0; i < kCmpNames.size(); ++i) {
+    if (kCmpNames[i] == upper) return static_cast<CmpOp>(i);
+  }
+  return std::nullopt;
+}
+
+std::string_view CmpOpName(CmpOp op) {
+  return kCmpNames[static_cast<std::size_t>(op)];
+}
+
+std::string_view SpecialRegName(SpecialReg sr) {
+  return kSpecialNames[static_cast<std::size_t>(sr)];
+}
+
+std::optional<SpecialReg> SpecialRegFromName(std::string_view name) {
+  const std::string upper = ToUpper(name);
+  for (std::size_t i = 0; i < kSpecialNames.size(); ++i) {
+    if (kSpecialNames[i] == upper) return static_cast<SpecialReg>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace gpustl::isa

@@ -1,0 +1,149 @@
+// SASS-like instruction-set definition for the FlexGripPlus-style GPU model.
+//
+// FlexGripPlus supports 52 assembly instructions of the NVIDIA G80 SASS
+// (Streaming ASSembler) language. This module defines an open 52-opcode
+// instruction set with the same structure: integer/logic ALU ops executed by
+// the SP cores, FP32 ops, transcendental ops executed by the SFUs, memory
+// accesses over the GPU memory spaces, and SIMT control flow.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace gpustl::isa {
+
+/// All 52 opcodes of the modelled SASS subset.
+enum class Opcode : std::uint8_t {
+  // Integer ALU (SP cores).
+  IADD,
+  ISUB,
+  IMUL,
+  IMAD,
+  IMIN,
+  IMAX,
+  IABS,
+  INEG,
+  IADD32I,
+  // Logic / shift (SP cores).
+  AND,
+  OR,
+  XOR,
+  NOT,
+  SHL,
+  SHR,
+  SAR,
+  // Compare / select.
+  ISETP,
+  FSETP,
+  SEL,
+  // FP32 (SP FPU lanes).
+  FADD,
+  FMUL,
+  FFMA,
+  FMIN,
+  FMAX,
+  FABS,
+  FNEG,
+  F2I,
+  I2F,
+  // Transcendental (SFU).
+  RCP,
+  RSQ,
+  SIN,
+  COS,
+  LG2,
+  EX2,
+  // Moves / special registers.
+  MOV,
+  MOV32I,
+  S2R,
+  // Memory.
+  LDG,  // load global
+  STG,  // store global
+  LDS,  // load shared
+  STS,  // store shared
+  LDC,  // load constant
+  LDL,  // load local
+  STL,  // store local
+  // Control flow / synchronization.
+  BRA,
+  CAL,
+  RET,
+  EXIT,
+  SSY,
+  SYNC,
+  BAR,
+  NOP,
+
+  kCount,
+};
+
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kCount);
+static_assert(kNumOpcodes == 52, "FlexGripPlus models 52 SASS instructions");
+
+/// Functional unit that executes an opcode; drives which gate-level module
+/// sees the instruction's operands as test patterns.
+enum class ExecUnit : std::uint8_t {
+  kSpInt,   // SP core integer/logic datapath
+  kSpFp,    // SP core FP32 datapath
+  kSfu,     // special function unit
+  kMem,     // load/store unit
+  kControl, // branch/sync handled by the SM controller
+};
+
+/// Operand-format class used by the encoder and the pseudorandom generators.
+enum class Format : std::uint8_t {
+  kRRR,    // dst, srcA, srcB (optionally srcC for IMAD/FFMA/SEL)
+  kRRI,    // dst, srcA, imm32
+  kRI,     // dst, imm32 (MOV32I, S2R)
+  kRR,     // dst, srcA (unary)
+  kSetp,   // pred dst, srcA, srcB-or-imm, cmp-op
+  kMem,    // reg, [addrReg + offset]
+  kBranch, // target (BRA/CAL/SSY)
+  kPlain,  // no operands (RET/EXIT/SYNC/BAR/NOP)
+};
+
+/// Comparison operator for ISETP/FSETP (3-bit subfield of the encoding).
+enum class CmpOp : std::uint8_t { kLT, kLE, kGT, kGE, kEQ, kNE };
+
+/// Special registers readable via S2R (selector in the immediate field).
+enum class SpecialReg : std::uint8_t {
+  kTid,     // thread index within the block
+  kCtaid,   // block index
+  kNtid,    // threads per block
+  kNctaid,  // number of blocks
+  kLaneid,  // lane within the warp
+  kWarpid,  // warp index within the block
+};
+
+/// Static per-opcode properties.
+struct OpcodeInfo {
+  std::string_view mnemonic;
+  ExecUnit unit;
+  Format format;
+  bool writes_reg;      // produces a general-register result
+  bool writes_pred;     // produces a predicate result
+  bool reads_memory;
+  bool writes_memory;
+  bool is_branch;       // may redirect control flow
+  int latency;          // execute-stage cycles in the SM timing model
+};
+
+/// Property lookup; valid for every opcode < kCount.
+const OpcodeInfo& GetOpcodeInfo(Opcode op);
+
+/// Mnemonic → opcode (case-insensitive). nullopt if unknown.
+std::optional<Opcode> OpcodeFromMnemonic(std::string_view mnemonic);
+
+/// Cmp-op suffix ("LT", "GE", ...) → CmpOp. nullopt if unknown.
+std::optional<CmpOp> CmpOpFromName(std::string_view name);
+
+/// CmpOp → suffix string.
+std::string_view CmpOpName(CmpOp op);
+
+/// SpecialReg → "SR_TID"-style name, and back.
+std::string_view SpecialRegName(SpecialReg sr);
+std::optional<SpecialReg> SpecialRegFromName(std::string_view name);
+
+}  // namespace gpustl::isa

@@ -1,0 +1,72 @@
+#include "isa/program.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace gpustl::isa {
+
+std::size_t Program::Append(const Instruction& inst) {
+  code_.push_back(inst);
+  return code_.size() - 1;
+}
+
+std::size_t Program::DataWords() const {
+  std::size_t total = 0;
+  for (const auto& seg : data_) total += seg.words.size();
+  return total;
+}
+
+Program Program::RemoveInstructions(
+    const std::vector<std::size_t>& remove) const {
+  // Build old-index -> new-index map; removed slots map to the next
+  // surviving instruction (or one-past-the-end).
+  std::vector<bool> removed(code_.size(), false);
+  for (std::size_t idx : remove) {
+    GPUSTL_ASSERT(idx < code_.size(), "remove index out of range");
+    removed[idx] = true;
+  }
+
+  std::vector<std::uint32_t> new_index(code_.size() + 1, 0);
+  std::uint32_t next = 0;
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    new_index[i] = next;
+    if (!removed[i]) ++next;
+  }
+  new_index[code_.size()] = next;
+
+  Program out(name_);
+  out.config_ = config_;
+  out.data_ = data_;
+  out.code_.reserve(next);
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    if (removed[i]) continue;
+    Instruction inst = code_[i];
+    if (inst.info().format == Format::kBranch) {
+      const std::size_t old_target = std::min<std::size_t>(inst.imm, code_.size());
+      inst.imm = new_index[old_target];
+    }
+    out.code_.push_back(inst);
+  }
+  return out;
+}
+
+void Program::Validate() const {
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    const Instruction& inst = code_[i];
+    const OpcodeInfo& info = inst.info();
+    if (info.format == Format::kBranch && inst.imm > code_.size()) {
+      throw AsmError("instruction " + std::to_string(i) +
+                     ": branch target out of range");
+    }
+    if (info.writes_pred && inst.dst >= kNumPredRegs) {
+      throw AsmError("instruction " + std::to_string(i) +
+                     ": predicate destination out of range");
+    }
+  }
+  if (config_.blocks <= 0 || config_.threads_per_block <= 0) {
+    throw AsmError("kernel configuration must be positive");
+  }
+}
+
+}  // namespace gpustl::isa

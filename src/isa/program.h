@@ -1,0 +1,85 @@
+// A Parallel Test Program (PTP): instructions + kernel launch configuration
+// + global-memory input data. This is the unit the compaction method
+// operates on (the paper's "PTP" within an STL).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace gpustl::isa {
+
+/// Kernel launch configuration (grid shape, 1-D as in FlexGripPlus).
+struct KernelConfig {
+  int blocks = 1;
+  int threads_per_block = 32;
+
+  int warps_per_block() const { return (threads_per_block + 31) / 32; }
+  int total_threads() const { return blocks * threads_per_block; }
+
+  bool operator==(const KernelConfig&) const = default;
+};
+
+/// One global-memory initializer: `words` are written starting at `addr`
+/// (byte address, word-aligned) before the kernel launches.
+struct DataSegment {
+  std::uint32_t addr = 0;
+  std::vector<std::uint32_t> words;
+
+  bool operator==(const DataSegment&) const = default;
+};
+
+/// A complete PTP.
+///
+/// Branch targets inside `code` are absolute instruction indices, so removing
+/// instructions requires retargeting — the compactor's reassembly stage does
+/// this via `Program::RemoveInstructions`.
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  KernelConfig& config() { return config_; }
+  const KernelConfig& config() const { return config_; }
+
+  std::vector<Instruction>& code() { return code_; }
+  const std::vector<Instruction>& code() const { return code_; }
+
+  std::vector<DataSegment>& data() { return data_; }
+  const std::vector<DataSegment>& data() const { return data_; }
+
+  std::size_t size() const { return code_.size(); }
+
+  /// Appends an instruction; returns its index (useful for branch fixups).
+  std::size_t Append(const Instruction& inst);
+
+  /// Total bytes of initialized global-memory input data.
+  std::size_t DataWords() const;
+
+  /// Returns a copy with the instructions at the (sorted, unique) indices in
+  /// `remove` deleted and every branch/SSY target retargeted to the new
+  /// index of its destination. If a removed instruction is itself a branch
+  /// target, surviving branches are redirected to the next surviving
+  /// instruction at or after the old target.
+  Program RemoveInstructions(const std::vector<std::size_t>& remove) const;
+
+  /// Checks structural sanity: branch targets in range, SETP predicate
+  /// destinations valid. Throws AsmError on violation.
+  void Validate() const;
+
+  bool operator==(const Program&) const = default;
+
+ private:
+  std::string name_;
+  KernelConfig config_;
+  std::vector<Instruction> code_;
+  std::vector<DataSegment> data_;
+};
+
+}  // namespace gpustl::isa

@@ -1,0 +1,115 @@
+#include "netlist/cell.h"
+
+#include "common/error.h"
+
+namespace gpustl::netlist {
+
+int CellFaninCount(CellType type) {
+  switch (type) {
+    case CellType::kInput:
+    case CellType::kConst0:
+    case CellType::kConst1:
+      return 0;
+    case CellType::kBuf:
+    case CellType::kInv:
+    case CellType::kDff:
+      return 1;
+    case CellType::kAnd2:
+    case CellType::kOr2:
+    case CellType::kNand2:
+    case CellType::kNor2:
+    case CellType::kXor2:
+    case CellType::kXnor2:
+      return 2;
+    case CellType::kAnd3:
+    case CellType::kOr3:
+    case CellType::kNand3:
+    case CellType::kNor3:
+    case CellType::kMux2:
+    case CellType::kAoi21:
+    case CellType::kOai21:
+      return 3;
+    case CellType::kAnd4:
+    case CellType::kOr4:
+    case CellType::kNand4:
+    case CellType::kNor4:
+    case CellType::kAoi22:
+    case CellType::kOai22:
+      return 4;
+    case CellType::kCount:
+      break;
+  }
+  throw Error("invalid cell type");
+}
+
+std::string_view CellName(CellType type) {
+  switch (type) {
+    case CellType::kInput: return "PI";
+    case CellType::kConst0: return "TIELO";
+    case CellType::kConst1: return "TIEHI";
+    case CellType::kBuf: return "BUF_X1";
+    case CellType::kInv: return "INV_X1";
+    case CellType::kAnd2: return "AND2_X1";
+    case CellType::kAnd3: return "AND3_X1";
+    case CellType::kAnd4: return "AND4_X1";
+    case CellType::kOr2: return "OR2_X1";
+    case CellType::kOr3: return "OR3_X1";
+    case CellType::kOr4: return "OR4_X1";
+    case CellType::kNand2: return "NAND2_X1";
+    case CellType::kNand3: return "NAND3_X1";
+    case CellType::kNand4: return "NAND4_X1";
+    case CellType::kNor2: return "NOR2_X1";
+    case CellType::kNor3: return "NOR3_X1";
+    case CellType::kNor4: return "NOR4_X1";
+    case CellType::kXor2: return "XOR2_X1";
+    case CellType::kXnor2: return "XNOR2_X1";
+    case CellType::kMux2: return "MUX2_X1";
+    case CellType::kAoi21: return "AOI21_X1";
+    case CellType::kAoi22: return "AOI22_X1";
+    case CellType::kOai21: return "OAI21_X1";
+    case CellType::kOai22: return "OAI22_X1";
+    case CellType::kDff: return "DFF_X1";
+    case CellType::kCount: break;
+  }
+  throw Error("invalid cell type");
+}
+
+std::uint64_t EvalCell(CellType type, const std::uint64_t* in) {
+  switch (type) {
+    case CellType::kConst0: return 0;
+    case CellType::kConst1: return ~0ull;
+    case CellType::kBuf: return in[0];
+    case CellType::kInv: return ~in[0];
+    case CellType::kAnd2: return in[0] & in[1];
+    case CellType::kAnd3: return in[0] & in[1] & in[2];
+    case CellType::kAnd4: return in[0] & in[1] & in[2] & in[3];
+    case CellType::kOr2: return in[0] | in[1];
+    case CellType::kOr3: return in[0] | in[1] | in[2];
+    case CellType::kOr4: return in[0] | in[1] | in[2] | in[3];
+    case CellType::kNand2: return ~(in[0] & in[1]);
+    case CellType::kNand3: return ~(in[0] & in[1] & in[2]);
+    case CellType::kNand4: return ~(in[0] & in[1] & in[2] & in[3]);
+    case CellType::kNor2: return ~(in[0] | in[1]);
+    case CellType::kNor3: return ~(in[0] | in[1] | in[2]);
+    case CellType::kNor4: return ~(in[0] | in[1] | in[2] | in[3]);
+    case CellType::kXor2: return in[0] ^ in[1];
+    case CellType::kXnor2: return ~(in[0] ^ in[1]);
+    case CellType::kMux2: return (in[2] & in[1]) | (~in[2] & in[0]);
+    case CellType::kAoi21: return ~((in[0] & in[1]) | in[2]);
+    case CellType::kAoi22: return ~((in[0] & in[1]) | (in[2] & in[3]));
+    case CellType::kOai21: return ~((in[0] | in[1]) & in[2]);
+    case CellType::kOai22: return ~((in[0] | in[1]) & (in[2] | in[3]));
+    case CellType::kInput:
+    case CellType::kDff:
+    case CellType::kCount:
+      break;
+  }
+  throw Error("EvalCell: cell has no combinational function");
+}
+
+bool IsCombinational(CellType type) {
+  return type != CellType::kInput && type != CellType::kDff &&
+         type != CellType::kCount;
+}
+
+}  // namespace gpustl::netlist

@@ -1,0 +1,57 @@
+// Standard-cell library for the gate-level modules.
+//
+// Mirrors the combinational subset of the Nangate 15 nm OpenCell library the
+// paper synthesized with: inverters/buffers, 2-4 input NAND/NOR/AND/OR, XOR/
+// XNOR, 2:1 mux, AOI/OAI complex gates, plus DFF for sequential modules and
+// constant/input pseudo-cells used by the netlist representation.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace gpustl::netlist {
+
+enum class CellType : std::uint8_t {
+  kInput,   // primary input pseudo-cell (no fanin)
+  kConst0,  // constant 0 driver
+  kConst1,  // constant 1 driver
+  kBuf,
+  kInv,
+  kAnd2,
+  kAnd3,
+  kAnd4,
+  kOr2,
+  kOr3,
+  kOr4,
+  kNand2,
+  kNand3,
+  kNand4,
+  kNor2,
+  kNor3,
+  kNor4,
+  kXor2,
+  kXnor2,
+  kMux2,   // fanin: {a, b, sel}; out = sel ? b : a
+  kAoi21,  // !((a & b) | c)
+  kAoi22,  // !((a & b) | (c & d))
+  kOai21,  // !((a | b) & c)
+  kOai22,  // !((a | b) & (c | d))
+  kDff,    // fanin: {d}; q updates on Step()
+
+  kCount,
+};
+
+/// Number of fanin pins for a cell type.
+int CellFaninCount(CellType type);
+
+/// Library cell name ("NAND2_X1"-style, Nangate naming convention).
+std::string_view CellName(CellType type);
+
+/// Bit-parallel evaluation: each input word carries 64 patterns.
+/// `in` must have CellFaninCount(type) entries. Not valid for kInput/kDff.
+std::uint64_t EvalCell(CellType type, const std::uint64_t* in);
+
+/// True for types that drive their output combinationally from fanins.
+bool IsCombinational(CellType type);
+
+}  // namespace gpustl::netlist

@@ -1,0 +1,92 @@
+#include "netlist/logicsim.h"
+
+#include "common/error.h"
+
+namespace gpustl::netlist {
+
+BitSimulator::BitSimulator(const Netlist& nl) : nl_(&nl) {
+  GPUSTL_ASSERT(nl.frozen(), "netlist must be frozen before simulation");
+  values_.assign(nl.gate_count(), 0);
+}
+
+int BitSimulator::LoadBlock(const PatternSet& patterns, std::size_t first) {
+  GPUSTL_ASSERT(patterns.width() == static_cast<int>(nl_->num_inputs()),
+                "pattern width != netlist input count");
+  if (first >= patterns.size()) return 0;
+  const int count =
+      static_cast<int>(std::min<std::size_t>(64, patterns.size() - first));
+
+  // Transpose: bit i of pattern row -> bit (p-first) of input word i.
+  const std::size_t n_inputs = nl_->num_inputs();
+  for (std::size_t i = 0; i < n_inputs; ++i) values_[nl_->inputs()[i]] = 0;
+  for (int p = 0; p < count; ++p) {
+    const std::uint64_t* row = patterns.Row(first + static_cast<std::size_t>(p));
+    for (std::size_t i = 0; i < n_inputs; ++i) {
+      const std::uint64_t bit = (row[i / 64] >> (i % 64)) & 1;
+      values_[nl_->inputs()[i]] |= bit << p;
+    }
+  }
+  return count;
+}
+
+void BitSimulator::SetInputWord(std::size_t input_index, std::uint64_t word) {
+  GPUSTL_ASSERT(input_index < nl_->num_inputs(), "input index out of range");
+  values_[nl_->inputs()[input_index]] = word;
+}
+
+void BitSimulator::Eval() {
+  const auto& gates = nl_->gates();
+  std::uint64_t in[kMaxFanin];
+  for (NetId id : nl_->topo_order()) {
+    const Gate& g = gates[id];
+    const int n = g.fanin_count();
+    for (int i = 0; i < n; ++i) in[i] = values_[g.fanin[i]];
+    values_[id] = EvalCell(g.type, in);
+  }
+}
+
+void BitSimulator::Step() {
+  // Two-phase update so DFF-to-DFF paths see pre-edge values.
+  std::vector<std::uint64_t> next;
+  next.reserve(nl_->dffs().size());
+  for (NetId id : nl_->dffs()) next.push_back(values_[nl_->gate(id).fanin[0]]);
+  std::size_t k = 0;
+  for (NetId id : nl_->dffs()) values_[id] = next[k++];
+}
+
+std::vector<std::uint64_t> SimulateAll(const Netlist& nl,
+                                       const PatternSet& patterns) {
+  GPUSTL_ASSERT(nl.num_outputs() <= 64, "SimulateAll needs <= 64 outputs");
+  std::vector<std::uint64_t> out;
+  out.reserve(patterns.size());
+  BitSimulator sim(nl);
+  for (std::size_t first = 0; first < patterns.size(); first += 64) {
+    const int count = sim.LoadBlock(patterns, first);
+    sim.Eval();
+    for (int p = 0; p < count; ++p) {
+      std::uint64_t packed = 0;
+      for (std::size_t o = 0; o < nl.num_outputs(); ++o) {
+        packed |= ((sim.OutputWord(o) >> p) & 1) << o;
+      }
+      out.push_back(packed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t SimulateOne(const Netlist& nl, const std::uint64_t* input_words) {
+  GPUSTL_ASSERT(nl.num_outputs() <= 64, "SimulateOne needs <= 64 outputs");
+  BitSimulator sim(nl);
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+    const std::uint64_t bit = (input_words[i / 64] >> (i % 64)) & 1;
+    sim.SetInputWord(i, bit ? ~0ull : 0ull);
+  }
+  sim.Eval();
+  std::uint64_t packed = 0;
+  for (std::size_t o = 0; o < nl.num_outputs(); ++o) {
+    packed |= (sim.OutputWord(o) & 1) << o;
+  }
+  return packed;
+}
+
+}  // namespace gpustl::netlist

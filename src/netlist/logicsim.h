@@ -1,0 +1,66 @@
+// Bit-parallel (64 patterns per machine word) levelized logic simulation.
+//
+// This is the workhorse under both the gate-level "logic tracing" simulation
+// of stage 2 and the good-machine half of the PPSFP fault simulator of
+// stage 3. Patterns are simulated in blocks of 64: every net holds one
+// 64-bit word whose bit j is the net's value under pattern (block*64 + j).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "netlist/patterns.h"
+
+namespace gpustl::netlist {
+
+/// Evaluates a frozen netlist over pattern blocks.
+class BitSimulator {
+ public:
+  explicit BitSimulator(const Netlist& nl);
+
+  const Netlist& netlist() const { return *nl_; }
+
+  /// Loads up to 64 patterns starting at `first` from `patterns` into the
+  /// primary-input words (pattern k of the set maps to bit k-first).
+  /// Returns the number of patterns loaded (0 if first >= size).
+  int LoadBlock(const PatternSet& patterns, std::size_t first);
+
+  /// Sets input net words directly (for single-vector use: all-ones /
+  /// all-zeros words replicate one pattern across all 64 lanes).
+  void SetInputWord(std::size_t input_index, std::uint64_t word);
+
+  /// Evaluates all combinational gates in topological order.
+  void Eval();
+
+  /// Clocks all DFFs: q <- d. Call after Eval() for sequential stepping.
+  void Step();
+
+  /// Word value of any net after Eval().
+  std::uint64_t Value(NetId net) const { return values_[net]; }
+
+  /// Word value of primary output `o`.
+  std::uint64_t OutputWord(std::size_t o) const {
+    return values_[nl_->outputs()[o]];
+  }
+
+  /// Mutable access for fault injection machinery.
+  std::vector<std::uint64_t>& values() { return values_; }
+  const std::vector<std::uint64_t>& values() const { return values_; }
+
+ private:
+  const Netlist* nl_;
+  std::vector<std::uint64_t> values_;
+};
+
+/// Convenience: simulate every pattern and return, per pattern, the packed
+/// output vector (bit i = output i; requires <= 64 outputs... outputs wider
+/// than 64 raise an error). Used by tests and the circuits' reference checks.
+std::vector<std::uint64_t> SimulateAll(const Netlist& nl,
+                                       const PatternSet& patterns);
+
+/// Single-pattern evaluation helper: applies `input_bits` (bit i = input i,
+/// must fit the input count) and returns packed outputs. For quick checks.
+std::uint64_t SimulateOne(const Netlist& nl, const std::uint64_t* input_words);
+
+}  // namespace gpustl::netlist

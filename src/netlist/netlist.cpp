@@ -1,0 +1,100 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace gpustl::netlist {
+
+NetId Netlist::AddInput(std::string name) {
+  GPUSTL_ASSERT(!frozen_, "netlist is frozen");
+  Gate g;
+  g.type = CellType::kInput;
+  gates_.push_back(g);
+  const NetId id = static_cast<NetId>(gates_.size() - 1);
+  inputs_.push_back(id);
+  input_names_.push_back(std::move(name));
+  return id;
+}
+
+NetId Netlist::AddGate(CellType type, std::initializer_list<NetId> fanin) {
+  return AddGate(type, std::vector<NetId>(fanin));
+}
+
+NetId Netlist::AddGate(CellType type, const std::vector<NetId>& fanin) {
+  GPUSTL_ASSERT(!frozen_, "netlist is frozen");
+  if (static_cast<int>(fanin.size()) != CellFaninCount(type)) {
+    throw NetlistError("gate " + std::string(CellName(type)) +
+                       " fanin arity mismatch");
+  }
+  Gate g;
+  g.type = type;
+  for (std::size_t i = 0; i < fanin.size(); ++i) {
+    if (fanin[i] >= gates_.size()) throw NetlistError("fanin net out of range");
+    g.fanin[i] = fanin[i];
+  }
+  gates_.push_back(g);
+  const NetId id = static_cast<NetId>(gates_.size() - 1);
+  if (type == CellType::kDff) dffs_.push_back(id);
+  return id;
+}
+
+void Netlist::MarkOutput(NetId net, std::string name) {
+  GPUSTL_ASSERT(!frozen_, "netlist is frozen");
+  if (net >= gates_.size()) throw NetlistError("output net out of range");
+  outputs_.push_back(net);
+  output_names_.push_back(std::move(name));
+}
+
+void Netlist::Freeze() {
+  GPUSTL_ASSERT(!frozen_, "netlist already frozen");
+  const std::size_t n = gates_.size();
+
+  // Because AddGate only accepts already-existing nets, gate ids are already
+  // a topological order of the combinational logic (DFF outputs act as
+  // sources). We still verify and build levels + fanout lists.
+  fanout_.assign(n, {});
+  level_.assign(n, 0);
+  topo_.clear();
+  topo_.reserve(n);
+  for (NetId id = 0; id < n; ++id) {
+    const Gate& g = gates_[id];
+    std::uint32_t lvl = 0;
+    for (int i = 0; i < g.fanin_count(); ++i) {
+      const NetId f = g.fanin[i];
+      if (f >= id && g.type != CellType::kDff) {
+        throw NetlistError("combinational cycle or forward reference");
+      }
+      if (f < n) {
+        fanout_[f].push_back(id);
+        if (g.type != CellType::kDff) lvl = std::max(lvl, level_[f] + 1);
+      }
+    }
+    level_[id] = lvl;
+    if (IsCombinational(g.type)) topo_.push_back(id);
+  }
+  frozen_ = true;
+}
+
+std::size_t Netlist::CountOfType(CellType type) const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(),
+                    [&](const Gate& g) { return g.type == type; }));
+}
+
+Bus AddInputBus(Netlist& nl, const std::string& name, int width) {
+  Bus bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    bus.push_back(nl.AddInput(name + "[" + std::to_string(i) + "]"));
+  }
+  return bus;
+}
+
+void MarkOutputBus(Netlist& nl, const Bus& bus, const std::string& name) {
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    nl.MarkOutput(bus[i], name + "[" + std::to_string(i) + "]");
+  }
+}
+
+}  // namespace gpustl::netlist

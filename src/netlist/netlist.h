@@ -1,0 +1,112 @@
+// Gate-level netlist graph.
+//
+// Representation: every gate drives exactly one net, and the net is
+// identified by the gate's id (an AIG-style "gate = net" structure). Primary
+// inputs are kInput pseudo-gates; primary outputs are a designated list of
+// net ids. This keeps the simulators cache-friendly and makes fault sites
+// (gate output / gate input pin) trivially addressable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/cell.h"
+
+namespace gpustl::netlist {
+
+using NetId = std::uint32_t;
+inline constexpr NetId kNoNet = UINT32_MAX;
+inline constexpr int kMaxFanin = 4;
+
+/// One gate instance; its output net id equals its index in the netlist.
+struct Gate {
+  CellType type = CellType::kInput;
+  std::array<NetId, kMaxFanin> fanin{kNoNet, kNoNet, kNoNet, kNoNet};
+
+  int fanin_count() const { return CellFaninCount(type); }
+};
+
+/// A named module netlist: gates, primary inputs, primary outputs.
+class Netlist {
+ public:
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  std::size_t gate_count() const { return gates_.size(); }
+  const Gate& gate(NetId id) const { return gates_[id]; }
+  const std::vector<Gate>& gates() const { return gates_; }
+
+  const std::vector<NetId>& inputs() const { return inputs_; }
+  const std::vector<NetId>& outputs() const { return outputs_; }
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+
+  /// Optional pin names for debugging / VCDE headers.
+  const std::string& input_name(std::size_t i) const { return input_names_[i]; }
+  const std::string& output_name(std::size_t i) const { return output_names_[i]; }
+
+  // --- construction ---
+
+  /// Adds a primary input; returns its net id.
+  NetId AddInput(std::string name);
+
+  /// Adds a gate over existing nets; returns its output net id.
+  NetId AddGate(CellType type, std::initializer_list<NetId> fanin);
+  NetId AddGate(CellType type, const std::vector<NetId>& fanin);
+
+  /// Marks an existing net as a primary output.
+  void MarkOutput(NetId net, std::string name);
+
+  /// Validates structure (fanin in range, acyclic through combinational
+  /// gates) and freezes the netlist: computes the topological evaluation
+  /// order and fanout lists. Must be called before simulation.
+  void Freeze();
+
+  bool frozen() const { return frozen_; }
+
+  /// Topological order over combinational gates (inputs and DFF outputs are
+  /// sources and do not appear; DFF data pins are consumed at Step time).
+  const std::vector<NetId>& topo_order() const { return topo_; }
+
+  /// Gates whose fanin includes `net` (used by the event-driven fault sim).
+  const std::vector<NetId>& fanout(NetId net) const { return fanout_[net]; }
+
+  /// Depth-levelized: level of each net (inputs at 0).
+  const std::vector<std::uint32_t>& levels() const { return level_; }
+
+  /// All DFF gate ids.
+  const std::vector<NetId>& dffs() const { return dffs_; }
+
+  /// Counts by type, for reporting.
+  std::size_t CountOfType(CellType type) const;
+
+ private:
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+  std::vector<std::string> input_names_;
+  std::vector<std::string> output_names_;
+  std::vector<NetId> dffs_;
+
+  bool frozen_ = false;
+  std::vector<NetId> topo_;
+  std::vector<std::vector<NetId>> fanout_;
+  std::vector<std::uint32_t> level_;
+};
+
+// --- Word-level construction helpers (used by the circuit builders) ---
+
+/// A bundle of nets representing a little-endian binary word.
+using Bus = std::vector<NetId>;
+
+/// Adds `width` primary inputs named "<name>[i]".
+Bus AddInputBus(Netlist& nl, const std::string& name, int width);
+
+/// Marks each net of `bus` as output "<name>[i]".
+void MarkOutputBus(Netlist& nl, const Bus& bus, const std::string& name);
+
+}  // namespace gpustl::netlist

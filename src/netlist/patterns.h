@@ -1,0 +1,72 @@
+// Test-pattern containers and the VCDE-style pattern report format.
+//
+// A PatternSet is the "test patterns report" of the paper's stage 2: the
+// per-clock-cycle binary input vectors that the executing PTP applies to the
+// target module, extracted by observing the module's I/O activity. Each
+// pattern carries the clock-cycle stamp it was captured at, which is what
+// lets stage 3 join fault detections back to instructions.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gpustl::netlist {
+
+/// An ordered set of equal-width binary input vectors with cc stamps.
+class PatternSet {
+ public:
+  PatternSet() = default;
+  explicit PatternSet(int width);
+
+  int width() const { return width_; }
+  std::size_t size() const { return ccs_.size(); }
+  bool empty() const { return ccs_.empty(); }
+
+  /// Words per pattern row.
+  std::size_t words_per_pattern() const {
+    return (static_cast<std::size_t>(width_) + 63) / 64;
+  }
+
+  /// Appends a pattern given as packed little-endian words (low bit of
+  /// words[0] = input 0). Extra high bits must be zero.
+  void Add(std::uint64_t cc, const std::uint64_t* words);
+
+  /// Appends a pattern of up to 64 bits.
+  void Add64(std::uint64_t cc, std::uint64_t bits);
+
+  /// Clock-cycle stamp of pattern `p`.
+  std::uint64_t cc(std::size_t p) const { return ccs_[p]; }
+
+  /// Bit `i` of pattern `p`.
+  bool Bit(std::size_t p, int i) const;
+
+  /// Packed words of pattern `p`.
+  const std::uint64_t* Row(std::size_t p) const;
+
+  /// Returns a copy with patterns in reverse order (the paper applies
+  /// SFU_IMM patterns in reverse during fault simulation).
+  PatternSet Reversed() const;
+
+  bool operator==(const PatternSet&) const = default;
+
+ private:
+  int width_ = 0;
+  std::vector<std::uint64_t> ccs_;
+  std::vector<std::uint64_t> bits_;  // size() * words_per_pattern()
+};
+
+/// Writes the VCDE-style text report:
+///   $vcde <module> width <W> patterns <N>
+///   <cc> <hex words, low word first>
+///   ...
+///   $end
+void WriteVcde(std::ostream& os, const std::string& module,
+               const PatternSet& patterns);
+
+/// Parses a VCDE-style report. Throws ReportError on malformed input.
+/// `module_out` receives the module name if non-null.
+PatternSet ReadVcde(std::istream& is, std::string* module_out = nullptr);
+
+}  // namespace gpustl::netlist

@@ -1,0 +1,90 @@
+#include "netlist/vcd.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace gpustl::netlist {
+namespace {
+
+/// VCD identifier alphabet: printable ASCII '!'..'~'.
+std::string VcdId(std::size_t index) {
+  std::string id;
+  do {
+    id += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(std::ostream& os, const Netlist& nl,
+                     std::vector<NetId> watch, std::vector<std::string> names)
+    : os_(&os), nl_(&nl), watch_(std::move(watch)) {
+  GPUSTL_ASSERT(names.empty() || names.size() == watch_.size(),
+                "vcd: names arity mismatch");
+  last_.assign(watch_.size(), -1);
+  ids_.reserve(watch_.size());
+
+  (*os_) << "$date gpustl $end\n$version gpustl vcd 1 $end\n"
+         << "$timescale 1ns $end\n"
+         << "$scope module " << nl_->name() << " $end\n";
+  for (std::size_t i = 0; i < watch_.size(); ++i) {
+    GPUSTL_ASSERT(watch_[i] < nl_->gate_count(), "vcd: net out of range");
+    ids_.push_back(VcdId(i));
+    const std::string name =
+        names.empty() ? "n" + std::to_string(watch_[i]) : names[i];
+    (*os_) << "$var wire 1 " << ids_[i] << " " << name << " $end\n";
+  }
+  (*os_) << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void VcdWriter::Sample(std::uint64_t time, const BitSimulator& sim, int lane) {
+  GPUSTL_ASSERT(lane >= 0 && lane < 64, "vcd: lane out of range");
+  bool stamped = false;
+  for (std::size_t i = 0; i < watch_.size(); ++i) {
+    const int value =
+        static_cast<int>((sim.Value(watch_[i]) >> lane) & 1);
+    if (value == last_[i]) continue;
+    if (!stamped) {
+      (*os_) << "#" << time << "\n";
+      stamped = true;
+    }
+    (*os_) << value << ids_[i] << "\n";
+    last_[i] = value;
+  }
+}
+
+void VcdWriter::Finish(std::uint64_t time) { (*os_) << "#" << time << "\n"; }
+
+std::string DumpVcd(const Netlist& nl, const PatternSet& patterns) {
+  std::vector<NetId> watch;
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+    watch.push_back(nl.inputs()[i]);
+    names.push_back(nl.input_name(i));
+  }
+  for (std::size_t o = 0; o < nl.num_outputs(); ++o) {
+    watch.push_back(nl.outputs()[o]);
+    names.push_back(nl.output_name(o));
+  }
+
+  std::ostringstream ss;
+  VcdWriter writer(ss, nl, std::move(watch), std::move(names));
+  BitSimulator sim(nl);
+  std::uint64_t last_cc = 0;
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const int count = sim.LoadBlock(patterns, base);
+    sim.Eval();
+    for (int p = 0; p < count; ++p) {
+      last_cc = patterns.cc(base + static_cast<std::size_t>(p));
+      writer.Sample(last_cc, sim, p);
+    }
+  }
+  writer.Finish(last_cc + 1);
+  return ss.str();
+}
+
+}  // namespace gpustl::netlist

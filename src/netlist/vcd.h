@@ -1,0 +1,45 @@
+// Minimal VCD (Value Change Dump) writer for inspecting gate-level module
+// activity in a waveform viewer. Used by debugging flows: sample the
+// BitSimulator after each applied pattern (lane 0 of the 64-wide word) and
+// the resulting file opens in GTKWave & friends.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/logicsim.h"
+#include "netlist/netlist.h"
+
+namespace gpustl::netlist {
+
+/// Streams one VCD file. Construction writes the header; each Sample()
+/// emits the value changes at the given timestamp. The referenced stream,
+/// netlist and watch list must outlive the writer.
+class VcdWriter {
+ public:
+  /// `watch` lists the nets to dump; their display names are taken from
+  /// `names` (same arity) or synthesized as "n<id>".
+  VcdWriter(std::ostream& os, const Netlist& nl, std::vector<NetId> watch,
+            std::vector<std::string> names = {});
+
+  /// Emits changes for pattern lane `lane` of the simulator's current
+  /// values at `time` (monotonically increasing).
+  void Sample(std::uint64_t time, const BitSimulator& sim, int lane = 0);
+
+  /// Writes the final timestamp marker.
+  void Finish(std::uint64_t time);
+
+ private:
+  std::ostream* os_;
+  const Netlist* nl_;
+  std::vector<NetId> watch_;
+  std::vector<std::string> ids_;   // VCD short identifiers
+  std::vector<int> last_;          // last emitted value (-1 = none)
+};
+
+/// Convenience: simulates `patterns` and dumps all primary inputs and
+/// outputs of `nl` to a VCD string.
+std::string DumpVcd(const Netlist& nl, const PatternSet& patterns);
+
+}  // namespace gpustl::netlist

@@ -1,0 +1,160 @@
+#include "stl/atpg_convert.h"
+
+#include "common/error.h"
+#include "common/strutil.h"
+#include "isa/assembler.h"
+#include "stl/generators.h"
+
+namespace gpustl::stl {
+namespace {
+
+using gpustl::Format;
+using isa::Opcode;
+
+/// Extracts bits [lo, lo+width) from a packed pattern row.
+std::uint32_t Field(const std::uint64_t* row, int lo, int width) {
+  std::uint64_t v = row[lo / 64] >> (lo % 64);
+  const int used = 64 - lo % 64;
+  if (width > used) v |= row[lo / 64 + 1] << used;
+  return static_cast<std::uint32_t>(v & (width >= 32 ? ~0u : ((1u << width) - 1)));
+}
+
+/// True when `uop` names an instruction the parser can realize with
+/// immediate-loaded operands on the SP integer datapath.
+bool ConvertibleSpOp(std::uint32_t uop) {
+  switch (static_cast<Opcode>(uop)) {
+    case Opcode::IADD: case Opcode::ISUB: case Opcode::IMUL:
+    case Opcode::IMAD: case Opcode::IMIN: case Opcode::IMAX:
+    case Opcode::IABS: case Opcode::INEG:
+    case Opcode::AND: case Opcode::OR: case Opcode::XOR: case Opcode::NOT:
+    case Opcode::SHL: case Opcode::SHR: case Opcode::SAR:
+    case Opcode::ISETP: case Opcode::SEL: case Opcode::MOV:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+isa::Program ConvertSpPatterns(const netlist::PatternSet& patterns,
+                               ConvertStats* stats) {
+  GPUSTL_ASSERT(patterns.width() == 105, "not an SP pattern set");
+  ConvertStats local;
+  local.patterns_in = patterns.size();
+
+  std::string src;
+  src += ".entry tpgen\n.blocks 1\n.threads 32\n";
+  auto line = [&](const std::string& text) { src += "    " + text + "\n"; };
+
+  // Minimal prologue: result pointer only. Operands are immediate-loaded
+  // per pattern, so every lane applies the exact ATPG vector.
+  line("S2R R1, SR_TID");
+  line("MOV32I R0, 0x4");
+  line("IMUL R3, R1, R0");
+  line(Format("IADD32I R2, R3, 0x%x", kResultBase));
+  line("MOV32I R9, 0x0");
+
+  static const char* kCmpNames[] = {"LT", "LE", "GT", "GE", "EQ", "NE"};
+
+  int sb = 0;
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    const std::uint64_t* row = patterns.Row(p);
+    const std::uint32_t uop = Field(row, 0, 6);
+    const std::uint32_t cmp = Field(row, 6, 3);
+    const std::uint32_t a = Field(row, 9, 32);
+    const std::uint32_t b = Field(row, 41, 32);
+    const std::uint32_t c = Field(row, 73, 32);
+
+    if (!ConvertibleSpOp(uop) || cmp > 5) {
+      ++local.skipped;
+      continue;
+    }
+    ++local.converted;
+    const auto op = static_cast<Opcode>(uop);
+    const auto& info = isa::GetOpcodeInfo(op);
+    const std::string mnemonic(info.mnemonic);
+
+    // (i) operand loads. R0 doubles as the implicit src of unary/2-src ops
+    // (encoded register 0), so load it with the pattern's B operand.
+    line(Format("MOV32I R4, 0x%x", a));
+    line(Format("MOV32I R5, 0x%x", b));
+    line(Format("MOV32I R6, 0x%x", c));
+    line(Format("MOV32I R0, 0x%x", b));
+
+    // (ii) the pattern's operation.
+    switch (info.format) {
+      case isa::Format::kRR:
+        line(Format("%s R8, R4", mnemonic.c_str()));
+        break;
+      case isa::Format::kSetp:
+        line(Format("ISETP.%s P0, R4, R5", kCmpNames[cmp]));
+        line("MOV32I R8, 0x0");
+        line("@P0 MOV32I R8, 0x1");
+        break;
+      case isa::Format::kRRR:
+        if (op == Opcode::IMAD || op == Opcode::SEL) {
+          line(Format("%s R8, R4, R5, R6", mnemonic.c_str()));
+        } else {
+          line(Format("%s R8, R4, R5", mnemonic.c_str()));
+        }
+        break;
+      default:
+        line(Format("%s R8, R4, R5", mnemonic.c_str()));
+        break;
+    }
+
+    // (iii) fold + propagate.
+    line("XOR R9, R9, R8");
+    line(Format("STG [R2+0x%x], R9", sb * 32 * 4));
+    ++sb;
+  }
+  line("EXIT");
+
+  if (stats != nullptr) *stats = local;
+  isa::Program prog = isa::Assemble(src);
+  return prog;
+}
+
+isa::Program ConvertSfuPatterns(const netlist::PatternSet& patterns,
+                                ConvertStats* stats) {
+  GPUSTL_ASSERT(patterns.width() == 35, "not an SFU pattern set");
+  ConvertStats local;
+  local.patterns_in = patterns.size();
+
+  std::string src;
+  src += ".entry sfu_imm\n.blocks 1\n.threads 32\n";
+  auto line = [&](const std::string& text) { src += "    " + text + "\n"; };
+
+  line("S2R R1, SR_TID");
+  line("MOV32I R0, 0x4");
+  line("IMUL R3, R1, R0");
+  line(Format("IADD32I R2, R3, 0x%x", kResultBase));
+
+  static const char* kSfuNames[] = {"RCP", "RSQ", "SIN", "COS", "LG2", "EX2"};
+
+  int sb = 0;
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    const std::uint64_t* row = patterns.Row(p);
+    const std::uint32_t fsel = Field(row, 0, 3);
+    const std::uint32_t x = Field(row, 3, 32);
+    if (fsel > 5) {
+      ++local.skipped;
+      continue;
+    }
+    ++local.converted;
+    // SFU interpolation is stateless: each SB is independent (no data
+    // dependence between SBs, hence compaction cannot change the FC of
+    // surviving SBs — the paper's SFU_IMM observation).
+    line(Format("MOV32I R4, 0x%x", x));
+    line(Format("%s R8, R4", kSfuNames[fsel]));
+    line(Format("STG [R2+0x%x], R8", sb * 32 * 4));
+    ++sb;
+  }
+  line("EXIT");
+
+  if (stats != nullptr) *stats = local;
+  return isa::Assemble(src);
+}
+
+}  // namespace gpustl::stl

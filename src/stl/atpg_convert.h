@@ -1,0 +1,37 @@
+// ATPG-pattern-to-instruction conversion: the paper's "parser tool".
+//
+// TPGEN (SP cores) and SFU_IMM (SFUs) are built by converting ATPG test
+// patterns into GPU instructions. A pattern is converted only when a fully
+// equivalent instruction exists ("the test patterns are converted partially
+// due to a lack of fully equivalent instructions"): SP patterns whose
+// micro-op field does not name an executable SP instruction, and SFU
+// patterns whose function selector exceeds the six transcendental opcodes,
+// are skipped and counted.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/program.h"
+#include "netlist/patterns.h"
+
+namespace gpustl::stl {
+
+struct ConvertStats {
+  std::size_t patterns_in = 0;
+  std::size_t converted = 0;
+  std::size_t skipped = 0;
+};
+
+/// Converts SP-core ATPG patterns (layout of circuits::EncodeSpPattern)
+/// into the TPGEN PTP: one small block per pattern that loads the operand
+/// registers, executes the pattern's operation, folds the result into the
+/// signature and propagates it. 1 block x 32 threads.
+isa::Program ConvertSpPatterns(const netlist::PatternSet& patterns,
+                               ConvertStats* stats = nullptr);
+
+/// Converts SFU ATPG patterns (layout of circuits::EncodeSfuPattern) into
+/// the SFU_IMM PTP. 1 block x 32 threads.
+isa::Program ConvertSfuPatterns(const netlist::PatternSet& patterns,
+                                ConvertStats* stats = nullptr);
+
+}  // namespace gpustl::stl

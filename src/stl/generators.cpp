@@ -1,0 +1,317 @@
+#include "stl/generators.h"
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/strutil.h"
+#include "isa/assembler.h"
+
+namespace gpustl::stl {
+namespace {
+
+using gpustl::Format;
+
+/// Text-emitting program builder: the generators produce assembly source
+/// (labels included) and run it through the assembler, so every generated
+/// PTP is also a valid assembler round-trip exercise.
+class AsmBuilder {
+ public:
+  AsmBuilder(const std::string& name, int blocks, int threads) {
+    src_ += ".entry " + name + "\n";
+    src_ += Format(".blocks %d\n.threads %d\n", blocks, threads);
+  }
+
+  void Line(const std::string& text) { src_ += "    " + text + "\n"; }
+  void Label(const std::string& name) { src_ += name + ":\n"; }
+
+  void Data(std::uint32_t addr, const std::vector<std::uint32_t>& words) {
+    std::string line = Format(".data 0x%x:", addr);
+    for (std::uint32_t w : words) line += Format(" 0x%x", w);
+    src_ += line + "\n";
+  }
+
+  isa::Program Assemble() const { return isa::Assemble(src_); }
+
+  const std::string& source() const { return src_; }
+
+ private:
+  std::string src_;
+};
+
+/// Shared prologue: R1 = tid, R3 = tid*4, R2 = result base + tid*4.
+/// R9 (signature) and R7 (fold target) start at thread-distinct values.
+void EmitPrologue(AsmBuilder& b) {
+  b.Line("S2R R1, SR_TID");
+  b.Line("MOV32I R0, 0x4");
+  b.Line("IMUL R3, R1, R0");
+  b.Line(Format("IADD32I R2, R3, 0x%x", kResultBase));
+  b.Line("MOV32I R9, 0x5a5a5a5a");
+  b.Line("XOR R9, R9, R1");
+  b.Line("MOV R7, R9");
+}
+
+std::uint32_t Rnd32(Rng& rng) { return static_cast<std::uint32_t>(rng()); }
+
+}  // namespace
+
+isa::Program GenerateImm(int num_sbs, std::uint64_t seed) {
+  Rng rng(seed);
+  AsmBuilder b("imm", 1, 32);
+  EmitPrologue(b);
+
+  // Immediate-capable and register-form instruction pools covering every
+  // instruction format at least once per few SBs.
+  const char* imm_ops[] = {"IADD32I", "IADD", "ISUB", "AND",  "OR",
+                           "XOR",     "SHL",  "SHR",  "SAR",  "IMUL",
+                           "IMIN",    "IMAX", "FADD", "FMUL", "FMIN"};
+  const char* reg_ops[] = {"IADD", "ISUB", "IMUL", "AND", "OR",
+                           "XOR",  "SHL",  "IMIN", "IMAX"};
+  const char* unary_ops[] = {"IABS", "INEG", "NOT", "MOV", "FABS", "FNEG",
+                             "I2F",  "F2I"};
+  const char* cmp_names[] = {"LT", "LE", "GT", "GE", "EQ", "NE"};
+
+  // Destination registers rotate through the whole upper file (R10..R63)
+  // so the PTP exercises every write-address decode line of the DU.
+  int last_dst = 10;
+  auto next_dst = [&] {
+    last_dst = 10 + static_cast<int>(rng.below(54));
+    return last_dst;
+  };
+  auto some_src = [&] {
+    // Mostly the freshly-written registers, sometimes the SB operands.
+    return rng.chance(0.4) ? last_dst : 4 + static_cast<int>(rng.below(3));
+  };
+
+  for (int sb = 0; sb < num_sbs; ++sb) {
+    // (i) thread register load.
+    b.Line(Format("MOV32I R4, 0x%x", Rnd32(rng)));
+    b.Line(Format("MOV32I R5, 0x%x", Rnd32(rng)));
+    b.Line("XOR R4, R4, R1");
+    // (ii) parallel operation execution: ~10 pseudorandom operations biased
+    // toward immediate forms (the IMM PTP exercises every format with at
+    // least one immediate operand).
+    for (int k = 0; k < 10; ++k) {
+      const int kind = static_cast<int>(rng.below(10));
+      if (kind < 5) {
+        const char* op = imm_ops[rng.below(std::size(imm_ops))];
+        b.Line(Format("%s R%d, R%d, 0x%x", op, next_dst(), some_src(),
+                      Rnd32(rng)));
+      } else if (kind < 7) {
+        const char* op = reg_ops[rng.below(std::size(reg_ops))];
+        b.Line(Format("%s R%d, R%d, R%d", op, next_dst(), some_src(),
+                      some_src()));
+      } else if (kind < 8) {
+        const char* op = unary_ops[rng.below(std::size(unary_ops))];
+        b.Line(Format("%s R%d, R%d", op, next_dst(), some_src()));
+      } else if (kind < 9) {
+        b.Line(Format("ISETP.%s P%d, R%d, 0x%x",
+                      cmp_names[rng.below(std::size(cmp_names))],
+                      static_cast<int>(rng.below(4)), some_src(),
+                      Rnd32(rng)));
+      } else {
+        const int tri = static_cast<int>(rng.below(3));
+        const char* op = tri == 0 ? "IMAD" : tri == 1 ? "SEL" : "FFMA";
+        b.Line(Format("%s R%d, R4, R5, R%d", op, next_dst(), some_src()));
+      }
+      if (k % 3 == 2) b.Line(Format("XOR R7, R7, R%d", last_dst));
+    }
+    // (iii) propagation to an observable point.
+    b.Line(Format("STG [R2+0x%x], R7", sb * 32 * 4));
+  }
+  b.Line("EXIT");
+  return b.Assemble();
+}
+
+isa::Program GenerateMem(int num_sbs, std::uint64_t seed) {
+  Rng rng(seed);
+  AsmBuilder b("mem", 1, 32);
+  constexpr int kTpb = 32;
+  EmitPrologue(b);
+
+  for (int sb = 0; sb < num_sbs; ++sb) {
+    const std::uint32_t seg_addr =
+        kDataBase + static_cast<std::uint32_t>(sb) * kTpb * 4;
+    std::vector<std::uint32_t> words(kTpb);
+    for (auto& w : words) w = Rnd32(rng);
+    b.Data(seg_addr, words);
+
+    // Loads land in rotating destination registers so the PTP also covers
+    // the DU's write-address decode space.
+    const int d1 = 10 + static_cast<int>(rng.below(54));
+    const int d2 = 10 + static_cast<int>(rng.below(54));
+    const int d3 = 10 + static_cast<int>(rng.below(54));
+    const int d4 = 10 + static_cast<int>(rng.below(54));
+    // (i) per-thread address formation.
+    b.Line(Format("MOV32I R10, 0x%x", seg_addr));
+    b.Line("IADD R10, R10, R3");
+    // (ii) memory-access sequence over global, shared and constant spaces.
+    b.Line(Format("LDG R%d, [R10+0x0]", d1));
+    b.Line(Format("STS [R3+0x0], R%d", d1));
+    b.Line(Format("LDS R%d, [R3+0x0]", d2));
+    b.Line(Format("LDC R%d, [R3+0x%x]", d3,
+                  static_cast<unsigned>(rng.below(16)) * 4));
+    b.Line(Format("XOR R7, R7, R%d", d1));
+    b.Line(Format("XOR R7, R7, R%d", d2));
+    b.Line(Format("IADD R7, R7, R%d", d3));
+    b.Line(Format("IADD32I R10, R10, 0x%x",
+                  static_cast<unsigned>(rng.below(8)) * 4));
+    b.Line("STL [R0+0x0], R7");
+    b.Line(Format("LDL R%d, [R0+0x0]", d4));
+    b.Line(Format("XOR R7, R7, R%d", d4));
+    // (iii) propagation.
+    b.Line(Format("STG [R2+0x%x], R7", sb * kTpb * 4));
+  }
+  b.Line("EXIT");
+  return b.Assemble();
+}
+
+isa::Program GenerateCntrl(int num_sbs, std::uint64_t seed) {
+  Rng rng(seed);
+  constexpr int kTpb = 1024;
+  AsmBuilder b("cntrl", 1, kTpb);
+
+  // Runtime loop bound lives in memory: the loop that consumes it is a
+  // *parametric* loop and must be excluded from the ARC.
+  const std::uint32_t bound_addr = kDataBase + 0x8000;
+  b.Data(bound_addr, {6});
+
+  EmitPrologue(b);
+
+  for (int sb = 0; sb < num_sbs; ++sb) {
+    const std::string taken = Format("taken_%d", sb);
+    const std::string sync = Format("sync_%d", sb);
+    // (i) condition setup from immediate/register/memory values.
+    b.Line(Format("MOV32I R4, 0x%x", Rnd32(rng)));
+    b.Line(Format("MOV32I R5, 0x%x", static_cast<unsigned>(rng.below(kTpb))));
+    b.Line(Format("ISETP.%s P0, R1, R5", rng.chance(0.5) ? "LT" : "GE"));
+    b.Line(Format("ISETP.EQ P1, R1, 0x%x", static_cast<unsigned>(rng.below(kTpb))));
+    // (ii) divergent control flow guarded by the conditions.
+    b.Line(Format("SSY %s", sync.c_str()));
+    b.Line(Format("@P0 BRA %s", taken.c_str()));
+    b.Line(Format("IADD32I R6, R4, 0x%x", Rnd32(rng) & 0xFFFF));
+    b.Line("XOR R7, R7, R6");
+    b.Line("SYNC");
+    b.Label(taken);
+    b.Line(Format("ISUB R6, R4, R%d", 4 + static_cast<int>(rng.below(3))));
+    b.Line("@!P1 XOR R7, R7, R6");
+    b.Line("SYNC");
+    b.Label(sync);
+    // (iii) propagation.
+    b.Line(Format("STG [R2+0x%x], R7", sb * kTpb * 4));
+  }
+
+  // Inadmissible region: parametric loop, trip count loaded from memory.
+  b.Line(Format("MOV32I R13, 0x%x", bound_addr));
+  b.Line("LDG R12, [R13+0x0]");
+  b.Line("MOV32I R11, 0x0");
+  b.Label("loop");
+  b.Line("IADD32I R11, R11, 0x1");
+  b.Line("IADD R7, R7, R4");
+  b.Line("XOR R7, R7, R11");
+  b.Line("ISETP.LT P2, R11, R12");
+  b.Line("@P2 BRA loop");
+  b.Line(Format("STG [R2+0x%x], R7", num_sbs * kTpb * 4));
+  b.Line("EXIT");
+  return b.Assemble();
+}
+
+isa::Program GenerateRand(int num_sbs, std::uint64_t seed) {
+  Rng rng(seed);
+  AsmBuilder b("rand", 1, 32);
+  EmitPrologue(b);
+
+  const char* rrr_ops[] = {"IADD", "ISUB", "IMUL", "IMIN", "IMAX",
+                           "AND",  "OR",   "XOR",  "SHL",  "SHR",
+                           "SAR"};
+  const char* unary_ops[] = {"IABS", "INEG", "NOT"};
+
+  for (int sb = 0; sb < num_sbs; ++sb) {
+    // (i) thread register loads, mixed with the thread id so every SP lane
+    // receives distinct patterns.
+    b.Line(Format("MOV32I R4, 0x%x", Rnd32(rng)));
+    b.Line(Format("MOV32I R5, 0x%x", Rnd32(rng)));
+    b.Line(Format("MOV32I R6, 0x%x", Rnd32(rng)));
+    b.Line("IADD R4, R4, R1");
+    b.Line("XOR R5, R5, R3");
+    // (ii) pseudorandom SP operations; each result is folded into the
+    // per-thread signature (SpT) with a MISR-like step.
+    for (int k = 0; k < 8; ++k) {
+      const int kind = static_cast<int>(rng.below(8));
+      if (kind < 5) {
+        b.Line(Format("%s R8, R%d, R%d", rrr_ops[rng.below(std::size(rrr_ops))],
+                      4 + static_cast<int>(rng.below(3)),
+                      4 + static_cast<int>(rng.below(3))));
+      } else if (kind < 6) {
+        b.Line(Format("%s R8, R%d", unary_ops[rng.below(std::size(unary_ops))],
+                      4 + static_cast<int>(rng.below(3))));
+      } else if (kind < 7) {
+        b.Line(Format("IMAD R8, R%d, R%d, R9",
+                      4 + static_cast<int>(rng.below(3)),
+                      4 + static_cast<int>(rng.below(3))));
+      } else {
+        b.Line(Format("SEL R8, R4, R5, R%d", 4 + static_cast<int>(rng.below(3))));
+      }
+      b.Line("XOR R9, R9, R8");
+    }
+    // MISR rotate step.
+    b.Line("SHL R7, R9, 0x1");
+    b.Line("SHR R8, R9, 0x1f");
+    b.Line("OR R9, R7, R8");
+    // (iii) propagate the signature.
+    b.Line(Format("STG [R2+0x%x], R9", sb * 32 * 4));
+  }
+  b.Line("EXIT");
+  return b.Assemble();
+}
+
+isa::Program GenerateFpu(int num_sbs, std::uint64_t seed) {
+  Rng rng(seed);
+  AsmBuilder b("fpu", 1, 32);
+  EmitPrologue(b);
+
+  // Half the operands carry "reasonable" exponents so the add path's
+  // alignment and normalization logic is exercised, not just flushes.
+  auto fp_operand = [&]() -> std::uint32_t {
+    std::uint32_t bits = Rnd32(rng);
+    if (rng.chance(0.5)) {
+      bits = (bits & 0x807FFFFFu) |
+             ((100 + static_cast<std::uint32_t>(rng.below(56))) << 23);
+    }
+    return bits;
+  };
+
+  for (int sb = 0; sb < num_sbs; ++sb) {
+    // (i) operand loads (plus tid mixed in through I2F for per-lane
+    // diversity).
+    b.Line(Format("MOV32I R4, 0x%x", fp_operand()));
+    b.Line(Format("MOV32I R5, 0x%x", fp_operand()));
+    b.Line("I2F R6, R1");
+    b.Line("FADD R4, R4, R6");
+    // (ii) pseudorandom FP-lite operations.
+    for (int k = 0; k < 8; ++k) {
+      switch (rng.below(4)) {
+        case 0:
+          b.Line(Format("FADD R8, R%d, R%d", 4 + static_cast<int>(rng.below(3)),
+                        4 + static_cast<int>(rng.below(3))));
+          break;
+        case 1:
+          b.Line(Format("FMUL R8, R%d, R%d", 4 + static_cast<int>(rng.below(3)),
+                        4 + static_cast<int>(rng.below(3))));
+          break;
+        case 2:
+          b.Line(Format("FABS R8, R%d", 4 + static_cast<int>(rng.below(3))));
+          break;
+        default:
+          b.Line(Format("FNEG R8, R%d", 4 + static_cast<int>(rng.below(3))));
+          break;
+      }
+      b.Line("XOR R9, R9, R8");
+    }
+    // (iii) propagate the fold.
+    b.Line(Format("STG [R2+0x%x], R9", sb * 32 * 4));
+  }
+  b.Line("EXIT");
+  return b.Assemble();
+}
+
+}  // namespace gpustl::stl

@@ -1,0 +1,52 @@
+// Pseudorandom PTP generators: the STL under test.
+//
+// The evaluated STL (paper §IV) contains PTPs produced "by a specialized
+// test engineer resorting to a pseudorandom approach using all instruction
+// formats of the supported assembly language". These generators reproduce
+// that structure programmatically:
+//
+//  * IMM   — Decoder Unit PTP: every instruction format with at least one
+//            immediate operand, plus register-based instructions;
+//            1 block x 32 threads.
+//  * MEM   — Decoder Unit PTP: memory-access instructions over global and
+//            shared memory (plus constant loads); 1 block x 32 threads.
+//  * CNTRL — Decoder Unit PTP: immediate/memory/register instructions that
+//            set up conditions consumed by control-flow instructions
+//            (divergent branches with SSY/SYNC) and a runtime-parametric
+//            loop region that is NOT admissible for compaction;
+//            1 block x 1024 threads.
+//  * RAND  — SP-core PTP: pseudorandom integer/logic operations whose
+//            results are folded into a per-thread MISR-style signature
+//            (SpT) that is written to global memory; 1 block x 32 threads.
+//
+// Every PTP follows the three-part structure of §II.C: (i) thread register
+// loads, (ii) parallel operation execution, (iii) propagation of the result
+// to an observable point. The generators emit that structure as Small
+// Blocks (SBs) of roughly 15-18 instructions, which is the granularity the
+// reduction stage removes.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/program.h"
+
+namespace gpustl::stl {
+
+/// Base address of the observable result window in global memory.
+inline constexpr std::uint32_t kResultBase = 0x0001'0000;
+
+/// Base address of PTP input data in global memory.
+inline constexpr std::uint32_t kDataBase = 0x0010'0000;
+
+isa::Program GenerateImm(int num_sbs, std::uint64_t seed);
+isa::Program GenerateMem(int num_sbs, std::uint64_t seed);
+isa::Program GenerateCntrl(int num_sbs, std::uint64_t seed);
+isa::Program GenerateRand(int num_sbs, std::uint64_t seed);
+
+/// FPU-targeted PTP (extension beyond the paper's six PTPs): pseudorandom
+/// FADD/FMUL/FABS/FNEG sequences over mixed random/normalized operands,
+/// results folded into the signature; 1 block x 32 threads. Drives the
+/// gate-level FP32 FP-lite datapath (trace::TargetModule::kFp32).
+isa::Program GenerateFpu(int num_sbs, std::uint64_t seed);
+
+}  // namespace gpustl::stl

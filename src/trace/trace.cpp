@@ -1,0 +1,144 @@
+#include "trace/trace.h"
+
+#include <istream>
+#include <ostream>
+
+#include "circuits/fp32.h"
+#include "circuits/sfu.h"
+#include "circuits/sp_core.h"
+#include "common/error.h"
+#include "common/strutil.h"
+
+namespace gpustl::trace {
+
+using isa::ExecUnit;
+using isa::Opcode;
+
+std::string_view TargetModuleName(TargetModule module) {
+  switch (module) {
+    case TargetModule::kDecoderUnit: return "DU";
+    case TargetModule::kSpCore: return "SP";
+    case TargetModule::kSfu: return "SFU";
+    case TargetModule::kFp32: return "FP32";
+  }
+  return "?";
+}
+
+std::vector<std::vector<std::uint64_t>> TracingReport::CcsByPc(
+    std::size_t code_size) const {
+  std::vector<std::vector<std::uint64_t>> out(code_size);
+  for (const TraceEntry& e : entries_) {
+    if (e.pc < code_size) out[e.pc].push_back(e.cc);
+  }
+  return out;
+}
+
+void TracingReport::Write(std::ostream& os) const {
+  os << "$trace entries " << entries_.size() << "\n";
+  for (const TraceEntry& e : entries_) {
+    os << e.cc << " " << e.block << " " << e.warp << " " << e.pc << " "
+       << e.active_mask << " " << static_cast<int>(e.opcode) << "\n";
+  }
+  os << "$end\n";
+}
+
+TracingReport TracingReport::Read(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) throw ReportError("trace: empty stream");
+  const auto head = SplitWs(line);
+  if (head.size() != 3 || head[0] != "$trace" || head[1] != "entries") {
+    throw ReportError("trace: malformed header");
+  }
+  const auto count = ParseInt(head[2]);
+  if (!count || *count < 0) throw ReportError("trace: bad entry count");
+
+  TracingReport report;
+  for (std::int64_t i = 0; i < *count; ++i) {
+    if (!std::getline(is, line)) throw ReportError("trace: truncated body");
+    const auto toks = SplitWs(line);
+    if (toks.size() != 6) throw ReportError("trace: bad row arity");
+    TraceEntry e;
+    auto parse = [&](std::string_view tok) {
+      const auto v = ParseInt(tok);
+      if (!v) throw ReportError("trace: bad field");
+      return *v;
+    };
+    e.cc = static_cast<std::uint64_t>(parse(toks[0]));
+    e.block = static_cast<int>(parse(toks[1]));
+    e.warp = static_cast<int>(parse(toks[2]));
+    e.pc = static_cast<std::uint32_t>(parse(toks[3]));
+    e.active_mask = static_cast<std::uint32_t>(parse(toks[4]));
+    e.opcode = static_cast<std::uint8_t>(parse(toks[5]));
+    report.Add(e);
+  }
+  if (!std::getline(is, line) || Trim(line) != "$end") {
+    throw ReportError("trace: missing $end");
+  }
+  return report;
+}
+
+void TraceRecorder::OnDecode(const gpu::DecodeEvent& event) {
+  TraceEntry e;
+  e.cc = event.cc;
+  e.block = event.block;
+  e.warp = event.warp;
+  e.pc = event.pc;
+  e.active_mask = event.active_mask;
+  e.opcode = static_cast<std::uint8_t>(event.inst.op);
+  report_.Add(e);
+}
+
+namespace {
+int PatternWidth(TargetModule module) {
+  switch (module) {
+    case TargetModule::kDecoderUnit: return 64;
+    case TargetModule::kSpCore: return circuits::kSpNumInputs;
+    case TargetModule::kSfu: return circuits::kSfuNumInputs;
+    case TargetModule::kFp32: return circuits::kFp32NumInputs;
+  }
+  throw Error("bad target module");
+}
+
+/// SFU function selector: RCP..EX2 -> 0..5.
+int SfuSelector(Opcode op) {
+  return static_cast<int>(op) - static_cast<int>(Opcode::RCP);
+}
+}  // namespace
+
+PatternProbe::PatternProbe(TargetModule module)
+    : module_(module), patterns_(PatternWidth(module)) {}
+
+void PatternProbe::OnDecode(const gpu::DecodeEvent& event) {
+  if (module_ == TargetModule::kDecoderUnit) {
+    patterns_.Add64(event.cc, event.encoded);
+  }
+}
+
+void PatternProbe::OnLane(const gpu::LaneEvent& event) {
+  const ExecUnit unit = event.inst.info().unit;
+  if (module_ == TargetModule::kSpCore && unit == ExecUnit::kSpInt) {
+    std::uint64_t words[2];
+    circuits::EncodeSpPattern(static_cast<int>(event.inst.op),
+                              static_cast<int>(event.inst.cmp), event.a,
+                              event.b, event.c, words);
+    patterns_.Add(event.cc, words);
+  } else if (module_ == TargetModule::kSfu && unit == ExecUnit::kSfu) {
+    patterns_.Add64(event.cc,
+                    circuits::EncodeSfuPattern(SfuSelector(event.inst.op),
+                                               event.a));
+  } else if (module_ == TargetModule::kFp32 && unit == ExecUnit::kSpFp) {
+    circuits::Fp32Uop uop;
+    switch (event.inst.op) {
+      case Opcode::FADD: uop = circuits::Fp32Uop::kAdd; break;
+      case Opcode::FMUL: uop = circuits::Fp32Uop::kMul; break;
+      case Opcode::FABS: uop = circuits::Fp32Uop::kAbs; break;
+      case Opcode::FNEG: uop = circuits::Fp32Uop::kNeg; break;
+      default: return;  // no FP-lite equivalent (FFMA, FMIN, FSETP, ...)
+    }
+    std::uint64_t words[2];
+    circuits::EncodeFp32Pattern(uop, event.a, event.b, words);
+    patterns_.Add(event.cc, words);
+  }
+}
+
+}  // namespace gpustl::trace

@@ -1,0 +1,74 @@
+# CLI smoke test: assemble -> run -> trace -> faultsim -> compact -> campaign
+# round trip through the gpustlc binary. Invoked by ctest with -DGPUSTLC=<path>.
+set(WORK ${CMAKE_CURRENT_BINARY_DIR}/cli_smoke_work)
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+
+file(WRITE ${WORK}/tiny.asm "
+.entry tiny
+.blocks 1
+.threads 32
+    S2R R1, SR_TID
+    MOV32I R0, 4
+    IMUL R3, R1, R0
+    IADD32I R2, R3, 0x10000
+    MOV32I R4, 0x1234
+    IADD R5, R4, R1
+    STG [R2+0x0], R5
+    MOV32I R4, 0x1234
+    IADD R5, R4, R1
+    STG [R2+0x0], R5
+    EXIT
+")
+
+function(run_cli)
+  execute_process(COMMAND ${GPUSTLC} ${ARGN}
+                  WORKING_DIRECTORY ${WORK}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "gpustlc ${ARGN} failed (${rc}):\n${out}\n${err}")
+  endif()
+  message(STATUS "gpustlc ${ARGN}: OK")
+endfunction()
+
+run_cli(assemble tiny.asm -o tiny.gptp)
+run_cli(disasm tiny.gptp)
+run_cli(lint tiny.asm)
+run_cli(run tiny.gptp --dump 0x10000 2)
+run_cli(trace tiny.gptp --module DU -o tiny --vcd)
+run_cli(faultsim tiny.gptp --module DU)
+run_cli(faultsim tiny.gptp --module DU --fault-model transition)
+run_cli(compact tiny.gptp --module DU -o tiny.cptp.asm --report tiny)
+run_cli(disasm tiny.cptp.asm)
+
+file(WRITE ${WORK}/fpu.asm "
+.entry fpu_tiny
+.blocks 1
+.threads 32
+    S2R R1, SR_TID
+    MOV32I R0, 4
+    IMUL R3, R1, R0
+    IADD32I R2, R3, 0x10000
+    MOV32I R4, 0x40400000
+    I2F R5, R1
+    FADD R6, R4, R5
+    STG [R2+0x0], R6
+    EXIT
+")
+
+file(WRITE ${WORK}/manifest.txt "
+# file module mode
+tiny.asm DU compact
+tiny.gptp DU carry
+fpu.asm FP32 compact
+")
+run_cli(campaign manifest.txt --state stl)
+run_cli(campaign manifest.txt --state stl)  # resumed second run
+
+foreach(artifact tiny.gptp tiny.trace.txt tiny.vcde tiny.vcd tiny.cptp.asm tiny.labels.txt tiny.report.txt)
+  if(NOT EXISTS ${WORK}/${artifact})
+    message(FATAL_ERROR "missing artifact ${artifact}")
+  endif()
+endforeach()

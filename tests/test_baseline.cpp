@@ -1,0 +1,98 @@
+// Baseline (iterative, N-fault-simulation) compactor tests, and the
+// head-to-head invariants the paper's cost argument relies on.
+#include <gtest/gtest.h>
+
+#include "baseline/iterative.h"
+#include "circuits/decoder_unit.h"
+#include "isa/assembler.h"
+#include "compact/compactor.h"
+#include "gpu/sm.h"
+#include "stl/generators.h"
+
+namespace gpustl::baseline {
+namespace {
+
+using trace::TargetModule;
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    du_ = new netlist::Netlist(circuits::BuildDecoderUnit());
+  }
+  static void TearDownTestSuite() { delete du_; du_ = nullptr; }
+  static netlist::Netlist* du_;
+};
+netlist::Netlist* BaselineFixture::du_ = nullptr;
+
+TEST_F(BaselineFixture, PreservesCoverageExactly) {
+  const isa::Program p = stl::GenerateImm(8, 2);
+  const IterativeResult res =
+      IterativeCompact(*du_, TargetModule::kDecoderUnit, p);
+
+  // Strict tolerance: the accepted program never loses coverage.
+  compact::Compactor measure(*du_, TargetModule::kDecoderUnit);
+  const auto before = measure.MeasureStandalone(p);
+  EXPECT_GE(res.fc_percent + 1e-9, before.fc_percent);
+  EXPECT_LE(res.final_size, res.original_size);
+
+  gpu::Sm sm;
+  EXPECT_NO_THROW(sm.Run(res.compacted));
+}
+
+TEST_F(BaselineFixture, RemovesRedundantSbs) {
+  // Duplicate SBs are redundant for coverage; the baseline should remove
+  // the copies.
+  std::string src = ".entry rep\n.threads 32\n";
+  src += "    S2R R1, SR_TID\n    MOV32I R0, 4\n    IMUL R3, R1, R0\n";
+  src += "    IADD32I R2, R3, 0x10000\n";
+  for (int i = 0; i < 8; ++i) {
+    src += "    MOV32I R4, 0x1234\n";
+    src += "    IADD R5, R4, R4\n";
+    src += "    STG [R2+0x0], R5\n";
+  }
+  src += "    EXIT\n";
+  const isa::Program p = isa::Assemble(src);
+  const IterativeResult res =
+      IterativeCompact(*du_, TargetModule::kDecoderUnit, p);
+  EXPECT_LT(res.final_size, res.original_size);
+}
+
+TEST_F(BaselineFixture, CountsManyFaultSimulations) {
+  const isa::Program p = stl::GenerateImm(6, 4);
+  const IterativeResult res =
+      IterativeCompact(*du_, TargetModule::kDecoderUnit, p);
+  // One initial + one per candidate (>= number of SBs).
+  EXPECT_GT(res.fault_simulations, 6u);
+}
+
+TEST_F(BaselineFixture, ProposedMethodUsesOneFaultSimPerPtp) {
+  // The whole point of the paper: same compaction job, 1 fault sim (plus a
+  // validation run) instead of one per candidate. A 40-SB PTP saturates the
+  // DU coverage, so both methods have something to remove.
+  const isa::Program p = stl::GenerateImm(40, 4);
+
+  const IterativeResult base =
+      IterativeCompact(*du_, TargetModule::kDecoderUnit, p);
+
+  compact::Compactor proposed(*du_, TargetModule::kDecoderUnit);
+  const compact::CompactionResult fast = proposed.CompactPtp(p);
+
+  EXPECT_GT(base.fault_simulations, 2u);
+  // Both remove a similar amount of code.
+  EXPECT_LT(fast.result.size_instr, fast.original.size_instr);
+}
+
+TEST_F(BaselineFixture, ToleranceAllowsMoreRemoval) {
+  const isa::Program p = stl::GenerateImm(6, 5);
+  IterativeOptions strict;
+  IterativeOptions relaxed;
+  relaxed.fc_tolerance = 5.0;
+  const auto r_strict =
+      IterativeCompact(*du_, TargetModule::kDecoderUnit, p, strict);
+  const auto r_relaxed =
+      IterativeCompact(*du_, TargetModule::kDecoderUnit, p, relaxed);
+  EXPECT_LE(r_relaxed.final_size, r_strict.final_size);
+}
+
+}  // namespace
+}  // namespace gpustl::baseline

@@ -1,0 +1,230 @@
+// CFG tests: basic-block partitioning, dominators, natural-loop discovery,
+// parametric-loop classification and the ARC admissibility mask.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/cfg.h"
+
+namespace gpustl::isa {
+namespace {
+
+TEST(CfgTest, StraightLineIsOneBlock) {
+  const Program p = Assemble(R"(
+    MOV32I R1, 1
+    IADD R2, R1, R1
+    STG [R2+0], R1
+    EXIT
+  )");
+  const Cfg cfg(p);
+  ASSERT_EQ(cfg.blocks().size(), 1u);
+  EXPECT_EQ(cfg.blocks()[0].begin, 0u);
+  EXPECT_EQ(cfg.blocks()[0].end, 4u);
+  EXPECT_TRUE(cfg.loops().empty());
+}
+
+TEST(CfgTest, BranchSplitsBlocks) {
+  const Program p = Assemble(R"(
+      MOV32I R1, 1
+      @P0 BRA skip
+      MOV32I R2, 2
+    skip:
+      EXIT
+  )");
+  const Cfg cfg(p);
+  ASSERT_EQ(cfg.blocks().size(), 3u);
+  // Block 0 = {0,1}, block 1 = {2}, block 2 = {3}.
+  EXPECT_EQ(cfg.BlockOf(0), cfg.BlockOf(1));
+  EXPECT_NE(cfg.BlockOf(1), cfg.BlockOf(2));
+  // Block 0 has two successors (taken + fall-through).
+  EXPECT_EQ(cfg.blocks()[0].succs.size(), 2u);
+}
+
+TEST(CfgTest, DominatorsOnDiamond) {
+  const Program p = Assemble(R"(
+      @P0 BRA right
+      MOV32I R1, 1
+      BRA join
+    right:
+      MOV32I R2, 2
+    join:
+      EXIT
+  )");
+  const Cfg cfg(p);
+  const std::uint32_t entry = cfg.BlockOf(0);
+  const std::uint32_t join = cfg.BlockOf(4);
+  EXPECT_TRUE(cfg.Dominates(entry, join));
+  EXPECT_FALSE(cfg.Dominates(cfg.BlockOf(1), join));
+  EXPECT_FALSE(cfg.Dominates(cfg.BlockOf(3), join));
+}
+
+TEST(CfgTest, ConstantBoundLoopIsNotParametric) {
+  const Program p = Assemble(R"(
+      MOV32I R1, 0
+      MOV32I R2, 10
+    loop:
+      IADD32I R1, R1, 1
+      ISETP.LT P0, R1, R2
+      @P0 BRA loop
+      EXIT
+  )");
+  const Cfg cfg(p);
+  ASSERT_EQ(cfg.loops().size(), 1u);
+  EXPECT_FALSE(cfg.loops()[0].parametric);
+}
+
+TEST(CfgTest, ImmediateBoundLoopIsNotParametric) {
+  const Program p = Assemble(R"(
+      MOV32I R1, 0
+    loop:
+      IADD32I R1, R1, 1
+      ISETP.LT P0, R1, 10
+      @P0 BRA loop
+      EXIT
+  )");
+  const Cfg cfg(p);
+  ASSERT_EQ(cfg.loops().size(), 1u);
+  EXPECT_FALSE(cfg.loops()[0].parametric);
+}
+
+TEST(CfgTest, MemoryBoundLoopIsParametric) {
+  const Program p = Assemble(R"(
+      MOV32I R3, 0x100
+      LDG R2, [R3+0]
+      MOV32I R1, 0
+    loop:
+      IADD32I R1, R1, 1
+      ISETP.LT P0, R1, R2
+      @P0 BRA loop
+      EXIT
+  )");
+  const Cfg cfg(p);
+  ASSERT_EQ(cfg.loops().size(), 1u);
+  EXPECT_TRUE(cfg.loops()[0].parametric);
+}
+
+TEST(CfgTest, ComputedBoundLoopIsParametric) {
+  const Program p = Assemble(R"(
+      S2R R2, SR_TID
+      MOV32I R1, 0
+    loop:
+      IADD32I R1, R1, 1
+      ISETP.LT P0, R1, R2
+      @P0 BRA loop
+      EXIT
+  )");
+  const Cfg cfg(p);
+  ASSERT_EQ(cfg.loops().size(), 1u);
+  EXPECT_TRUE(cfg.loops()[0].parametric);
+}
+
+TEST(CfgTest, UnconditionalBackEdgeIsParametric) {
+  const Program p = Assemble(R"(
+    loop:
+      IADD32I R1, R1, 1
+      BRA loop
+  )");
+  const Cfg cfg(p);
+  ASSERT_EQ(cfg.loops().size(), 1u);
+  EXPECT_TRUE(cfg.loops()[0].parametric);
+}
+
+TEST(CfgTest, AdmissibleMaskExcludesParametricLoopAndControl) {
+  const Program p = Assemble(R"(
+      MOV32I R3, 0x100
+      LDG R2, [R3+0]
+      MOV32I R1, 0
+    loop:
+      IADD32I R1, R1, 1
+      ISETP.LT P0, R1, R2
+      @P0 BRA loop
+      MOV32I R4, 7
+      EXIT
+  )");
+  const Cfg cfg(p);
+  const auto mask = cfg.AdmissibleMask();
+  ASSERT_EQ(mask.size(), 8u);
+  EXPECT_TRUE(mask[0]);   // MOV32I before loop
+  EXPECT_TRUE(mask[1]);   // LDG
+  EXPECT_FALSE(mask[3]);  // loop body: parametric
+  EXPECT_FALSE(mask[4]);
+  EXPECT_FALSE(mask[5]);  // the branch (control, also in loop)
+  EXPECT_TRUE(mask[6]);   // after loop
+  EXPECT_FALSE(mask[7]);  // EXIT is control
+}
+
+TEST(CfgTest, ArcFractionCountsParametricLoopsOnly) {
+  // Loop-free code: ARC is 100% even though EXIT itself is never removed
+  // (the ARC is the paper's BB-level metric; removal safety is separate).
+  const Program straight = Assemble(R"(
+    MOV32I R1, 1
+    MOV32I R2, 2
+    MOV32I R3, 3
+    EXIT
+  )");
+  EXPECT_NEAR(Cfg(straight).ArcFraction(), 1.0, 1e-9);
+
+  // 3 of 7 instructions sit in a parametric loop -> ARC = 4/7.
+  const Program loopy = Assemble(R"(
+      S2R R2, SR_TID
+      MOV32I R1, 0
+    loop:
+      IADD32I R1, R1, 1
+      ISETP.LT P0, R1, R2
+      @P0 BRA loop
+      MOV32I R4, 7
+      EXIT
+  )");
+  EXPECT_NEAR(Cfg(loopy).ArcFraction(), 4.0 / 7.0, 1e-9);
+}
+
+TEST(CfgTest, NestedConstantLoops) {
+  const Program p = Assemble(R"(
+      MOV32I R1, 0
+    outer:
+      MOV32I R2, 0
+    inner:
+      IADD32I R2, R2, 1
+      ISETP.LT P0, R2, 3
+      @P0 BRA inner
+      IADD32I R1, R1, 1
+      ISETP.LT P1, R1, 4
+      @P1 BRA outer
+      EXIT
+  )");
+  const Cfg cfg(p);
+  ASSERT_EQ(cfg.loops().size(), 2u);
+  EXPECT_FALSE(cfg.loops()[0].parametric);
+  EXPECT_FALSE(cfg.loops()[1].parametric);
+}
+
+TEST(CfgTest, SsyTargetStartsBlock) {
+  const Program p = Assemble(R"(
+      SSY sync
+      @P0 BRA skip
+      MOV32I R1, 1
+      SYNC
+    skip:
+      MOV32I R2, 2
+      SYNC
+    sync:
+      EXIT
+  )");
+  const Cfg cfg(p);
+  // The SSY target (EXIT) must begin its own block.
+  EXPECT_EQ(cfg.blocks()[cfg.BlockOf(6)].begin, 6u);
+}
+
+TEST(CfgTest, CallHasTargetAndFallthroughEdges) {
+  const Program p = Assemble(R"(
+      CAL sub
+      EXIT
+    sub:
+      RET
+  )");
+  const Cfg cfg(p);
+  const auto& entry = cfg.blocks()[cfg.BlockOf(0)];
+  EXPECT_EQ(entry.succs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace gpustl::isa

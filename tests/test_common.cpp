@@ -1,0 +1,260 @@
+// Unit tests for the common utilities: RNG determinism/statistics, bit
+// operations, BitVec invariants, string parsing, table rendering.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "common/strutil.h"
+#include "common/table.h"
+#include "common/timer.h"
+
+namespace gpustl {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo_seen |= v == -2;
+    hi_seen |= v == 2;
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng base(11);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  EXPECT_NE(f1(), f2());
+}
+
+TEST(BitField, ExtractAndInsertRoundTrip) {
+  std::uint64_t w = 0;
+  w = SetBitField(w, 5, 7, 0x55);
+  EXPECT_EQ(BitField(w, 5, 7), 0x55u);
+  w = SetBitField(w, 5, 7, 0x7F);
+  EXPECT_EQ(BitField(w, 5, 7), 0x7Fu);
+  EXPECT_EQ(BitField(w, 0, 5), 0u);
+  EXPECT_EQ(BitField(w, 12, 52), 0u);
+}
+
+TEST(BitField, MasksOversizedValues) {
+  const std::uint64_t w = SetBitField(0, 0, 4, 0xFF);
+  EXPECT_EQ(w, 0xFu);
+}
+
+TEST(BitField, FullWidth) {
+  EXPECT_EQ(BitField(~0ull, 0, 64), ~0ull);
+}
+
+TEST(PopCountTest, Basics) {
+  EXPECT_EQ(PopCount(0), 0);
+  EXPECT_EQ(PopCount(1), 1);
+  EXPECT_EQ(PopCount(~0ull), 64);
+  EXPECT_EQ(PopCount(0xF0F0ull), 8);
+}
+
+TEST(LowestSetBitTest, Basics) {
+  EXPECT_EQ(LowestSetBit(0), -1);
+  EXPECT_EQ(LowestSetBit(1), 0);
+  EXPECT_EQ(LowestSetBit(0x8000000000000000ull), 63);
+  EXPECT_EQ(LowestSetBit(0b101000), 3);
+}
+
+TEST(BitVecTest, SetGetCount) {
+  BitVec v(130, false);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.Count(), 0u);
+  v.Set(0, true);
+  v.Set(64, true);
+  v.Set(129, true);
+  EXPECT_EQ(v.Count(), 3u);
+  EXPECT_TRUE(v.Get(64));
+  EXPECT_FALSE(v.Get(63));
+  v.Set(64, false);
+  EXPECT_EQ(v.Count(), 2u);
+}
+
+TEST(BitVecTest, InitialValueTrueHasCleanPadding) {
+  BitVec v(70, true);
+  EXPECT_EQ(v.Count(), 70u);
+}
+
+TEST(BitVecTest, FindFirstSet) {
+  BitVec v(200, false);
+  EXPECT_EQ(v.FindFirstSet(), BitVec::npos);
+  v.Set(77, true);
+  v.Set(150, true);
+  EXPECT_EQ(v.FindFirstSet(), 77u);
+  EXPECT_EQ(v.FindFirstSet(78), 150u);
+  EXPECT_EQ(v.FindFirstSet(151), BitVec::npos);
+}
+
+TEST(BitVecTest, SetOperations) {
+  BitVec a(100, false), b(100, false);
+  a.Set(1, true);
+  a.Set(50, true);
+  b.Set(50, true);
+  b.Set(99, true);
+
+  BitVec u = a;
+  u |= b;
+  EXPECT_EQ(u.Count(), 3u);
+
+  BitVec i = a;
+  i &= b;
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.Get(50));
+
+  BitVec d = a;
+  d.AndNot(b);
+  EXPECT_EQ(d.Count(), 1u);
+  EXPECT_TRUE(d.Get(1));
+}
+
+TEST(BitVecTest, ResizeGrowPreservesAndExtends) {
+  BitVec v(10, false);
+  v.Set(3, true);
+  v.Resize(100, true);
+  EXPECT_TRUE(v.Get(3));
+  EXPECT_FALSE(v.Get(4));
+  EXPECT_TRUE(v.Get(10));
+  EXPECT_TRUE(v.Get(99));
+}
+
+TEST(Strutil, Trim) {
+  EXPECT_EQ(Trim("  abc  "), "abc");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(Strutil, Split) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strutil, SplitWs) {
+  const auto parts = SplitWs("  a \t b\nc ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(Strutil, CaseConversion) {
+  EXPECT_EQ(ToUpper("iAdd32i"), "IADD32I");
+  EXPECT_EQ(ToLower("SR_TID"), "sr_tid");
+}
+
+TEST(Strutil, ParseIntDecimalHexBinary) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt("-17").value(), -17);
+  EXPECT_EQ(ParseInt("0x1F").value(), 31);
+  EXPECT_EQ(ParseInt("0b101").value(), 5);
+  EXPECT_EQ(ParseInt("0xFFFFFFFF").value(), 0xFFFFFFFFll);
+}
+
+TEST(Strutil, ParseIntRejectsGarbage) {
+  EXPECT_FALSE(ParseInt("").has_value());
+  EXPECT_FALSE(ParseInt("12x").has_value());
+  EXPECT_FALSE(ParseInt("0x").has_value());
+  EXPECT_FALSE(ParseInt("--3").has_value());
+  EXPECT_FALSE(ParseInt("0b2").has_value());
+  EXPECT_FALSE(ParseInt("99999999999999999999999").has_value());
+}
+
+TEST(Strutil, ParseFloat) {
+  EXPECT_DOUBLE_EQ(ParseFloat("1.5").value(), 1.5);
+  EXPECT_FALSE(ParseFloat("abc").has_value());
+}
+
+TEST(Strutil, FormatPrintf) {
+  EXPECT_EQ(Format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(Format("%05.1f", 2.25), "002.2");
+}
+
+TEST(TextTableTest, RendersAlignedRows) {
+  TextTable t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, RuleSeparatesSections) {
+  TextTable t({"c"});
+  t.AddRow({"x"});
+  t.AddRule();
+  t.AddRow({"y"});
+  const std::string out = t.Render();
+  // Two rules: one under header, one explicit.
+  std::size_t count = 0;
+  for (std::size_t pos = out.find("---"); pos != std::string::npos;
+       pos = out.find("---", pos + 1)) {
+    ++count;
+  }
+  EXPECT_GE(count, 2u);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GE(t.Seconds(), 0.0);
+  EXPECT_GE(t.Millis(), t.Seconds());
+}
+
+}  // namespace
+}  // namespace gpustl

@@ -1,0 +1,167 @@
+// FP32 FP-lite datapath tests: netlist-vs-reference equivalence (directed
+// corner cases + random sweeps per uop), encode layout, probe capture, and
+// an end-to-end compaction of an FP-targeted PTP.
+#include <gtest/gtest.h>
+
+#include "circuits/fp32.h"
+#include "common/rng.h"
+#include "compact/compactor.h"
+#include "fault/faultsim.h"
+#include "gpu/sm.h"
+#include "isa/assembler.h"
+#include "netlist/logicsim.h"
+#include "stl/generators.h"
+#include "trace/trace.h"
+
+namespace gpustl::circuits {
+namespace {
+
+class Fp32Test : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { fp_ = new netlist::Netlist(BuildFp32()); }
+  static void TearDownTestSuite() { delete fp_; fp_ = nullptr; }
+
+  static std::uint32_t Execute(Fp32Uop uop, std::uint32_t a, std::uint32_t b) {
+    std::uint64_t words[2];
+    EncodeFp32Pattern(uop, a, b, words);
+    netlist::BitSimulator sim(*fp_);
+    for (std::size_t i = 0; i < fp_->num_inputs(); ++i) {
+      sim.SetInputWord(i, (words[i / 64] >> (i % 64)) & 1 ? ~0ull : 0ull);
+    }
+    sim.Eval();
+    std::uint32_t y = 0;
+    for (int bit = 0; bit < 32; ++bit) {
+      if (sim.OutputWord(static_cast<std::size_t>(bit)) & 1) y |= 1u << bit;
+    }
+    return y;
+  }
+
+  static netlist::Netlist* fp_;
+};
+netlist::Netlist* Fp32Test::fp_ = nullptr;
+
+TEST_F(Fp32Test, Arity) {
+  EXPECT_EQ(fp_->num_inputs(), static_cast<std::size_t>(kFp32NumInputs));
+  EXPECT_EQ(fp_->num_outputs(), static_cast<std::size_t>(kFp32NumOutputs));
+  EXPECT_GT(fp_->gate_count(), 1000u);
+}
+
+TEST_F(Fp32Test, DirectedAddCases) {
+  const std::uint32_t one = 0x3F800000;    // 1.0
+  const std::uint32_t two = 0x40000000;    // 2.0
+  const std::uint32_t three = 0x40400000;  // 3.0
+  const std::uint32_t neg_one = 0xBF800000;
+
+  // Exactly representable sums survive the truncated datapath.
+  EXPECT_EQ(Fp32LiteOp(Fp32Uop::kAdd, one, two), three);
+  EXPECT_EQ(Execute(Fp32Uop::kAdd, one, two), three);
+  // x + (-x) = +0.
+  EXPECT_EQ(Fp32LiteOp(Fp32Uop::kAdd, one, neg_one), 0u);
+  EXPECT_EQ(Execute(Fp32Uop::kAdd, one, neg_one), 0u);
+  // x + 0 = x (for FP-lite-representable x).
+  EXPECT_EQ(Fp32LiteOp(Fp32Uop::kAdd, two, 0), two);
+  EXPECT_EQ(Execute(Fp32Uop::kAdd, two, 0), two);
+  // Commutativity via the magnitude swap.
+  EXPECT_EQ(Execute(Fp32Uop::kAdd, two, neg_one),
+            Execute(Fp32Uop::kAdd, neg_one, two));
+  EXPECT_EQ(Execute(Fp32Uop::kAdd, two, neg_one), one);
+}
+
+TEST_F(Fp32Test, DirectedMulCases) {
+  const std::uint32_t one = 0x3F800000;
+  const std::uint32_t two = 0x40000000;
+  const std::uint32_t four = 0x40800000;
+  const std::uint32_t half = 0x3F000000;
+
+  EXPECT_EQ(Fp32LiteOp(Fp32Uop::kMul, two, two), four);
+  EXPECT_EQ(Execute(Fp32Uop::kMul, two, two), four);
+  EXPECT_EQ(Execute(Fp32Uop::kMul, two, half), one);
+  EXPECT_EQ(Execute(Fp32Uop::kMul, one, 0), 0u);
+  // Sign handling.
+  EXPECT_EQ(Execute(Fp32Uop::kMul, 0xC0000000, two), 0xC0800000u);  // -2*2=-4
+  // Overflow saturates to infinity.
+  const std::uint32_t huge = 0x7F000000;  // 2^127
+  EXPECT_EQ(Execute(Fp32Uop::kMul, huge, huge), 0x7F800000u);
+  EXPECT_EQ(Fp32LiteOp(Fp32Uop::kMul, huge, huge), 0x7F800000u);
+  // Underflow flushes to zero.
+  const std::uint32_t tiny = 0x00800000;  // 2^-126
+  EXPECT_EQ(Execute(Fp32Uop::kMul, tiny, tiny), 0u);
+}
+
+TEST_F(Fp32Test, AbsAndNeg) {
+  EXPECT_EQ(Execute(Fp32Uop::kAbs, 0xC0490FDB, 0), 0x40490FDBu);
+  EXPECT_EQ(Execute(Fp32Uop::kNeg, 0x40490FDB, 0), 0xC0490FDBu);
+  EXPECT_EQ(Execute(Fp32Uop::kNeg, 0, 0), 0x80000000u);
+}
+
+class Fp32Sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fp32Sweep, NetlistMatchesReferenceOnRandomOperands) {
+  static netlist::Netlist fp = BuildFp32();
+  const auto uop = static_cast<Fp32Uop>(GetParam());
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 5);
+
+  for (int i = 0; i < 150; ++i) {
+    // Mix fully random bit patterns with "reasonable" exponents.
+    std::uint32_t a = static_cast<std::uint32_t>(rng());
+    std::uint32_t b = static_cast<std::uint32_t>(rng());
+    if (i % 2 == 0) {
+      a = (a & 0x807FFFFF) | ((96 + static_cast<std::uint32_t>(rng.below(64))) << 23);
+      b = (b & 0x807FFFFF) | ((96 + static_cast<std::uint32_t>(rng.below(64))) << 23);
+    }
+    std::uint64_t words[2];
+    EncodeFp32Pattern(uop, a, b, words);
+    netlist::BitSimulator sim(fp);
+    for (std::size_t k = 0; k < fp.num_inputs(); ++k) {
+      sim.SetInputWord(k, (words[k / 64] >> (k % 64)) & 1 ? ~0ull : 0ull);
+    }
+    sim.Eval();
+    std::uint32_t y = 0;
+    for (int bit = 0; bit < 32; ++bit) {
+      if (sim.OutputWord(static_cast<std::size_t>(bit)) & 1) y |= 1u << bit;
+    }
+    EXPECT_EQ(y, Fp32LiteOp(uop, a, b))
+        << "uop=" << GetParam() << " a=" << a << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllUops, Fp32Sweep, ::testing::Range(0, 4));
+
+TEST(Fp32Probe, CapturesFpLanes) {
+  trace::PatternProbe probe(trace::TargetModule::kFp32);
+  gpu::Sm sm;
+  sm.AddMonitor(&probe);
+  sm.Run(isa::Assemble(R"(
+    .threads 2
+    MOV32I R1, 0x40000000
+    MOV32I R2, 0x3F800000
+    FADD R3, R1, R2
+    FMUL R4, R1, R2
+    FFMA R5, R1, R2, R3   // no FP-lite equivalent: skipped
+    FABS R6, R1
+    EXIT
+  )"));
+  // FADD + FMUL + FABS, 2 lanes each.
+  EXPECT_EQ(probe.patterns().size(), 6u);
+  EXPECT_EQ(probe.patterns().width(), kFp32NumInputs);
+  // First pattern: uop=add, a=2.0f, b=1.0f.
+  const std::uint64_t* row = probe.patterns().Row(0);
+  EXPECT_EQ(row[0] & 0x3, 0u);
+  EXPECT_EQ((row[0] >> 2) & 0xFFFFFFFF, 0x40000000u);
+}
+
+TEST(Fp32Compaction, FpPtpCompactsEndToEnd) {
+  const netlist::Netlist fp = BuildFp32();
+  const isa::Program ptp = stl::GenerateFpu(30, 7);
+
+  compact::Compactor compactor(fp, trace::TargetModule::kFp32);
+  const compact::CompactionResult res = compactor.CompactPtp(ptp);
+  EXPECT_LT(res.result.size_instr, res.original.size_instr);
+  EXPECT_GT(res.original.fc_percent, 30.0);
+  EXPECT_GT(res.diff_fc, -3.0);
+  gpu::Sm sm;
+  EXPECT_NO_THROW(sm.Run(res.compacted));
+}
+
+}  // namespace
+}  // namespace gpustl::circuits

@@ -1,0 +1,572 @@
+// GPU model tests: per-instruction architectural semantics, memory spaces,
+// special registers, predication, SIMT divergence/reconvergence, barriers,
+// the timing model, the watchdog, and monitor event streams.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/strutil.h"
+#include "gpu/sm.h"
+#include "isa/assembler.h"
+
+namespace gpustl::gpu {
+namespace {
+
+using isa::Assemble;
+using isa::Program;
+
+/// Runs a program and returns the word stored at `addr`.
+std::uint32_t RunAndLoad(const std::string& src, std::uint32_t addr,
+                         const SmConfig& config = {}) {
+  Sm sm(config);
+  const RunResult res = sm.Run(Assemble(src));
+  return res.global.Load(addr);
+}
+
+TEST(SmExec, IntegerAluAndStore) {
+  const auto v = RunAndLoad(R"(
+    .threads 1
+    MOV32I R1, 21
+    IADD R2, R1, R1
+    MOV32I R3, 0x100
+    STG [R3+0], R2
+    EXIT
+  )", 0x100);
+  EXPECT_EQ(v, 42u);
+}
+
+TEST(SmExec, ImmediateOperandForms) {
+  const auto v = RunAndLoad(R"(
+    .threads 1
+    MOV32I R1, 5
+    IADD32I R1, R1, 10
+    SHL R1, R1, 2
+    MOV32I R3, 0x100
+    STG [R3+0], R1
+    EXIT
+  )", 0x100);
+  EXPECT_EQ(v, 60u);
+}
+
+TEST(SmExec, SpecialRegistersPerThread) {
+  Sm sm;
+  const RunResult res = sm.Run(Assemble(R"(
+    .threads 8
+    S2R R1, SR_TID
+    MOV32I R2, 4
+    IMUL R3, R1, R2
+    IADD32I R3, R3, 0x200
+    STG [R3+0], R1
+    EXIT
+  )"));
+  for (std::uint32_t t = 0; t < 8; ++t) {
+    EXPECT_EQ(res.global.Load(0x200 + t * 4), t);
+  }
+}
+
+TEST(SmExec, NtidAndCtaid) {
+  Sm sm;
+  const RunResult res = sm.Run(Assemble(R"(
+    .blocks 2
+    .threads 4
+    S2R R1, SR_CTAID
+    S2R R2, SR_NTID
+    S2R R3, SR_TID
+    MOV32I R4, 4
+    IMUL R5, R1, R2
+    IADD R5, R5, R3
+    IMUL R5, R5, R4
+    IADD32I R5, R5, 0x300
+    STG [R5+0], R1
+    EXIT
+  )"));
+  EXPECT_EQ(res.global.Load(0x300 + 0 * 4), 0u);   // block 0
+  EXPECT_EQ(res.global.Load(0x300 + 4 * 4), 1u);   // block 1
+  EXPECT_EQ(res.global.Load(0x300 + 7 * 4), 1u);
+}
+
+TEST(SmExec, GlobalMemoryDataSegmentsPreloaded) {
+  const auto v = RunAndLoad(R"(
+    .threads 1
+    .data 0x400: 0xAB 0xCD
+    MOV32I R1, 0x400
+    LDG R2, [R1+4]
+    MOV32I R3, 0x100
+    STG [R3+0], R2
+    EXIT
+  )", 0x100);
+  EXPECT_EQ(v, 0xCDu);
+}
+
+TEST(SmExec, SharedMemoryRoundTrip) {
+  const auto v = RunAndLoad(R"(
+    .threads 1
+    MOV32I R1, 0x77
+    MOV32I R2, 0x10
+    STS [R2+0], R1
+    LDS R3, [R2+0]
+    MOV32I R4, 0x100
+    STG [R4+0], R3
+    EXIT
+  )", 0x100);
+  EXPECT_EQ(v, 0x77u);
+}
+
+TEST(SmExec, LocalMemoryIsPerThread) {
+  Sm sm;
+  const RunResult res = sm.Run(Assemble(R"(
+    .threads 2
+    S2R R1, SR_TID
+    MOV32I R2, 0
+    STL [R2+0], R1
+    LDL R3, [R2+0]
+    MOV32I R4, 4
+    IMUL R5, R1, R4
+    IADD32I R5, R5, 0x100
+    STG [R5+0], R3
+    EXIT
+  )"));
+  EXPECT_EQ(res.global.Load(0x100), 0u);
+  EXPECT_EQ(res.global.Load(0x104), 1u);
+}
+
+TEST(SmExec, FloatPipeline) {
+  Sm sm;
+  const RunResult res = sm.Run(Assemble(R"(
+    .threads 1
+    MOV32I R1, 0x40400000   // 3.0f
+    MOV32I R2, 0x40000000   // 2.0f
+    FMUL R3, R1, R2         // 6.0f
+    FADD R3, R3, R1         // 9.0f
+    MOV32I R4, 0x100
+    STG [R4+0], R3
+    EXIT
+  )"));
+  EXPECT_EQ(res.global.Load(0x100), 0x41100000u);  // 9.0f
+}
+
+TEST(SmExec, SfuReciprocal) {
+  Sm sm;
+  const RunResult res = sm.Run(Assemble(R"(
+    .threads 1
+    MOV32I R1, 0x40000000   // 2.0f
+    RCP R2, R1              // 0.5f
+    MOV32I R4, 0x100
+    STG [R4+0], R2
+    EXIT
+  )"));
+  EXPECT_EQ(res.global.Load(0x100), 0x3F000000u);
+}
+
+TEST(SmExec, PredicationSkipsLanes) {
+  Sm sm;
+  const RunResult res = sm.Run(Assemble(R"(
+    .threads 4
+    S2R R1, SR_TID
+    MOV32I R5, 0
+    ISETP.LT P0, R1, 2
+    @P0 MOV32I R5, 1
+    MOV32I R2, 4
+    IMUL R3, R1, R2
+    IADD32I R3, R3, 0x100
+    STG [R3+0], R5
+    EXIT
+  )"));
+  EXPECT_EQ(res.global.Load(0x100), 1u);
+  EXPECT_EQ(res.global.Load(0x104), 1u);
+  EXPECT_EQ(res.global.Load(0x108), 0u);
+  EXPECT_EQ(res.global.Load(0x10C), 0u);
+}
+
+TEST(SmExec, NegatedPredicate) {
+  Sm sm;
+  const RunResult res = sm.Run(Assemble(R"(
+    .threads 2
+    S2R R1, SR_TID
+    MOV32I R5, 7
+    ISETP.EQ P1, R1, 0
+    @!P1 MOV32I R5, 9
+    MOV32I R2, 4
+    IMUL R3, R1, R2
+    IADD32I R3, R3, 0x100
+    STG [R3+0], R5
+    EXIT
+  )"));
+  EXPECT_EQ(res.global.Load(0x100), 7u);
+  EXPECT_EQ(res.global.Load(0x104), 9u);
+}
+
+TEST(SmExec, DivergenceReconvergesThroughSsySync) {
+  Sm sm;
+  const RunResult res = sm.Run(Assemble(R"(
+      .threads 4
+      S2R R1, SR_TID
+      MOV32I R5, 0
+      ISETP.LT P0, R1, 2
+      SSY join
+      @P0 BRA taken
+      IADD32I R5, R5, 100     // else path (tid 2,3)
+      SYNC
+    taken:
+      IADD32I R5, R5, 1       // taken path (tid 0,1) -- else lanes skip
+      SYNC
+    join:
+      IADD32I R5, R5, 1000    // all lanes reconverged
+      MOV32I R2, 4
+      IMUL R3, R1, R2
+      IADD32I R3, R3, 0x100
+      STG [R3+0], R5
+      EXIT
+  )"));
+  // Wait: with take-else-first, else lanes run +100 then the DIV pop sends
+  // taken lanes to `taken` (+1); else lanes rejoin at `join`. But the else
+  // lanes fall into `taken` only via the stack, so they do NOT add +1.
+  EXPECT_EQ(res.global.Load(0x100), 1001u);  // tid 0: taken
+  EXPECT_EQ(res.global.Load(0x104), 1001u);  // tid 1: taken
+  EXPECT_EQ(res.global.Load(0x108), 1100u);  // tid 2: else
+  EXPECT_EQ(res.global.Load(0x10C), 1100u);  // tid 3: else
+}
+
+TEST(SmExec, UniformBranchSkipsElse) {
+  Sm sm;
+  const RunResult res = sm.Run(Assemble(R"(
+      .threads 4
+      MOV32I R5, 0
+      SSY join
+      ISETP.EQ P0, R5, 0      // uniformly true
+      @P0 BRA taken
+      IADD32I R5, R5, 100     // never executes
+      SYNC
+    taken:
+      IADD32I R5, R5, 1
+      SYNC
+    join:
+      MOV32I R3, 0x100
+      STG [R3+0], R5
+      EXIT
+  )"));
+  EXPECT_EQ(res.global.Load(0x100), 1u);
+}
+
+TEST(SmExec, LoopExecutesExactTripCount) {
+  const auto v = RunAndLoad(R"(
+      .threads 1
+      MOV32I R1, 0
+      MOV32I R2, 0
+    loop:
+      IADD32I R1, R1, 1
+      IADD32I R2, R2, 3
+      ISETP.LT P0, R1, 5
+      @P0 BRA loop
+      MOV32I R3, 0x100
+      STG [R3+0], R2
+      EXIT
+  )", 0x100);
+  EXPECT_EQ(v, 15u);
+}
+
+TEST(SmExec, CallAndReturn) {
+  const auto v = RunAndLoad(R"(
+      .threads 1
+      MOV32I R1, 1
+      CAL sub
+      IADD32I R1, R1, 10
+      MOV32I R3, 0x100
+      STG [R3+0], R1
+      EXIT
+    sub:
+      IADD32I R1, R1, 100
+      RET
+  )", 0x100);
+  EXPECT_EQ(v, 111u);
+}
+
+TEST(SmExec, BarrierSynchronizesWarps) {
+  // 64 threads = 2 warps. Warp 0 stores into shared memory, all warps
+  // barrier, then every lane (including warp 1) reads the stored value.
+  Sm sm;
+  const RunResult res = sm.Run(Assemble(R"(
+      .threads 64
+      S2R R1, SR_TID
+      MOV32I R4, 0x55
+      MOV32I R5, 0x0
+      ISETP.LT P0, R1, 32
+      @P0 STS [R5+0], R4
+      BAR
+      LDS R7, [R5+0]
+      MOV32I R2, 4
+      IMUL R3, R1, R2
+      IADD32I R3, R3, 0x100
+      STG [R3+0], R7
+      EXIT
+  )"));
+  EXPECT_EQ(res.global.Load(0x100 + 63 * 4), 0x55u);  // lane in warp 1
+  EXPECT_EQ(res.global.Load(0x100), 0x55u);
+}
+
+TEST(SmExec, MisalignedAccessThrows) {
+  Sm sm;
+  EXPECT_THROW(sm.Run(Assemble(R"(
+    .threads 1
+    MOV32I R1, 0x101
+    LDG R2, [R1+0]
+    EXIT
+  )")), SimError);
+}
+
+TEST(SmExec, OutOfRangeSharedThrows) {
+  Sm sm;
+  EXPECT_THROW(sm.Run(Assemble(R"(
+    .threads 1
+    MOV32I R1, 0x7FFFFFF0
+    LDS R2, [R1+0]
+    EXIT
+  )")), SimError);
+}
+
+TEST(SmExec, WatchdogStopsRunawayKernel) {
+  SmConfig config;
+  config.max_cycles = 10'000;
+  Sm sm(config);
+  EXPECT_THROW(sm.Run(Assemble(R"(
+    .threads 1
+    loop:
+    BRA loop
+  )")), SimError);
+}
+
+TEST(SmTiming, MoreSpCoresRunFaster) {
+  const Program p = Assemble(R"(
+    .threads 32
+    MOV32I R1, 1
+    IADD R2, R1, R1
+    IADD R2, R2, R1
+    IADD R2, R2, R1
+    IADD R2, R2, R1
+    EXIT
+  )");
+  SmConfig c8;
+  c8.num_sp = 8;
+  SmConfig c32;
+  c32.num_sp = 32;
+  const auto r8 = Sm(c8).Run(p);
+  const auto r32 = Sm(c32).Run(p);
+  EXPECT_LT(r32.total_cycles, r8.total_cycles);
+  EXPECT_EQ(r8.dynamic_instructions, r32.dynamic_instructions);
+}
+
+TEST(SmTiming, MoreWarpsTakeLonger) {
+  const char* src = R"(
+    .threads %d
+    MOV32I R1, 1
+    IADD R2, R1, R1
+    EXIT
+  )";
+  const auto r1 = Sm().Run(Assemble(Format(src, 32)));
+  const auto r4 = Sm().Run(Assemble(Format(src, 128)));
+  EXPECT_GT(r4.total_cycles, r1.total_cycles);
+  EXPECT_EQ(r4.dynamic_instructions, r1.dynamic_instructions * 4);
+}
+
+TEST(SmMonitors, DecodeAndLaneEventsFire) {
+  class Counter : public ExecMonitor {
+   public:
+    void OnDecode(const DecodeEvent& e) override {
+      ++decodes;
+      last_encoded = e.encoded;
+    }
+    void OnLane(const LaneEvent& e) override {
+      ++lanes;
+      last_result = e.result;
+    }
+    int decodes = 0, lanes = 0;
+    std::uint64_t last_encoded = 0;
+    std::uint32_t last_result = 0;
+  };
+
+  Counter counter;
+  Sm sm;
+  sm.AddMonitor(&counter);
+  sm.Run(Assemble(R"(
+    .threads 4
+    MOV32I R1, 5
+    IADD R2, R1, R1
+    EXIT
+  )"));
+  EXPECT_EQ(counter.decodes, 3);       // 3 instructions, 1 warp
+  EXPECT_EQ(counter.lanes, 8);         // 2 data instructions x 4 lanes
+  EXPECT_EQ(counter.last_result, 10u); // IADD result
+}
+
+TEST(SmMonitors, CcStampsAreSharedBetweenDecodeAndLanes) {
+  class Collect : public ExecMonitor {
+   public:
+    void OnDecode(const DecodeEvent& e) override { decode_ccs.push_back(e.cc); }
+    void OnLane(const LaneEvent& e) override { lane_ccs.push_back(e.cc); }
+    std::vector<std::uint64_t> decode_ccs, lane_ccs;
+  };
+  Collect c;
+  Sm sm;
+  sm.AddMonitor(&c);
+  sm.Run(Assemble(R"(
+    .threads 2
+    MOV32I R1, 1
+    EXIT
+  )"));
+  ASSERT_EQ(c.decode_ccs.size(), 2u);
+  ASSERT_EQ(c.lane_ccs.size(), 2u);
+  EXPECT_EQ(c.lane_ccs[0], c.decode_ccs[0]);
+  EXPECT_EQ(c.lane_ccs[1], c.decode_ccs[0]);
+}
+
+TEST(SmExec, ImadAndSelSemantics) {
+  Sm sm;
+  const RunResult res = sm.Run(Assemble(R"(
+    .threads 1
+    MOV32I R1, 7
+    MOV32I R2, 6
+    MOV32I R3, 100
+    IMAD R4, R1, R2, R3     // 7*6+100 = 142
+    MOV32I R5, 0xFF00FF00
+    MOV32I R6, 0x12345678
+    MOV32I R7, 0xF0F0F0F0
+    SEL R8, R6, R5, R7      // (R6 & R7) | (R5 & ~R7)
+    MOV32I R9, 0x100
+    STG [R9+0], R4
+    STG [R9+4], R8
+    EXIT
+  )"));
+  EXPECT_EQ(res.global.Load(0x100), 142u);
+  EXPECT_EQ(res.global.Load(0x104),
+            (0x12345678u & 0xF0F0F0F0u) | (0xFF00FF00u & ~0xF0F0F0F0u));
+}
+
+TEST(SmExec, FsetpAndConversions) {
+  Sm sm;
+  const RunResult res = sm.Run(Assemble(R"(
+    .threads 1
+    MOV32I R1, 0x40A00000   // 5.0f
+    MOV32I R2, 0x40400000   // 3.0f
+    FSETP.GT P0, R1, R2     // 5.0 > 3.0
+    MOV32I R3, 0
+    @P0 MOV32I R3, 1
+    F2I R4, R1              // 5
+    MOV32I R5, 7
+    I2F R6, R5              // 7.0f
+    MOV32I R9, 0x100
+    STG [R9+0], R3
+    STG [R9+4], R4
+    STG [R9+8], R6
+    EXIT
+  )"));
+  EXPECT_EQ(res.global.Load(0x100), 1u);
+  EXPECT_EQ(res.global.Load(0x104), 5u);
+  EXPECT_EQ(res.global.Load(0x108), 0x40E00000u);  // 7.0f
+}
+
+TEST(SmExec, NestedCalls) {
+  const auto v = RunAndLoad(R"(
+      .threads 1
+      MOV32I R1, 0
+      CAL outer
+      MOV32I R3, 0x100
+      STG [R3+0], R1
+      EXIT
+    outer:
+      IADD32I R1, R1, 1
+      CAL inner
+      IADD32I R1, R1, 10
+      RET
+    inner:
+      IADD32I R1, R1, 100
+      RET
+  )", 0x100);
+  EXPECT_EQ(v, 111u);
+}
+
+TEST(SmExec, NestedDivergence) {
+  // Two nested SSY regions: outer split on tid<2, inner split on tid odd.
+  Sm sm;
+  const RunResult res = sm.Run(Assemble(R"(
+      .threads 4
+      S2R R1, SR_TID
+      MOV32I R5, 0
+      MOV32I R6, 1
+      AND R7, R1, R6          // tid & 1
+      ISETP.LT P0, R1, 2
+      ISETP.EQ P1, R7, R6     // odd lanes
+      SSY outer_join
+      @P0 BRA outer_taken
+      IADD32I R5, R5, 1000    // tid 2,3
+      SSY inner_join
+      @P1 BRA inner_taken
+      IADD32I R5, R5, 10      // tid 2
+      SYNC
+    inner_taken:
+      IADD32I R5, R5, 20      // tid 3
+      SYNC
+    inner_join:
+      SYNC
+    outer_taken:
+      IADD32I R5, R5, 1       // tid 0,1 (else lanes skip via stack)
+      SYNC
+    outer_join:
+      MOV32I R2, 4
+      IMUL R3, R1, R2
+      IADD32I R3, R3, 0x100
+      STG [R3+0], R5
+      EXIT
+  )"));
+  EXPECT_EQ(res.global.Load(0x100), 1u);     // tid 0
+  EXPECT_EQ(res.global.Load(0x104), 1u);     // tid 1
+  EXPECT_EQ(res.global.Load(0x108), 1010u);  // tid 2
+  EXPECT_EQ(res.global.Load(0x10C), 1020u);  // tid 3
+}
+
+TEST(SmExec, LdcReadsConstantZeros) {
+  const auto v = RunAndLoad(R"(
+    .threads 1
+    MOV32I R1, 0x10
+    LDC R2, [R1+0]
+    IADD32I R2, R2, 5
+    MOV32I R3, 0x100
+    STG [R3+0], R2
+    EXIT
+  )", 0x100);
+  EXPECT_EQ(v, 5u);  // constant memory reads as zero
+}
+
+TEST(SmExec, PartialLastWarp) {
+  // 40 threads = one full warp + one 8-lane warp.
+  Sm sm;
+  const RunResult res = sm.Run(Assemble(R"(
+    .threads 40
+    S2R R1, SR_TID
+    MOV32I R2, 4
+    IMUL R3, R1, R2
+    IADD32I R3, R3, 0x100
+    STG [R3+0], R1
+    EXIT
+  )"));
+  EXPECT_EQ(res.global.Load(0x100 + 39 * 4), 39u);
+  EXPECT_EQ(res.global.words().size(), 40u);
+}
+
+TEST(Memory, GlobalSparseDefaultsToZero) {
+  GlobalMemory mem;
+  EXPECT_EQ(mem.Load(0x1234 * 4), 0u);
+  mem.Store(8, 77);
+  EXPECT_EQ(mem.Load(8), 77u);
+  EXPECT_EQ(mem.words().size(), 1u);
+}
+
+TEST(Memory, DenseBoundsChecked) {
+  DenseMemory mem(4);
+  mem.Store(12, 9);
+  EXPECT_EQ(mem.Load(12), 9u);
+  EXPECT_THROW(mem.Load(16), SimError);
+  EXPECT_THROW(mem.Store(100, 1), SimError);
+  EXPECT_THROW(mem.Load(2), SimError);  // misaligned
+}
+
+}  // namespace
+}  // namespace gpustl::gpu

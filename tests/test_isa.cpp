@@ -1,0 +1,324 @@
+// ISA tests: opcode table integrity, encode/decode round trips over the
+// whole instruction set (parameterized), assembler/disassembler round
+// trips, and Program instruction-removal retargeting.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include <sstream>
+
+#include "isa/assembler.h"
+#include "isa/binary.h"
+#include "isa/disasm.h"
+#include "isa/instruction.h"
+#include "isa/opcode.h"
+#include "isa/program.h"
+
+namespace gpustl::isa {
+namespace {
+
+TEST(OpcodeTable, HasExactly52Instructions) {
+  EXPECT_EQ(kNumOpcodes, 52);
+}
+
+TEST(OpcodeTable, MnemonicsRoundTrip) {
+  for (int k = 0; k < kNumOpcodes; ++k) {
+    const auto op = static_cast<Opcode>(k);
+    const auto& info = GetOpcodeInfo(op);
+    const auto back = OpcodeFromMnemonic(info.mnemonic);
+    ASSERT_TRUE(back.has_value()) << info.mnemonic;
+    EXPECT_EQ(*back, op);
+  }
+}
+
+TEST(OpcodeTable, MnemonicLookupIsCaseInsensitive) {
+  EXPECT_EQ(OpcodeFromMnemonic("iadd"), Opcode::IADD);
+  EXPECT_EQ(OpcodeFromMnemonic("Mov32i"), Opcode::MOV32I);
+  EXPECT_FALSE(OpcodeFromMnemonic("BOGUS").has_value());
+}
+
+TEST(OpcodeTable, UnitsAreConsistentWithFlags) {
+  for (int k = 0; k < kNumOpcodes; ++k) {
+    const auto& info = GetOpcodeInfo(static_cast<Opcode>(k));
+    if (info.reads_memory || info.writes_memory) {
+      EXPECT_EQ(info.unit, ExecUnit::kMem) << info.mnemonic;
+    }
+    if (info.is_branch) {
+      EXPECT_EQ(info.unit, ExecUnit::kControl) << info.mnemonic;
+    }
+    EXPECT_GE(info.latency, 1) << info.mnemonic;
+  }
+}
+
+TEST(OpcodeTable, CmpOpNamesRoundTrip) {
+  for (int k = 0; k < 6; ++k) {
+    const auto cmp = static_cast<CmpOp>(k);
+    EXPECT_EQ(CmpOpFromName(CmpOpName(cmp)), cmp);
+  }
+  EXPECT_FALSE(CmpOpFromName("XX").has_value());
+}
+
+TEST(OpcodeTable, SpecialRegNamesRoundTrip) {
+  for (int k = 0; k < 6; ++k) {
+    const auto sr = static_cast<SpecialReg>(k);
+    EXPECT_EQ(SpecialRegFromName(SpecialRegName(sr)), sr);
+  }
+}
+
+// --- Encode/decode round trips across every opcode (parameterized). ---
+
+class EncodingRoundTrip : public ::testing::TestWithParam<int> {};
+
+Instruction CanonicalFor(Opcode op) {
+  const auto& info = GetOpcodeInfo(op);
+  switch (info.format) {
+    case Format::kRRR:
+      if (op == Opcode::IMAD || op == Opcode::FFMA || op == Opcode::SEL) {
+        return MakeRRRC(op, 3, 4, 5, 6);
+      }
+      return MakeRRR(op, 1, 2, 3);
+    case Format::kRRI:
+      return MakeRRI(op, 7, 8, 0xDEADBEEF);
+    case Format::kRI:
+      return op == Opcode::S2R ? MakeS2R(9, SpecialReg::kLaneid)
+                               : MakeMov32(9, 0x12345678);
+    case Format::kRR:
+      return MakeRR(op, 10, 11);
+    case Format::kSetp:
+      return MakeSetp(op, CmpOp::kGE, 2, 12, 13);
+    case Format::kMem:
+      return MakeMem(op, 14, 15, 0x40);
+    case Format::kBranch:
+      return MakeBranch(op, 77);
+    case Format::kPlain:
+      return MakePlain(op);
+  }
+  return MakePlain(Opcode::NOP);
+}
+
+TEST_P(EncodingRoundTrip, EncodeDecodeIsLossless) {
+  const auto op = static_cast<Opcode>(GetParam());
+  const Instruction inst = CanonicalFor(op);
+  const Instruction back = Instruction::Decode(inst.Encode());
+  EXPECT_EQ(inst, back) << GetOpcodeInfo(op).mnemonic;
+}
+
+TEST_P(EncodingRoundTrip, PredicatedEncodeDecodeIsLossless) {
+  const auto op = static_cast<Opcode>(GetParam());
+  const Instruction inst = WithPred(CanonicalFor(op), 3, true);
+  const Instruction back = Instruction::Decode(inst.Encode());
+  EXPECT_EQ(inst, back);
+}
+
+TEST_P(EncodingRoundTrip, DisassembleAssembleIsLossless) {
+  const auto op = static_cast<Opcode>(GetParam());
+  for (const Instruction inst :
+       {CanonicalFor(op), WithPred(CanonicalFor(op), 1, false)}) {
+    Program prog;
+    prog.Append(inst);
+    // Branch targets must stay in range for the reassembly.
+    if (inst.info().format == Format::kBranch) continue;
+    const Program back = Assemble(DisassembleProgram(prog));
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back.code()[0], inst) << Disassemble(inst);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, EncodingRoundTrip,
+                         ::testing::Range(0, kNumOpcodes));
+
+TEST(Encoding, ImmediateSetpKeepsCmpOp) {
+  const Instruction inst = MakeSetpImm(Opcode::ISETP, CmpOp::kNE, 1, 5, 0xABC);
+  const Instruction back = Instruction::Decode(inst.Encode());
+  EXPECT_EQ(back.cmp, CmpOp::kNE);
+  EXPECT_EQ(back.imm, 0xABCu);
+}
+
+TEST(Encoding, InvalidOpcodeFieldThrows) {
+  EXPECT_THROW(Instruction::Decode(0xFFull), AsmError);
+}
+
+// --- Assembler ---
+
+TEST(Assembler, ParsesDirectivesAndData) {
+  const Program p = Assemble(R"(
+    .entry demo
+    .blocks 2
+    .threads 64
+    .data 0x100: 1 2 0xff
+    NOP;
+    EXIT;
+  )");
+  EXPECT_EQ(p.name(), "demo");
+  EXPECT_EQ(p.config().blocks, 2);
+  EXPECT_EQ(p.config().threads_per_block, 64);
+  ASSERT_EQ(p.data().size(), 1u);
+  EXPECT_EQ(p.data()[0].addr, 0x100u);
+  EXPECT_EQ(p.data()[0].words, (std::vector<std::uint32_t>{1, 2, 255}));
+  EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(Assembler, ResolvesForwardAndBackwardLabels) {
+  const Program p = Assemble(R"(
+    top:
+      IADD32I R1, R1, 1
+      @P0 BRA bottom
+      BRA top
+    bottom:
+      EXIT
+  )");
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.code()[1].imm, 3u);  // forward to bottom
+  EXPECT_EQ(p.code()[2].imm, 0u);  // backward to top
+}
+
+TEST(Assembler, ParsesGuardsAndComments) {
+  const Program p = Assemble(R"(
+    @!P2 IADD R1, R2, R3  // comment
+    # full-line comment
+    MOV32I R4, -1;
+  )");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p.code()[0].predicated);
+  EXPECT_TRUE(p.code()[0].pred_negated);
+  EXPECT_EQ(p.code()[0].pred_reg, 2);
+  EXPECT_EQ(p.code()[1].imm, 0xFFFFFFFFu);
+}
+
+TEST(Assembler, ParsesMemoryOperands) {
+  const Program p = Assemble(R"(
+    LDG R1, [R2+0x10]
+    STG [R3+4], R5
+    LDS R6, [R7]
+  )");
+  EXPECT_EQ(p.code()[0].src_a, 2);
+  EXPECT_EQ(p.code()[0].imm, 0x10u);
+  EXPECT_EQ(p.code()[1].dst, 5);
+  EXPECT_EQ(p.code()[1].src_a, 3);
+  EXPECT_EQ(p.code()[2].imm, 0u);
+}
+
+TEST(Assembler, ParsesImmediateOperandInRrrForm) {
+  const Program p = Assemble("SHL R1, R2, 0x1f");
+  EXPECT_TRUE(p.code()[0].has_imm);
+  EXPECT_EQ(p.code()[0].imm, 31u);
+}
+
+TEST(Assembler, RejectsMalformedInput) {
+  EXPECT_THROW(Assemble("FROB R1, R2"), AsmError);
+  EXPECT_THROW(Assemble("IADD R1, R2"), AsmError);
+  EXPECT_THROW(Assemble("IADD R1, R2, R99"), AsmError);
+  EXPECT_THROW(Assemble("ISETP.ZZ P0, R1, R2"), AsmError);
+  EXPECT_THROW(Assemble("IADD.LT R1, R2, R3"), AsmError);
+  EXPECT_THROW(Assemble("BRA nowhere"), AsmError);
+  EXPECT_THROW(Assemble("l: NOP\nl: NOP"), AsmError);
+  EXPECT_THROW(Assemble("@P9 NOP"), AsmError);
+  EXPECT_THROW(Assemble("EXIT R1"), AsmError);
+  EXPECT_THROW(Assemble("S2R R1, SR_BOGUS"), AsmError);
+}
+
+TEST(Assembler, LabelOnSameLineAsInstruction) {
+  const Program p = Assemble("loop: IADD32I R1, R1, 1\nBRA loop");
+  EXPECT_EQ(p.code()[1].imm, 0u);
+}
+
+// --- Program surgery ---
+
+TEST(ProgramTest, RemoveInstructionsRetargetsBranches) {
+  const Program p = Assemble(R"(
+      MOV32I R1, 1
+      MOV32I R2, 2
+      MOV32I R3, 3
+      @P0 BRA target
+      MOV32I R4, 4
+    target:
+      EXIT
+  )");
+  // Remove instructions 1 and 2; the branch at (old) index 3 pointed to 5.
+  const Program out = p.RemoveInstructions({1, 2});
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.code()[1].op, Opcode::BRA);
+  EXPECT_EQ(out.code()[1].imm, 3u);  // retargeted to EXIT's new index
+}
+
+TEST(ProgramTest, RemovingBranchTargetRedirectsToNextSurvivor) {
+  const Program p = Assemble(R"(
+      @P0 BRA mid
+      MOV32I R1, 1
+    mid:
+      MOV32I R2, 2
+      EXIT
+  )");
+  const Program out = p.RemoveInstructions({2});  // remove the target itself
+  EXPECT_EQ(out.code()[0].imm, 2u);               // now points at EXIT
+}
+
+TEST(ProgramTest, ValidateRejectsBadKernelConfig) {
+  Program p;
+  p.Append(MakePlain(Opcode::EXIT));
+  p.config().threads_per_block = 0;
+  EXPECT_THROW(p.Validate(), AsmError);
+}
+
+TEST(ProgramTest, ValidateRejectsOutOfRangeBranch) {
+  Program p;
+  p.Append(MakeBranch(Opcode::BRA, 5));
+  EXPECT_THROW(p.Validate(), AsmError);
+}
+
+// --- Binary container ---
+
+TEST(BinaryFormat, RoundTripsPrograms) {
+  const Program p = Assemble(R"(
+    .entry round
+    .blocks 2
+    .threads 64
+    .data 0x100: 1 2 3
+    .data 0x200: 0xffffffff
+    top:
+      MOV32I R1, 0x12345678
+      @!P2 IADD R2, R1, R1
+      ISETP.LT P0, R1, R2
+      @P0 BRA top
+      STG [R2+0x10], R1
+      EXIT
+  )");
+  std::stringstream ss;
+  SaveBinary(ss, p);
+  const Program back = LoadBinary(ss);
+  EXPECT_EQ(back, p);
+}
+
+TEST(BinaryFormat, RoundTripsEmptyNameAndData) {
+  Program p;
+  p.Append(MakePlain(Opcode::EXIT));
+  std::stringstream ss;
+  SaveBinary(ss, p);
+  EXPECT_EQ(LoadBinary(ss), p);
+}
+
+TEST(BinaryFormat, RejectsBadMagic) {
+  std::stringstream ss("NOPE....");
+  EXPECT_THROW(LoadBinary(ss), AsmError);
+}
+
+TEST(BinaryFormat, RejectsTruncation) {
+  const Program p = Assemble("MOV32I R1, 5\nEXIT");
+  std::stringstream ss;
+  SaveBinary(ss, p);
+  const std::string full = ss.str();
+  for (const std::size_t cut :
+       std::vector<std::size_t>{4, 12, full.size() - 3}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_THROW(LoadBinary(truncated), AsmError) << "cut at " << cut;
+  }
+}
+
+TEST(ProgramTest, DataWordsCounts) {
+  Program p;
+  p.data().push_back({0, {1, 2, 3}});
+  p.data().push_back({64, {4}});
+  EXPECT_EQ(p.DataWords(), 4u);
+}
+
+}  // namespace
+}  // namespace gpustl::isa

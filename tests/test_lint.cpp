@@ -1,0 +1,152 @@
+// Lint tests: each check fires on a crafted offender and stays silent on
+// clean programs (including every generated PTP).
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/lint.h"
+#include "stl/generators.h"
+
+namespace gpustl::isa {
+namespace {
+
+int CountErrors(const std::vector<LintFinding>& findings) {
+  int n = 0;
+  for (const auto& f : findings) n += f.severity == LintSeverity::kError;
+  return n;
+}
+
+bool HasCode(const std::vector<LintFinding>& findings, const char* code) {
+  for (const auto& f : findings) {
+    if (f.message.rfind(code, 0) == 0) return true;
+  }
+  return false;
+}
+
+TEST(LintTest, CleanProgramHasNoFindings) {
+  const Program p = Assemble(R"(
+    .threads 1
+    MOV32I R1, 4
+    IADD R2, R1, R1
+    STG [R2+0], R1
+    EXIT
+  )");
+  const auto findings = Lint(p);
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+TEST(LintTest, MissingExitIsAnError) {
+  const Program p = Assemble(R"(
+    MOV32I R1, 1
+    IADD R2, R1, R1
+  )");
+  const auto findings = Lint(p);
+  EXPECT_GE(CountErrors(findings), 1);
+  EXPECT_TRUE(HasCode(findings, "E1"));
+}
+
+TEST(LintTest, PredicatedExitDoesNotTerminate) {
+  const Program p = Assemble(R"(
+    MOV32I R1, 1
+    @P0 RET
+  )");
+  // The last block can fall through when P0 is false... the last
+  // instruction is a predicated RET, so E1 must fire.
+  EXPECT_TRUE(HasCode(Lint(p), "E1"));
+}
+
+TEST(LintTest, UnreachableCodeWarned) {
+  const Program p = Assemble(R"(
+      MOV32I R1, 1
+      BRA end
+      MOV32I R2, 2   // unreachable
+    end:
+      EXIT
+  )");
+  const auto findings = Lint(p);
+  EXPECT_TRUE(HasCode(findings, "W1"));
+  EXPECT_EQ(CountErrors(findings), 0);
+}
+
+TEST(LintTest, ReadBeforeWriteWarned) {
+  const Program p = Assemble(R"(
+    IADD R2, R5, R5   // R5 never written
+    MOV32I R3, 0x100
+    STG [R3+0], R2
+    EXIT
+  )");
+  EXPECT_TRUE(HasCode(Lint(p), "W2"));
+}
+
+TEST(LintTest, WriteOnOnlyOneBranchIsNotDefinite) {
+  const Program p = Assemble(R"(
+      ISETP.EQ P0, R1, 0
+      @P0 MOV32I R4, 7   // only defined when P0
+      IADD R5, R4, R4    // may read undefined R4
+      MOV32I R3, 0x100
+      STG [R3+0], R5
+      EXIT
+  )");
+  EXPECT_TRUE(HasCode(Lint(p), "W2"));
+}
+
+TEST(LintTest, UndefinedPredicateWarned) {
+  const Program p = Assemble(R"(
+    MOV32I R1, 1
+    @P2 IADD R2, R1, R1
+    EXIT
+  )");
+  EXPECT_TRUE(HasCode(Lint(p), "W3"));
+}
+
+TEST(LintTest, DeadWriteWarned) {
+  const Program p = Assemble(R"(
+    MOV32I R1, 1
+    MOV32I R9, 99   // never read
+    MOV32I R3, 0x100
+    STG [R3+0], R1
+    EXIT
+  )");
+  EXPECT_TRUE(HasCode(Lint(p), "W4"));
+}
+
+TEST(LintTest, UnwrittenAddressRegisterWarned) {
+  const Program p = Assemble(R"(
+    MOV32I R1, 1
+    STG [R20+0x100], R1
+    EXIT
+  )");
+  EXPECT_TRUE(HasCode(Lint(p), "W5"));
+}
+
+TEST(LintTest, GeneratedPtpsAreErrorFree) {
+  for (const Program& p :
+       {stl::GenerateImm(10, 1), stl::GenerateMem(10, 2),
+        stl::GenerateCntrl(5, 3), stl::GenerateRand(10, 4),
+        stl::GenerateFpu(10, 5)}) {
+    const auto findings = Lint(p);
+    EXPECT_EQ(CountErrors(findings), 0)
+        << p.name() << ":\n" << FormatFindings(findings);
+  }
+}
+
+TEST(LintTest, LoopCarriedDefinitionsConverge) {
+  // R1 is defined before the loop; the back edge must not oscillate the
+  // dataflow into a false W2.
+  const Program p = Assemble(R"(
+      MOV32I R1, 0
+      MOV32I R2, 0x100
+    loop:
+      IADD32I R1, R1, 1
+      ISETP.LT P0, R1, 5
+      @P0 BRA loop
+      STG [R2+0], R1
+      EXIT
+  )");
+  const auto findings = Lint(p);
+  for (const auto& f : findings) {
+    EXPECT_EQ(f.message.find("R1"), std::string::npos) << f.message;
+  }
+}
+
+}  // namespace
+}  // namespace gpustl::isa

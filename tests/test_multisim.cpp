@@ -1,0 +1,132 @@
+// Multi-SM GPU tests: round-robin block dispatch, merged memory images,
+// parallel speedup in the timing model, per-SM monitor filtering, and
+// write-conflict detection.
+#include <gtest/gtest.h>
+
+#include "gpu/gpu.h"
+#include "isa/assembler.h"
+#include "stl/generators.h"
+#include "trace/trace.h"
+
+namespace gpustl::gpu {
+namespace {
+
+using isa::Assemble;
+using isa::Program;
+
+/// Each block writes its CTAID to a block-private slot.
+const char* kPerBlockKernel = R"(
+  .blocks 8
+  .threads 4
+  S2R R1, SR_CTAID
+  S2R R2, SR_TID
+  MOV32I R3, 4
+  S2R R4, SR_NTID
+  IMUL R5, R1, R4
+  IADD R5, R5, R2
+  IMUL R5, R5, R3
+  IADD32I R5, R5, 0x100
+  STG [R5+0], R1
+  EXIT
+)";
+
+TEST(GpuTest, MergedImageMatchesSingleSm) {
+  const Program p = Assemble(kPerBlockKernel);
+
+  GpuConfig one;
+  one.num_sms = 1;
+  GpuConfig four;
+  four.num_sms = 4;
+
+  const GpuRunResult r1 = Gpu(one).Run(p);
+  const GpuRunResult r4 = Gpu(four).Run(p);
+
+  EXPECT_EQ(r1.global, r4.global);
+  EXPECT_EQ(r1.dynamic_instructions, r4.dynamic_instructions);
+  EXPECT_EQ(r4.write_conflicts, 0u);
+  // Every block stored its id.
+  for (std::uint32_t b = 0; b < 8; ++b) {
+    EXPECT_EQ(r4.global.Load(0x100 + b * 16), b);
+  }
+}
+
+TEST(GpuTest, MoreSmsRunFaster) {
+  const Program p = Assemble(kPerBlockKernel);
+  GpuConfig one;
+  one.num_sms = 1;
+  GpuConfig four;
+  four.num_sms = 4;
+
+  const GpuRunResult r1 = Gpu(one).Run(p);
+  const GpuRunResult r4 = Gpu(four).Run(p);
+
+  EXPECT_LT(r4.total_cycles, r1.total_cycles);
+  // Total work is conserved.
+  EXPECT_EQ(r4.sum_cycles, r1.sum_cycles);
+}
+
+TEST(GpuTest, RoundRobinDispatch) {
+  const Program p = Assemble(kPerBlockKernel);
+  GpuConfig config;
+  config.num_sms = 3;
+  Gpu gpu(config);
+  const GpuRunResult r = gpu.Run(p);
+  // 8 blocks over 3 SMs: loads 3/3/2.
+  EXPECT_GT(r.per_sm_cycles[0], 0u);
+  EXPECT_GT(r.per_sm_cycles[1], 0u);
+  EXPECT_GT(r.per_sm_cycles[2], 0u);
+  EXPECT_GT(r.per_sm_cycles[0], r.per_sm_cycles[2]);  // 3 blocks vs 2
+}
+
+TEST(GpuTest, MonitorAttachesToOneSm) {
+  const Program p = Assemble(kPerBlockKernel);
+  GpuConfig config;
+  config.num_sms = 4;
+
+  trace::TraceRecorder sm0_only;
+  trace::TraceRecorder all;
+  Gpu gpu(config);
+  gpu.AddMonitor(&sm0_only, 0);
+  gpu.AddMonitor(&all, -1);
+  gpu.Run(p);
+
+  // SM0 ran blocks 0 and 4.
+  EXPECT_EQ(sm0_only.report().size(), 20u);  // 2 blocks x 10 instructions
+  EXPECT_EQ(all.report().size(), 80u);
+  for (const auto& e : sm0_only.report().entries()) {
+    EXPECT_TRUE(e.block == 0 || e.block == 4);
+  }
+}
+
+TEST(GpuTest, DetectsWriteConflicts) {
+  // Every block writes a different value to the SAME address.
+  const Program p = Assemble(R"(
+    .blocks 4
+    .threads 1
+    S2R R1, SR_CTAID
+    MOV32I R2, 0x200
+    STG [R2+0], R1
+    EXIT
+  )");
+  GpuConfig config;
+  config.num_sms = 4;
+  const GpuRunResult r = Gpu(config).Run(p);
+  EXPECT_GT(r.write_conflicts, 0u);
+}
+
+TEST(GpuTest, GeneratedPtpIdenticalAcrossSmCounts) {
+  // STL PTPs use block-disjoint result windows: multi-SM runs must be
+  // image-identical and conflict-free.
+  isa::Program p = stl::GenerateImm(6, 3);
+  p.config().blocks = 4;  // replicate across blocks
+  GpuConfig one;
+  GpuConfig two;
+  two.num_sms = 2;
+  const GpuRunResult r1 = Gpu(one).Run(p);
+  const GpuRunResult r2 = Gpu(two).Run(p);
+  EXPECT_EQ(r2.write_conflicts, r1.write_conflicts);
+  EXPECT_EQ(r1.global, r2.global);
+}
+
+}  // namespace
+}  // namespace gpustl::gpu

@@ -1,0 +1,312 @@
+// Netlist tests: cell truth tables (parameterized over the whole library),
+// construction errors, levelization, bit-parallel logic simulation against
+// word-level references (adder/multiplier/shifter property sweeps), and
+// sequential DFF stepping.
+#include <gtest/gtest.h>
+
+#include "circuits/blocks.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "netlist/cell.h"
+#include "netlist/logicsim.h"
+#include "netlist/netlist.h"
+
+namespace gpustl::netlist {
+namespace {
+
+using circuits::Adder;
+using circuits::BarrelShifter;
+using circuits::Bus;
+using circuits::ConstBit;
+using circuits::EqualsConst;
+using circuits::LessSigned;
+using circuits::LessUnsigned;
+using circuits::Multiplier;
+using circuits::Negate;
+using circuits::ShiftDir;
+using circuits::Subtractor;
+
+// --- Cell library truth tables ---
+
+struct CellCase {
+  CellType type;
+  // Expected output for each input combination, LSB = inputs all zero.
+  std::uint32_t truth;
+};
+
+class CellTruth : public ::testing::TestWithParam<CellCase> {};
+
+TEST_P(CellTruth, MatchesTruthTable) {
+  const auto [type, truth] = GetParam();
+  const int n = CellFaninCount(type);
+  for (int combo = 0; combo < (1 << n); ++combo) {
+    std::uint64_t in[4] = {0, 0, 0, 0};
+    for (int i = 0; i < n; ++i) in[i] = (combo >> i) & 1 ? ~0ull : 0ull;
+    const std::uint64_t out = EvalCell(type, in);
+    const bool expected = (truth >> combo) & 1;
+    EXPECT_EQ(out, expected ? ~0ull : 0ull)
+        << CellName(type) << " combo " << combo;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, CellTruth,
+    ::testing::Values(
+        CellCase{CellType::kBuf, 0b10}, CellCase{CellType::kInv, 0b01},
+        CellCase{CellType::kAnd2, 0b1000}, CellCase{CellType::kOr2, 0b1110},
+        CellCase{CellType::kNand2, 0b0111}, CellCase{CellType::kNor2, 0b0001},
+        CellCase{CellType::kXor2, 0b0110}, CellCase{CellType::kXnor2, 0b1001},
+        CellCase{CellType::kAnd3, 0x80}, CellCase{CellType::kOr3, 0xFE},
+        CellCase{CellType::kNand3, 0x7F}, CellCase{CellType::kNor3, 0x01},
+        CellCase{CellType::kAnd4, 0x8000}, CellCase{CellType::kOr4, 0xFFFE},
+        CellCase{CellType::kNand4, 0x7FFF}, CellCase{CellType::kNor4, 0x0001},
+        // MUX2: out = sel ? b : a with fanin order {a, b, sel}.
+        CellCase{CellType::kMux2, 0b11001010},
+        // AOI21 = !((a&b)|c) over {a,b,c}.
+        CellCase{CellType::kAoi21, 0b00000111},
+        // OAI21 = !((a|b)&c) over {a,b,c}.
+        CellCase{CellType::kOai21, 0b00011111},
+        // AOI22 = !((a&b)|(c&d)).
+        CellCase{CellType::kAoi22, 0x0777},
+        // OAI22 = !((a|b)&(c|d)).
+        CellCase{CellType::kOai22, 0x111F}));
+
+TEST(CellLibrary, FaninCounts) {
+  EXPECT_EQ(CellFaninCount(CellType::kInput), 0);
+  EXPECT_EQ(CellFaninCount(CellType::kInv), 1);
+  EXPECT_EQ(CellFaninCount(CellType::kMux2), 3);
+  EXPECT_EQ(CellFaninCount(CellType::kAoi22), 4);
+  EXPECT_EQ(CellFaninCount(CellType::kDff), 1);
+}
+
+TEST(CellLibrary, NamesAreNangateStyle) {
+  EXPECT_EQ(CellName(CellType::kNand2), "NAND2_X1");
+  EXPECT_EQ(CellName(CellType::kDff), "DFF_X1");
+}
+
+// --- Netlist construction ---
+
+TEST(NetlistTest, RejectsArityMismatch) {
+  Netlist nl("t");
+  const NetId a = nl.AddInput("a");
+  EXPECT_THROW(nl.AddGate(CellType::kAnd2, {a}), NetlistError);
+}
+
+TEST(NetlistTest, RejectsForwardReference) {
+  Netlist nl("t");
+  nl.AddInput("a");
+  EXPECT_THROW(nl.AddGate(CellType::kInv, {5}), NetlistError);
+}
+
+TEST(NetlistTest, FreezeBuildsTopoAndFanout) {
+  Netlist nl("t");
+  const NetId a = nl.AddInput("a");
+  const NetId b = nl.AddInput("b");
+  const NetId x = nl.AddGate(CellType::kAnd2, {a, b});
+  const NetId y = nl.AddGate(CellType::kInv, {x});
+  nl.MarkOutput(y, "y");
+  nl.Freeze();
+  EXPECT_EQ(nl.topo_order().size(), 2u);
+  EXPECT_EQ(nl.fanout(a).size(), 1u);
+  EXPECT_EQ(nl.fanout(x)[0], y);
+  EXPECT_EQ(nl.levels()[y], 2u);
+  EXPECT_EQ(nl.CountOfType(CellType::kInv), 1u);
+}
+
+TEST(NetlistTest, BusHelpers) {
+  Netlist nl("t");
+  const Bus in = AddInputBus(nl, "in", 8);
+  EXPECT_EQ(in.size(), 8u);
+  EXPECT_EQ(nl.input_name(3), "in[3]");
+  MarkOutputBus(nl, in, "out");
+  EXPECT_EQ(nl.num_outputs(), 8u);
+  EXPECT_EQ(nl.output_name(7), "out[7]");
+}
+
+// --- Word-level blocks vs arithmetic references (property sweeps) ---
+
+struct WordOpRig {
+  Netlist nl{"rig"};
+  Bus a, b;
+
+  WordOpRig(int wa, int wb) {
+    a = AddInputBus(nl, "a", wa);
+    b = AddInputBus(nl, "b", wb);
+  }
+
+  /// Applies one (a, b) input pair to the frozen netlist and returns the
+  /// packed outputs.
+  std::uint64_t Apply(std::uint64_t av, std::uint64_t bv) {
+    BitSimulator sim(nl);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      sim.SetInputWord(i, (av >> i) & 1 ? ~0ull : 0ull);
+    }
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      sim.SetInputWord(a.size() + i, (bv >> i) & 1 ? ~0ull : 0ull);
+    }
+    sim.Eval();
+    std::uint64_t out = 0;
+    for (std::size_t o = 0; o < nl.num_outputs(); ++o) {
+      out |= (sim.OutputWord(o) & 1) << o;
+    }
+    return out;
+  }
+};
+
+class RandomPairs : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPairs, AdderMatches) {
+  WordOpRig rig(16, 16);
+  Bus sum = Adder(rig.nl, rig.a, rig.b, ConstBit(rig.nl, false));
+  MarkOutputBus(rig.nl, sum, "s");
+  rig.nl.Freeze();
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t x = rng() & 0xFFFF, y = rng() & 0xFFFF;
+    EXPECT_EQ(rig.Apply(x, y), (x + y) & 0xFFFF) << x << "+" << y;
+  }
+}
+
+TEST_P(RandomPairs, SubtractorMatches) {
+  WordOpRig rig(16, 16);
+  NetId no_borrow = kNoNet;
+  Bus diff = Subtractor(rig.nl, rig.a, rig.b, &no_borrow);
+  MarkOutputBus(rig.nl, diff, "d");
+  rig.nl.MarkOutput(no_borrow, "nb");
+  rig.nl.Freeze();
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t x = rng() & 0xFFFF, y = rng() & 0xFFFF;
+    const std::uint64_t got = rig.Apply(x, y);
+    EXPECT_EQ(got & 0xFFFF, (x - y) & 0xFFFF);
+    EXPECT_EQ((got >> 16) & 1, x >= y ? 1u : 0u);
+  }
+}
+
+TEST_P(RandomPairs, MultiplierMatches) {
+  WordOpRig rig(12, 12);
+  Bus prod = Multiplier(rig.nl, rig.a, rig.b);
+  MarkOutputBus(rig.nl, prod, "p");
+  rig.nl.Freeze();
+  Rng rng(GetParam());
+  for (int i = 0; i < 30; ++i) {
+    const std::uint64_t x = rng() & 0xFFF, y = rng() & 0xFFF;
+    EXPECT_EQ(rig.Apply(x, y), x * y);
+  }
+}
+
+TEST_P(RandomPairs, ShifterMatches) {
+  WordOpRig rig(16, 4);
+  Bus left = BarrelShifter(rig.nl, rig.a, rig.b, ShiftDir::kLeft, false);
+  MarkOutputBus(rig.nl, left, "l");
+  rig.nl.Freeze();
+  Rng rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    const std::uint64_t x = rng() & 0xFFFF;
+    const std::uint64_t s = rng() & 0xF;
+    EXPECT_EQ(rig.Apply(x, s), (x << s) & 0xFFFF);
+  }
+}
+
+TEST_P(RandomPairs, ArithmeticRightShiftMatches) {
+  WordOpRig rig(16, 4);
+  Bus sar = BarrelShifter(rig.nl, rig.a, rig.b, ShiftDir::kRight, true);
+  MarkOutputBus(rig.nl, sar, "r");
+  rig.nl.Freeze();
+  Rng rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    const std::uint64_t x = rng() & 0xFFFF;
+    const std::uint64_t s = rng() & 0xF;
+    const auto sx = static_cast<std::int16_t>(x);
+    const auto expect =
+        static_cast<std::uint16_t>(sx >> s);
+    EXPECT_EQ(rig.Apply(x, s), expect);
+  }
+}
+
+TEST_P(RandomPairs, ComparatorsMatch) {
+  WordOpRig rig(12, 12);
+  rig.nl.MarkOutput(LessUnsigned(rig.nl, rig.a, rig.b), "ltu");
+  rig.nl.MarkOutput(LessSigned(rig.nl, rig.a, rig.b), "lts");
+  rig.nl.MarkOutput(EqualsConst(rig.nl, rig.a, 0x123), "eqc");
+  rig.nl.Freeze();
+  Rng rng(GetParam());
+  for (int i = 0; i < 60; ++i) {
+    const std::uint64_t x = rng() & 0xFFF, y = rng() & 0xFFF;
+    const std::uint64_t got = rig.Apply(x, y);
+    const auto sx = static_cast<std::int16_t>(static_cast<std::int16_t>(x << 4) >> 4);
+    const auto sy = static_cast<std::int16_t>(static_cast<std::int16_t>(y << 4) >> 4);
+    EXPECT_EQ(got & 1, x < y ? 1u : 0u);
+    EXPECT_EQ((got >> 1) & 1, sx < sy ? 1u : 0u);
+    EXPECT_EQ((got >> 2) & 1, x == 0x123 ? 1u : 0u);
+  }
+}
+
+TEST_P(RandomPairs, NegateMatches) {
+  WordOpRig rig(16, 1);
+  Bus neg = Negate(rig.nl, rig.a);
+  MarkOutputBus(rig.nl, neg, "n");
+  rig.nl.Freeze();
+  Rng rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    const std::uint64_t x = rng() & 0xFFFF;
+    EXPECT_EQ(rig.Apply(x, 0), (-x) & 0xFFFF);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPairs, ::testing::Values(1, 2, 3));
+
+// --- Bit-parallel semantics ---
+
+TEST(BitSimulatorTest, SixtyFourPatternsPerWord) {
+  Netlist nl("x");
+  const NetId a = nl.AddInput("a");
+  const NetId b = nl.AddInput("b");
+  nl.MarkOutput(nl.AddGate(CellType::kXor2, {a, b}), "y");
+  nl.Freeze();
+
+  PatternSet pats(2);
+  for (int i = 0; i < 100; ++i) pats.Add64(i, static_cast<std::uint64_t>(i % 4));
+  const auto outs = SimulateAll(nl, pats);
+  ASSERT_EQ(outs.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    const bool expect = ((i % 4) == 1) || ((i % 4) == 2);
+    EXPECT_EQ(outs[static_cast<std::size_t>(i)], expect ? 1u : 0u);
+  }
+}
+
+TEST(BitSimulatorTest, DffStepping) {
+  // Two DFFs in a chain fed by an input: q2 lags the input by 2 steps.
+  Netlist nl("seq");
+  const NetId d = nl.AddInput("d");
+  const NetId q1 = nl.AddGate(CellType::kDff, {d});
+  const NetId q2 = nl.AddGate(CellType::kDff, {q1});
+  nl.MarkOutput(q2, "q2");
+  nl.Freeze();
+
+  BitSimulator sim(nl);
+  sim.SetInputWord(0, ~0ull);
+  sim.Eval();
+  EXPECT_EQ(sim.OutputWord(0), 0u);
+  sim.Step();
+  sim.Eval();
+  EXPECT_EQ(sim.OutputWord(0), 0u);
+  sim.Step();
+  sim.Eval();
+  EXPECT_EQ(sim.OutputWord(0), ~0ull);
+}
+
+TEST(BitSimulatorTest, ConstCells) {
+  Netlist nl("c");
+  nl.AddInput("unused");
+  nl.MarkOutput(nl.AddGate(CellType::kConst1, {}), "one");
+  nl.MarkOutput(nl.AddGate(CellType::kConst0, {}), "zero");
+  nl.Freeze();
+  BitSimulator sim(nl);
+  sim.Eval();
+  EXPECT_EQ(sim.OutputWord(0), ~0ull);
+  EXPECT_EQ(sim.OutputWord(1), 0ull);
+}
+
+}  // namespace
+}  // namespace gpustl::netlist

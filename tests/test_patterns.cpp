@@ -1,0 +1,162 @@
+// PatternSet container semantics and VCDE report round trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "netlist/patterns.h"
+#include "netlist/vcd.h"
+
+namespace gpustl::netlist {
+namespace {
+
+TEST(PatternSetTest, AddAndReadBits) {
+  PatternSet p(10);
+  p.Add64(100, 0b1010101010);
+  p.Add64(101, 0b0000000001);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.width(), 10);
+  EXPECT_EQ(p.cc(0), 100u);
+  EXPECT_TRUE(p.Bit(0, 1));
+  EXPECT_FALSE(p.Bit(0, 0));
+  EXPECT_TRUE(p.Bit(1, 0));
+}
+
+TEST(PatternSetTest, WidePatternsSpanWords) {
+  PatternSet p(100);
+  std::uint64_t row[2] = {~0ull, 0x5ull};
+  p.Add(7, row);
+  EXPECT_TRUE(p.Bit(0, 63));
+  EXPECT_TRUE(p.Bit(0, 64));
+  EXPECT_FALSE(p.Bit(0, 65));
+  EXPECT_TRUE(p.Bit(0, 66));
+  EXPECT_EQ(p.words_per_pattern(), 2u);
+}
+
+TEST(PatternSetTest, PaddingBitsMasked) {
+  PatternSet p(4);
+  p.Add64(0, 0xFF);  // upper bits must be dropped
+  EXPECT_EQ(p.Row(0)[0], 0xFull);
+}
+
+TEST(PatternSetTest, ReversedFlipsOrderKeepsStamps) {
+  PatternSet p(8);
+  p.Add64(10, 0x1);
+  p.Add64(20, 0x2);
+  p.Add64(30, 0x3);
+  const PatternSet r = p.Reversed();
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.cc(0), 30u);
+  EXPECT_EQ(r.Row(0)[0], 0x3u);
+  EXPECT_EQ(r.cc(2), 10u);
+  // Double reversal is the identity.
+  EXPECT_EQ(r.Reversed(), p);
+}
+
+TEST(VcdeTest, RoundTripNarrow) {
+  PatternSet p(12);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) p.Add64(i * 3, rng() & 0xFFF);
+
+  std::stringstream ss;
+  WriteVcde(ss, "sp_core", p);
+  std::string module;
+  const PatternSet back = ReadVcde(ss, &module);
+  EXPECT_EQ(module, "sp_core");
+  EXPECT_EQ(back, p);
+}
+
+TEST(VcdeTest, RoundTripWide) {
+  PatternSet p(105);
+  Rng rng(9);
+  for (int i = 0; i < 30; ++i) {
+    std::uint64_t row[2] = {rng(), rng() & ((1ull << 41) - 1)};
+    p.Add(i, row);
+  }
+  std::stringstream ss;
+  WriteVcde(ss, "du", p);
+  EXPECT_EQ(ReadVcde(ss), p);
+}
+
+TEST(VcdeTest, RejectsMalformedHeader) {
+  std::stringstream ss("$nope x width 3 patterns 1\n");
+  EXPECT_THROW(ReadVcde(ss), ReportError);
+}
+
+TEST(VcdeTest, RejectsTruncatedBody) {
+  std::stringstream ss("$vcde m width 8 patterns 2\n0 00000000000000ff\n");
+  EXPECT_THROW(ReadVcde(ss), ReportError);
+}
+
+TEST(VcdeTest, RejectsMissingEnd) {
+  std::stringstream ss("$vcde m width 8 patterns 1\n0 00000000000000ff\n");
+  EXPECT_THROW(ReadVcde(ss), ReportError);
+}
+
+TEST(VcdeTest, RejectsBadHex) {
+  std::stringstream ss("$vcde m width 8 patterns 1\n0 zz\n$end\n");
+  EXPECT_THROW(ReadVcde(ss), ReportError);
+}
+
+TEST(VcdeTest, EmptySetRoundTrips) {
+  PatternSet p(16);
+  std::stringstream ss;
+  WriteVcde(ss, "m", p);
+  EXPECT_EQ(ReadVcde(ss), p);
+}
+
+// --- VCD waveform dump ---
+
+TEST(VcdTest, DumpsHeaderAndChanges) {
+  Netlist nl("wave");
+  const NetId a = nl.AddInput("a");
+  const NetId b = nl.AddInput("b");
+  nl.MarkOutput(nl.AddGate(CellType::kXor2, {a, b}), "y");
+  nl.Freeze();
+
+  PatternSet pats(2);
+  pats.Add64(0, 0b00);
+  pats.Add64(5, 0b01);
+  pats.Add64(9, 0b11);
+
+  const std::string vcd = DumpVcd(nl, pats);
+  EXPECT_NE(vcd.find("$timescale"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(vcd.find(" a $end"), std::string::npos);
+  EXPECT_NE(vcd.find(" y $end"), std::string::npos);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  EXPECT_NE(vcd.find("#5"), std::string::npos);
+  EXPECT_NE(vcd.find("#9"), std::string::npos);
+}
+
+TEST(VcdTest, OnlyChangesAreEmitted) {
+  Netlist nl("wave");
+  const NetId a = nl.AddInput("a");
+  nl.MarkOutput(nl.AddGate(CellType::kBuf, {a}), "y");
+  nl.Freeze();
+
+  PatternSet pats(1);
+  pats.Add64(0, 1);
+  pats.Add64(1, 1);  // no change: no #1 stamp
+  pats.Add64(2, 0);
+
+  const std::string vcd = DumpVcd(nl, pats);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  EXPECT_EQ(vcd.find("#1\n"), std::string::npos);
+  EXPECT_NE(vcd.find("#2"), std::string::npos);
+}
+
+TEST(VcdTest, CrossesPatternBlocks) {
+  Netlist nl("wave");
+  const NetId a = nl.AddInput("a");
+  nl.MarkOutput(nl.AddGate(CellType::kInv, {a}), "y");
+  nl.Freeze();
+  PatternSet pats(1);
+  for (int i = 0; i < 130; ++i) pats.Add64(static_cast<std::uint64_t>(i), i % 2);
+  const std::string vcd = DumpVcd(nl, pats);
+  EXPECT_NE(vcd.find("#129"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpustl::netlist

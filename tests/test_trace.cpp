@@ -1,0 +1,210 @@
+// Tracing-report and pattern-probe tests: report contents, text round
+// trips, cc-to-instruction joins, and per-module pattern capture widths and
+// counts.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "circuits/sfu.h"
+#include "circuits/sp_core.h"
+#include "gpu/sm.h"
+#include "isa/assembler.h"
+#include "trace/histogram.h"
+#include "trace/trace.h"
+
+namespace gpustl::trace {
+namespace {
+
+using gpu::Sm;
+using isa::Assemble;
+
+TEST(TargetModuleNames, Stable) {
+  EXPECT_EQ(TargetModuleName(TargetModule::kDecoderUnit), "DU");
+  EXPECT_EQ(TargetModuleName(TargetModule::kSpCore), "SP");
+  EXPECT_EQ(TargetModuleName(TargetModule::kSfu), "SFU");
+}
+
+TEST(TracingReportTest, RecordsOneEntryPerIssue) {
+  TraceRecorder recorder;
+  Sm sm;
+  sm.AddMonitor(&recorder);
+  sm.Run(Assemble(R"(
+    .threads 64
+    MOV32I R1, 1
+    IADD R2, R1, R1
+    EXIT
+  )"));
+  // 3 instructions x 2 warps.
+  EXPECT_EQ(recorder.report().size(), 6u);
+  // PCs recorded per entry.
+  EXPECT_EQ(recorder.report().entries()[0].pc, 0u);
+}
+
+TEST(TracingReportTest, CcsByPcJoinsWarps) {
+  TraceRecorder recorder;
+  Sm sm;
+  sm.AddMonitor(&recorder);
+  sm.Run(Assemble(R"(
+    .threads 96
+    MOV32I R1, 1
+    EXIT
+  )"));
+  const auto ccs = recorder.report().CcsByPc(2);
+  EXPECT_EQ(ccs[0].size(), 3u);  // 3 warps issued instruction 0
+  EXPECT_EQ(ccs[1].size(), 3u);
+}
+
+TEST(TracingReportTest, TextRoundTrip) {
+  TraceRecorder recorder;
+  Sm sm;
+  sm.AddMonitor(&recorder);
+  sm.Run(Assemble(R"(
+    .threads 32
+    MOV32I R1, 8
+    IADD R2, R1, R1
+    STG [R2+0x0], R1
+    EXIT
+  )"));
+  std::stringstream ss;
+  recorder.report().Write(ss);
+  const TracingReport back = TracingReport::Read(ss);
+  EXPECT_EQ(back, recorder.report());
+}
+
+TEST(TracingReportTest, ReadRejectsGarbage) {
+  std::stringstream ss("not a trace\n");
+  EXPECT_THROW(TracingReport::Read(ss), ReportError);
+}
+
+TEST(PatternProbeTest, DuCapturesEveryIssueWithEncoding) {
+  PatternProbe probe(TargetModule::kDecoderUnit);
+  Sm sm;
+  sm.AddMonitor(&probe);
+  const isa::Program p = Assemble(R"(
+    .threads 32
+    MOV32I R1, 5
+    EXIT
+  )");
+  sm.Run(p);
+  ASSERT_EQ(probe.patterns().size(), 2u);
+  EXPECT_EQ(probe.patterns().width(), 64);
+  EXPECT_EQ(probe.patterns().Row(0)[0], p.code()[0].Encode());
+  EXPECT_EQ(probe.patterns().Row(1)[0], p.code()[1].Encode());
+}
+
+TEST(PatternProbeTest, SpCapturesIntLanesOnly) {
+  PatternProbe probe(TargetModule::kSpCore);
+  Sm sm;
+  sm.AddMonitor(&probe);
+  sm.Run(Assemble(R"(
+    .threads 4
+    MOV32I R1, 3
+    FADD R2, R1, R1
+    IADD R3, R1, R1
+    EXIT
+  )"));
+  // MOV32I and IADD are SP-integer (4 lanes each); FADD is FP32, EXIT is
+  // control: neither produces SP patterns.
+  EXPECT_EQ(probe.patterns().size(), 8u);
+  EXPECT_EQ(probe.patterns().width(), circuits::kSpNumInputs);
+}
+
+TEST(PatternProbeTest, SpPatternEncodesResolvedOperands) {
+  PatternProbe probe(TargetModule::kSpCore);
+  Sm sm;
+  sm.AddMonitor(&probe);
+  sm.Run(Assemble(R"(
+    .threads 1
+    MOV32I R1, 7
+    IADD32I R2, R1, 5
+    EXIT
+  )"));
+  ASSERT_EQ(probe.patterns().size(), 2u);
+  // Second pattern: uop = IADD32I, a = 7, b = 5 (resolved immediate).
+  const std::uint64_t* row = probe.patterns().Row(1);
+  auto field = [&](int lo, int width) {
+    std::uint64_t v = row[lo / 64] >> (lo % 64);
+    if (lo % 64 + width > 64) v |= row[1] << (64 - lo % 64);
+    return v & ((1ull << width) - 1);
+  };
+  EXPECT_EQ(field(0, 6), static_cast<std::uint64_t>(isa::Opcode::IADD32I));
+  EXPECT_EQ(field(9, 32), 7u);
+  EXPECT_EQ(field(41, 32), 5u);
+}
+
+TEST(PatternProbeTest, SfuCapturesOperandAndSelector) {
+  PatternProbe probe(TargetModule::kSfu);
+  Sm sm;
+  sm.AddMonitor(&probe);
+  sm.Run(Assemble(R"(
+    .threads 2
+    MOV32I R1, 0x40000000
+    SIN R2, R1
+    EXIT
+  )"));
+  ASSERT_EQ(probe.patterns().size(), 2u);  // 2 lanes x 1 SFU op
+  EXPECT_EQ(probe.patterns().width(), circuits::kSfuNumInputs);
+  const std::uint64_t row = probe.patterns().Row(0)[0];
+  EXPECT_EQ(row & 0x7, 2u);               // SIN selector
+  EXPECT_EQ(row >> 3, 0x40000000u);       // operand
+}
+
+TEST(PatternProbeTest, PredicatedOffLanesProduceNoPatterns) {
+  PatternProbe probe(TargetModule::kSpCore);
+  Sm sm;
+  sm.AddMonitor(&probe);
+  sm.Run(Assemble(R"(
+    .threads 4
+    S2R R1, SR_TID
+    ISETP.LT P0, R1, 1
+    @P0 IADD R2, R1, R1
+    EXIT
+  )"));
+  // S2R: 4, ISETP: 4, predicated IADD: 1 active lane.
+  EXPECT_EQ(probe.patterns().size(), 9u);
+}
+
+TEST(PatternProbeTest, CcStampsMatchTracingReport) {
+  TraceRecorder recorder;
+  PatternProbe probe(TargetModule::kDecoderUnit);
+  Sm sm;
+  sm.AddMonitor(&recorder);
+  sm.AddMonitor(&probe);
+  sm.Run(Assemble(R"(
+    .threads 32
+    MOV32I R1, 1
+    IADD R2, R1, R1
+    EXIT
+  )"));
+  ASSERT_EQ(recorder.report().size(), probe.patterns().size());
+  for (std::size_t i = 0; i < probe.patterns().size(); ++i) {
+    EXPECT_EQ(probe.patterns().cc(i), recorder.report().entries()[i].cc);
+  }
+}
+
+TEST(OpcodeHistogramTest, CountsIssuesAndLanes) {
+  OpcodeHistogram histogram;
+  Sm sm;
+  sm.AddMonitor(&histogram);
+  sm.Run(Assemble(R"(
+    .threads 4
+    MOV32I R1, 1
+    IADD R2, R1, R1
+    IADD R3, R2, R1
+    EXIT
+  )"));
+  EXPECT_EQ(histogram.issues(isa::Opcode::IADD), 2u);
+  EXPECT_EQ(histogram.lanes(isa::Opcode::IADD), 8u);
+  EXPECT_EQ(histogram.issues(isa::Opcode::EXIT), 1u);
+  EXPECT_EQ(histogram.lanes(isa::Opcode::EXIT), 0u);
+  EXPECT_EQ(histogram.total_issues(), 4u);
+  EXPECT_EQ(histogram.unit_issues(isa::ExecUnit::kSpInt), 3u);
+  EXPECT_EQ(histogram.unit_issues(isa::ExecUnit::kControl), 1u);
+  const std::string rendered = histogram.Render();
+  EXPECT_NE(rendered.find("IADD"), std::string::npos);
+  EXPECT_EQ(rendered.find("FMUL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpustl::trace

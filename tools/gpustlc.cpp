@@ -1,0 +1,449 @@
+// gpustlc — command-line front end for the gpustl library.
+//
+// Subcommands (run `gpustlc help` for details):
+//   assemble  <in.asm> -o <out.gptp>         assemble to the binary format
+//   disasm    <in.gptp|in.asm>               print canonical assembly
+//   run       <ptp> [--sp N] [--dump addr n] execute on the GPU model
+//   trace     <ptp> --module DU|SP|SFU       stage-2 artifacts (trace+VCDE)
+//   faultsim  <ptp> --module DU|SP|SFU       stage-3 fault simulation
+//   compact   <ptp> --module DU|SP|SFU -o f  the five-stage compaction
+//   campaign  <manifest>                     whole-STL campaign
+//
+// A <ptp> argument is loaded as assembly when it ends in ".asm"/".s",
+// otherwise as the GPTP binary container.
+//
+// Manifest format for `campaign` (one PTP per line, '#' comments):
+//   <file> <DU|SP|SFU> <compact|carry> [reverse]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuits/decoder_unit.h"
+#include "circuits/fp32.h"
+#include "circuits/sfu.h"
+#include "circuits/sp_core.h"
+#include "common/error.h"
+#include "common/strutil.h"
+#include "compact/compactor.h"
+#include "compact/report.h"
+#include "compact/stl_campaign.h"
+#include "fault/faultsim.h"
+#include "gpu/sm.h"
+#include "isa/assembler.h"
+#include "isa/binary.h"
+#include "isa/disasm.h"
+#include "isa/lint.h"
+#include "fault/faultlist_io.h"
+#include "fault/transition.h"
+#include "netlist/patterns.h"
+#include "netlist/vcd.h"
+#include "trace/trace.h"
+
+namespace gpustl::tools {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "gpustlc — STL compaction for GPU in-field test\n"
+      "\n"
+      "usage: gpustlc <command> [args]\n"
+      "\n"
+      "commands:\n"
+      "  assemble <in.asm> -o <out.gptp>       assemble to binary container\n"
+      "  disasm   <ptp>                        print canonical assembly\n"
+      "  lint     <ptp>                        static checks (exit 1 on errors)\n"
+      "  run      <ptp> [--sp N] [--dump A N]  execute; optionally dump N\n"
+      "                                        words of global memory at A\n"
+      "  trace    <ptp> --module M [-o base]   write base.trace.txt + base.vcde\n"
+      "           [--vcd]                       (+ base.vcd waveform)\n"
+      "  faultsim <ptp> --module M [--no-drop] fault-simulate captured patterns\n"
+      "           [--fault-model stuck-at|transition]\n"
+      "  compact  <ptp> --module M -o <out>    five-stage compaction\n"
+      "           [--reverse] [--report base]\n"
+      "  campaign <manifest> [--state base]    compact a whole STL; --state\n"
+      "                                        persists the fault lists\n"
+      "\n"
+      "modules M: DU (Decoder Unit), SP (SP core), SFU, FP32\n");
+  return 2;
+}
+
+[[noreturn]] void Die(const std::string& msg) {
+  std::fprintf(stderr, "gpustlc: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) Die("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+isa::Program LoadPtp(const std::string& path) {
+  if (EndsWith(path, ".asm") || EndsWith(path, ".s")) {
+    return isa::Assemble(ReadFile(path));
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) Die("cannot open " + path);
+  return isa::LoadBinary(in);
+}
+
+std::optional<trace::TargetModule> ParseModule(const std::string& name) {
+  const std::string upper = ToUpper(name);
+  if (upper == "DU") return trace::TargetModule::kDecoderUnit;
+  if (upper == "SP") return trace::TargetModule::kSpCore;
+  if (upper == "SFU") return trace::TargetModule::kSfu;
+  if (upper == "FP32") return trace::TargetModule::kFp32;
+  return std::nullopt;
+}
+
+netlist::Netlist BuildModule(trace::TargetModule module) {
+  switch (module) {
+    case trace::TargetModule::kDecoderUnit:
+      return circuits::BuildDecoderUnit();
+    case trace::TargetModule::kSpCore:
+      return circuits::BuildSpCore();
+    case trace::TargetModule::kSfu:
+      return circuits::BuildSfu();
+    case trace::TargetModule::kFp32:
+      return circuits::BuildFp32();
+  }
+  Die("bad module");
+}
+
+/// Minimal flag scanner: collects positionals, handles the known flags.
+struct Args {
+  std::vector<std::string> positional;
+  std::string out;
+  std::string report;
+  std::string module;
+  std::string fault_model = "stuck-at";
+  std::string state;
+  int sp_cores = 8;
+  bool reverse = false;
+  bool no_drop = false;
+  bool vcd = false;
+  std::uint32_t dump_addr = 0;
+  int dump_count = 0;
+
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (++i >= argc) Die("flag " + arg + " needs a value");
+        return argv[i];
+      };
+      if (arg == "-o") out = next();
+      else if (arg == "--module") module = next();
+      else if (arg == "--report") report = next();
+      else if (arg == "--reverse") reverse = true;
+      else if (arg == "--vcd") vcd = true;
+      else if (arg == "--fault-model") fault_model = next();
+      else if (arg == "--state") state = next();
+      else if (arg == "--no-drop") no_drop = true;
+      else if (arg == "--sp") sp_cores = std::atoi(next().c_str());
+      else if (arg == "--dump") {
+        dump_addr = static_cast<std::uint32_t>(
+            ParseInt(next()).value_or(0));
+        dump_count = std::atoi(next().c_str());
+      } else if (!arg.empty() && arg[0] == '-') {
+        Die("unknown flag " + arg);
+      } else {
+        positional.push_back(arg);
+      }
+    }
+  }
+
+  trace::TargetModule RequireModule() const {
+    const auto m = ParseModule(module);
+    if (!m) Die("--module DU|SP|SFU required");
+    return *m;
+  }
+
+  const std::string& RequireInput() const {
+    if (positional.empty()) Die("input file required");
+    return positional[0];
+  }
+};
+
+int CmdAssemble(const Args& args) {
+  const isa::Program prog = LoadPtp(args.RequireInput());
+  if (args.out.empty()) Die("-o <out.gptp> required");
+  std::ofstream out(args.out, std::ios::binary);
+  if (!out) Die("cannot write " + args.out);
+  isa::SaveBinary(out, prog);
+  std::printf("%s: %zu instructions, %zu data words -> %s\n",
+              prog.name().empty() ? "<anon>" : prog.name().c_str(),
+              prog.size(), prog.DataWords(), args.out.c_str());
+  return 0;
+}
+
+int CmdLint(const Args& args) {
+  const isa::Program prog = LoadPtp(args.RequireInput());
+  const auto findings = isa::Lint(prog);
+  std::fputs(isa::FormatFindings(findings).c_str(), stdout);
+  int errors = 0;
+  for (const auto& f : findings) {
+    errors += f.severity == isa::LintSeverity::kError ? 1 : 0;
+  }
+  std::printf("%zu findings (%d errors) in %s\n", findings.size(), errors,
+              prog.name().c_str());
+  return errors == 0 ? 0 : 1;
+}
+
+int CmdDisasm(const Args& args) {
+  const isa::Program prog = LoadPtp(args.RequireInput());
+  std::fputs(isa::DisassembleProgram(prog).c_str(), stdout);
+  return 0;
+}
+
+int CmdRun(const Args& args) {
+  const isa::Program prog = LoadPtp(args.RequireInput());
+  gpu::SmConfig config;
+  config.num_sp = args.sp_cores;
+  gpu::Sm sm(config);
+  const gpu::RunResult res = sm.Run(prog);
+  std::printf("%s: %llu clock cycles, %llu warp-instructions, %zu global "
+              "words written\n",
+              prog.name().c_str(),
+              static_cast<unsigned long long>(res.total_cycles),
+              static_cast<unsigned long long>(res.dynamic_instructions),
+              res.global.words().size());
+  for (int k = 0; k < args.dump_count; ++k) {
+    const std::uint32_t addr = args.dump_addr + static_cast<std::uint32_t>(k) * 4;
+    std::printf("  [0x%08x] = 0x%08x\n", addr, res.global.Load(addr));
+  }
+  return 0;
+}
+
+int CmdTrace(const Args& args) {
+  const isa::Program prog = LoadPtp(args.RequireInput());
+  const trace::TargetModule module = args.RequireModule();
+  const std::string base = args.out.empty() ? prog.name() : args.out;
+
+  trace::TraceRecorder recorder;
+  trace::PatternProbe probe(module);
+  gpu::Sm sm;
+  sm.AddMonitor(&recorder);
+  sm.AddMonitor(&probe);
+  const gpu::RunResult res = sm.Run(prog);
+
+  std::ofstream trace_file(base + ".trace.txt");
+  recorder.report().Write(trace_file);
+  std::ofstream vcde_file(base + ".vcde");
+  netlist::WriteVcde(vcde_file, std::string(trace::TargetModuleName(module)),
+                     probe.patterns());
+  if (args.vcd) {
+    const netlist::Netlist nl = BuildModule(module);
+    std::ofstream wave(base + ".vcd");
+    wave << netlist::DumpVcd(nl, probe.patterns());
+  }
+  std::printf("%s: %llu ccs, %zu trace entries, %zu %s patterns -> "
+              "%s.trace.txt, %s.vcde\n",
+              prog.name().c_str(),
+              static_cast<unsigned long long>(res.total_cycles),
+              recorder.report().size(), probe.patterns().size(),
+              trace::TargetModuleName(module).data(), base.c_str(),
+              base.c_str());
+  return 0;
+}
+
+int CmdFaultsim(const Args& args) {
+  const isa::Program prog = LoadPtp(args.RequireInput());
+  const trace::TargetModule module = args.RequireModule();
+  const netlist::Netlist nl = BuildModule(module);
+
+  trace::PatternProbe probe(module);
+  gpu::Sm sm;
+  sm.AddMonitor(&probe);
+  sm.Run(prog);
+
+  const auto faults = fault::CollapsedFaultList(nl);
+  const auto patterns =
+      args.reverse ? probe.patterns().Reversed() : probe.patterns();
+  const fault::FaultSimOptions sim_options{.drop_detected = !args.no_drop};
+  const auto report =
+      args.fault_model == "transition"
+          ? fault::RunTransitionFaultSim(nl, patterns, faults, nullptr,
+                                         sim_options)
+          : fault::RunFaultSim(nl, patterns, faults, nullptr, sim_options);
+
+  std::printf("%s on %s: %zu patterns, %zu/%zu faults detected (FC %.2f%%)\n",
+              prog.name().c_str(), nl.name().c_str(), patterns.size(),
+              report.num_detected, faults.size(),
+              fault::CoveragePercent(report.num_detected, faults.size()));
+  std::size_t detecting = 0;
+  for (const auto d : report.detects_per_pattern) detecting += d > 0 ? 1 : 0;
+  std::printf("  %zu patterns contribute detections\n", detecting);
+  return 0;
+}
+
+int CmdCompact(const Args& args) {
+  const isa::Program prog = LoadPtp(args.RequireInput());
+  const trace::TargetModule module = args.RequireModule();
+  if (args.out.empty()) Die("-o <out> required");
+  const netlist::Netlist nl = BuildModule(module);
+
+  compact::CompactorOptions options;
+  options.reverse_patterns = args.reverse;
+  options.drop_within_ptp = !args.no_drop;
+  if (args.fault_model == "transition") {
+    options.fault_model = compact::FaultModel::kTransition;
+  } else if (args.fault_model != "stuck-at") {
+    Die("--fault-model must be stuck-at or transition");
+  }
+  compact::Compactor compactor(nl, module, options);
+  const compact::CompactionResult res = compactor.CompactPtp(prog);
+
+  if (EndsWith(args.out, ".asm") || EndsWith(args.out, ".s")) {
+    std::ofstream out(args.out);
+    out << isa::DisassembleProgram(res.compacted);
+  } else {
+    std::ofstream out(args.out, std::ios::binary);
+    isa::SaveBinary(out, res.compacted);
+  }
+
+  std::printf(
+      "%s: %zu -> %zu instructions (%.2f%%), %llu -> %llu ccs (%.2f%%), "
+      "diff FC %+.2f, %zu/%zu SBs removed, %.2fs -> %s\n",
+      prog.name().c_str(), res.original.size_instr, res.result.size_instr,
+      -100.0 * (1.0 - static_cast<double>(res.result.size_instr) /
+                          static_cast<double>(res.original.size_instr)),
+      static_cast<unsigned long long>(res.original.duration_cc),
+      static_cast<unsigned long long>(res.result.duration_cc),
+      -100.0 * (1.0 - static_cast<double>(res.result.duration_cc) /
+                          static_cast<double>(res.original.duration_cc)),
+      res.diff_fc, res.removed_sbs, res.num_sbs, res.compaction_seconds,
+      args.out.c_str());
+
+  if (!args.report.empty()) {
+    std::ofstream report_file(args.report + ".report.txt");
+    compact::WriteCompactionReport(report_file, prog, res);
+    std::ofstream trace_file(args.report + ".trace.txt");
+    res.tracing.Write(trace_file);
+    std::ofstream label_file(args.report + ".labels.txt");
+    for (std::size_t i = 0; i < res.labels.size(); ++i) {
+      label_file << i << " "
+                 << (res.labels[i] ? "essential" : "unessential") << " "
+                 << isa::Disassemble(prog.code()[i]) << "\n";
+    }
+    std::printf("reports -> %s.report.txt, %s.trace.txt, %s.labels.txt\n",
+                args.report.c_str(), args.report.c_str(), args.report.c_str());
+  }
+  return 0;
+}
+
+int CmdCampaign(const Args& args) {
+  const std::string manifest = ReadFile(args.RequireInput());
+
+  const netlist::Netlist du = circuits::BuildDecoderUnit();
+  const netlist::Netlist sp = circuits::BuildSpCore();
+  const netlist::Netlist sfu = circuits::BuildSfu();
+  const netlist::Netlist fp32 = circuits::BuildFp32();
+  compact::StlCampaign campaign(du, sp, sfu, {}, &fp32);
+
+  // Resume a persistent fault-list state (cross-invocation dropping).
+  const auto modules = {trace::TargetModule::kDecoderUnit,
+                        trace::TargetModule::kSpCore,
+                        trace::TargetModule::kSfu, trace::TargetModule::kFp32};
+  if (!args.state.empty()) {
+    for (const auto m : modules) {
+      const std::string path = args.state + "." +
+                               std::string(trace::TargetModuleName(m)) +
+                               ".flist";
+      std::ifstream in(path);
+      if (!in) continue;  // first run: no state yet
+      auto& compactor = campaign.compactor(m);
+      compactor.MutableDetected() = fault::ReadFaultList(
+          in, compactor.module().name(), compactor.faults());
+      std::printf("resumed %s: %.2f%% already detected\n", path.c_str(),
+                  compactor.CumulativeFcPercent());
+    }
+  }
+
+  int line_no = 0;
+  for (std::string_view raw : Split(manifest, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = Trim(line.substr(0, hash));
+    }
+    if (line.empty()) continue;
+    const auto toks = SplitWs(line);
+    if (toks.size() < 3) {
+      Die("manifest line " + std::to_string(line_no) +
+          ": expected <file> <module> <compact|carry> [reverse]");
+    }
+    compact::StlEntry entry;
+    entry.ptp = LoadPtp(std::string(toks[0]));
+    const auto module = ParseModule(std::string(toks[1]));
+    if (!module) Die("manifest line " + std::to_string(line_no) + ": bad module");
+    entry.target = *module;
+    entry.compactable = toks[2] == "compact";
+    entry.reverse_patterns = toks.size() > 3 && toks[3] == "reverse";
+    const auto& rec = campaign.Process(entry);
+    std::printf("  %-12s [%s] %s: %zu -> %zu instr\n", rec.name.c_str(),
+                trace::TargetModuleName(rec.target).data(),
+                rec.compacted ? "compacted" : "carried", rec.original_size,
+                rec.final_size);
+  }
+
+  if (!args.state.empty()) {
+    for (const auto m : modules) {
+      const std::string path = args.state + "." +
+                               std::string(trace::TargetModuleName(m)) +
+                               ".flist";
+      auto& compactor = campaign.compactor(m);
+      std::ofstream out(path);
+      fault::WriteFaultList(out, compactor.module().name(),
+                            compactor.faults(), compactor.detected());
+    }
+    std::printf("fault-list state saved to %s.*.flist\n", args.state.c_str());
+  }
+
+  const auto summary = campaign.Summary();
+  std::printf(
+      "STL: size %zu -> %zu (-%.2f%%), duration %llu -> %llu (-%.2f%%), "
+      "%.2fs\n",
+      summary.original_size, summary.final_size,
+      summary.size_reduction_percent(),
+      static_cast<unsigned long long>(summary.original_duration),
+      static_cast<unsigned long long>(summary.final_duration),
+      summary.duration_reduction_percent(), summary.compaction_seconds);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (cmd == "assemble") return CmdAssemble(args);
+    if (cmd == "disasm") return CmdDisasm(args);
+    if (cmd == "lint") return CmdLint(args);
+    if (cmd == "run") return CmdRun(args);
+    if (cmd == "trace") return CmdTrace(args);
+    if (cmd == "faultsim") return CmdFaultsim(args);
+    if (cmd == "compact") return CmdCompact(args);
+    if (cmd == "campaign") return CmdCampaign(args);
+  } catch (const Error& e) {
+    Die(e.what());
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace gpustl::tools
+
+int main(int argc, char** argv) { return gpustl::tools::Main(argc, argv); }
