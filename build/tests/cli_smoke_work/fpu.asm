@@ -1,0 +1,13 @@
+
+.entry fpu_tiny
+.blocks 1
+.threads 32
+    S2R R1, SR_TID
+    MOV32I R0, 4
+    IMUL R3, R1, R0
+    IADD32I R2, R3, 0x10000
+    MOV32I R4, 0x40400000
+    I2F R5, R1
+    FADD R6, R4, R5
+    STG [R2+0x0], R6
+    EXIT

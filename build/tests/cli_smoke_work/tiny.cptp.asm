@@ -1,0 +1,11 @@
+.entry tiny
+.blocks 1
+.threads 32
+    S2R R1, SR_TID;                          // [0]
+    MOV32I R0, 0x4;                          // [1]
+    IMUL R3, R1, R0;                         // [2]
+    IADD32I R2, R3, 0x10000;                 // [3]
+    MOV32I R4, 0x1234;                       // [4]
+    IADD R5, R4, R1;                         // [5]
+    STG [R2+0x0], R5;                        // [6]
+    EXIT;                                    // [7]
