@@ -7,12 +7,18 @@
 // simulations, wall-clock, compacted size and FC for both, across a sweep
 // of PTP sizes (the baseline's cost grows with the SB count; the proposed
 // method's stays one fault sim + one validation).
+//
+// Part 2 benchmarks the fault-parallel PPSFP engine: the Table II DU
+// campaign (IMM -> MEM -> CNTRL over one persistent fault list) at 1, 2
+// and 4 worker threads, verifying the compaction outcome is bit-identical
+// and reporting the wall-clock speedup.
 #include <cstdio>
 
 #include "baseline/iterative.h"
 #include "circuits/decoder_unit.h"
 #include "bench/bench_common.h"
 #include "common/table.h"
+#include "common/timer.h"
 #include "stl/generators.h"
 
 namespace gpustl::bench {
@@ -57,7 +63,54 @@ int Run() {
       "per candidate (hundreds to thousands); the proposed method needs one\n"
       "(plus the final validation). Expected shape: the baseline's fault-sim\n"
       "count and wall-clock grow superlinearly with the SB count while the\n"
-      "proposed method's stay flat, at comparable compacted sizes.\n");
+      "proposed method's stay flat, at comparable compacted sizes.\n\n");
+
+  // Part 2: serial vs fault-parallel on the Table II DU campaign.
+  const isa::Program imm = stl::GenerateImm(110, 0xA11CE);
+  const isa::Program mem = stl::GenerateMem(105, 0xB0B);
+  const isa::Program cntrl = stl::GenerateCntrl(20, 0xC0FFEE);
+
+  struct CampaignOutcome {
+    std::size_t size = 0;
+    std::size_t detected = 0;
+    double seconds = 0.0;
+  };
+  auto run_campaign = [&](int threads) {
+    compact::CompactorOptions options;
+    options.num_threads = threads;
+    compact::Compactor du_campaign(du, TargetModule::kDecoderUnit, options);
+    Timer timer;
+    CampaignOutcome out;
+    for (const isa::Program* p : {&imm, &mem, &cntrl}) {
+      out.size += du_campaign.CompactPtp(*p).result.size_instr;
+    }
+    out.seconds = timer.Seconds();
+    out.detected = du_campaign.detected().Count();
+    return out;
+  };
+
+  TextTable speedup({"Threads", "Campaign time (s)", "Speedup", "Compacted size",
+                     "Faults detected", "Identical"});
+  const CampaignOutcome serial = run_campaign(1);
+  for (const int threads : {1, 2, 4}) {
+    const CampaignOutcome out = threads == 1 ? serial : run_campaign(threads);
+    const bool identical =
+        out.size == serial.size && out.detected == serial.detected;
+    speedup.AddRow({std::to_string(threads),
+                    ::gpustl::Format("%.3f", out.seconds),
+                    ::gpustl::Format("%.2fx", serial.seconds / out.seconds),
+                    Count(out.size), Count(out.detected),
+                    identical ? "yes" : "NO (BUG)"});
+  }
+  std::printf(
+      "FAULT-PARALLEL PPSFP: TABLE II DU CAMPAIGN, SERIAL VS SHARDED\n\n%s\n",
+      speedup.Render().c_str());
+  std::printf(
+      "The sharded engine's merge is deterministic and bit-identical to the\n"
+      "serial drop-ordered loop (see fault/parallel.h), so the Identical\n"
+      "column must read 'yes'; only wall-clock changes with the thread\n"
+      "count. GPU-model logic tracing (stage 2) stays serial, so the\n"
+      "campaign-level speedup is bounded by the fault-sim fraction.\n");
   return 0;
 }
 

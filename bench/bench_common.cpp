@@ -1,6 +1,7 @@
 #include "bench/bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "atpg/podem.h"
 #include "circuits/decoder_unit.h"
@@ -104,6 +105,19 @@ StlFixture BuildFixture(const StlScale& scale, bool verbose) {
 
   log("fixture complete");
   return fx;
+}
+
+int BenchThreads() {
+  const char* env = std::getenv("GPUSTL_BENCH_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  const int threads = std::atoi(env);
+  return threads < 0 ? 1 : threads;
+}
+
+compact::CompactorOptions BenchCompactorOptions() {
+  compact::CompactorOptions options;
+  options.num_threads = BenchThreads();
+  return options;
 }
 
 std::string Pct(double value) { return Format("%.2f", value); }

@@ -47,6 +47,15 @@ struct StlFixture {
 /// Deterministic; prints progress to stderr when `verbose`.
 StlFixture BuildFixture(const StlScale& scale = {}, bool verbose = true);
 
+/// Fault-sim worker threads for the table benches, from the
+/// GPUSTL_BENCH_THREADS environment variable (default 1 = serial;
+/// 0 = all cores). The parallel engine is bit-identical to serial, so the
+/// table contents do not change — only the compaction-time column does.
+int BenchThreads();
+
+/// CompactorOptions preset with BenchThreads() applied.
+compact::CompactorOptions BenchCompactorOptions();
+
 /// Formats helpers shared by the table benches.
 std::string Pct(double value);                  // "97.30"
 std::string SignedPct(double value);            // "-97.30" / "+0.06"

@@ -24,7 +24,7 @@ using trace::TargetModule;
 int Run() {
   const StlFixture fx = BuildFixture();
 
-  StlCampaign campaign(fx.du, fx.sp, fx.sfu);
+  StlCampaign campaign(fx.du, fx.sp, fx.sfu, BenchCompactorOptions());
 
   // Compactable slice, in the paper's order.
   campaign.Process({fx.imm, TargetModule::kDecoderUnit, true, false});

@@ -28,9 +28,9 @@ struct Row {
 int Run() {
   const StlFixture fx = BuildFixture();
 
-  Compactor du(fx.du, TargetModule::kDecoderUnit);
-  Compactor sp(fx.sp, TargetModule::kSpCore);
-  Compactor sfu(fx.sfu, TargetModule::kSfu);
+  Compactor du(fx.du, TargetModule::kDecoderUnit, BenchCompactorOptions());
+  Compactor sp(fx.sp, TargetModule::kSpCore, BenchCompactorOptions());
+  Compactor sfu(fx.sfu, TargetModule::kSfu, BenchCompactorOptions());
 
   TextTable table({"Target Module", "PTP", "Size (instructions)", "ARC (%)",
                    "Duration (ccs)", "FC (%)"});
@@ -61,7 +61,8 @@ int Run() {
     combined.arc_percent /= static_cast<double>(combined.size_instr);
     // Union FC: sequential fault sims IMM -> MEM -> CNTRL over one
     // persistent (dropping) fault list.
-    Compactor unions(fx.du, TargetModule::kDecoderUnit);
+    Compactor unions(fx.du, TargetModule::kDecoderUnit,
+                     BenchCompactorOptions());
     for (const isa::Program* p : {&fx.imm, &fx.mem, &fx.cntrl}) {
       combined.fc_percent = unions.AbsorbCoverage(*p);
     }
@@ -81,7 +82,7 @@ int Run() {
         (tpgen.arc_percent * static_cast<double>(tpgen.size_instr) +
          rand.arc_percent * static_cast<double>(rand.size_instr)) /
         static_cast<double>(combined.size_instr);
-    Compactor unions(fx.sp, TargetModule::kSpCore);
+    Compactor unions(fx.sp, TargetModule::kSpCore, BenchCompactorOptions());
     unions.AbsorbCoverage(fx.tpgen);
     combined.fc_percent = unions.AbsorbCoverage(fx.rand);
     add("SP", "TPGEN+RAND", combined);

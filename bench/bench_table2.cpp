@@ -21,7 +21,7 @@ using trace::TargetModule;
 int Run() {
   const StlFixture fx = BuildFixture();
 
-  Compactor du(fx.du, TargetModule::kDecoderUnit);
+  Compactor du(fx.du, TargetModule::kDecoderUnit, BenchCompactorOptions());
 
   const CompactionResult imm = du.CompactPtp(fx.imm);
   const CompactionResult mem = du.CompactPtp(fx.mem);
@@ -51,7 +51,8 @@ int Run() {
   // Combined Diff FC is the union coverage delta (compacted set vs
   // original set, both under the sequential dropping flow).
   const double union_before = du.CumulativeFcPercent();
-  Compactor du_after(fx.du, TargetModule::kDecoderUnit);
+  Compactor du_after(fx.du, TargetModule::kDecoderUnit,
+                     BenchCompactorOptions());
   du_after.AbsorbCoverage(imm.compacted);
   du_after.AbsorbCoverage(mem.compacted);
   const double union_after = du_after.AbsorbCoverage(cntrl.compacted);

@@ -22,11 +22,11 @@ using trace::TargetModule;
 int Run() {
   const StlFixture fx = BuildFixture();
 
-  Compactor sp(fx.sp, TargetModule::kSpCore);
+  Compactor sp(fx.sp, TargetModule::kSpCore, BenchCompactorOptions());
   const CompactionResult tpgen = sp.CompactPtp(fx.tpgen);
   const CompactionResult rand = sp.CompactPtp(fx.rand);
 
-  CompactorOptions sfu_options;
+  CompactorOptions sfu_options = BenchCompactorOptions();
   sfu_options.reverse_patterns = true;
   Compactor sfu(fx.sfu, TargetModule::kSfu, sfu_options);
   const CompactionResult sfu_imm = sfu.CompactPtp(fx.sfu_imm);
@@ -46,7 +46,7 @@ int Run() {
   // Combined Diff FC is the *union* coverage delta: the compacted pair's
   // sequential (dropping) coverage vs the original pair's.
   const double union_before = sp.CumulativeFcPercent();
-  Compactor sp_after(fx.sp, TargetModule::kSpCore);
+  Compactor sp_after(fx.sp, TargetModule::kSpCore, BenchCompactorOptions());
   sp_after.AbsorbCoverage(tpgen.compacted);
   const double union_after = sp_after.AbsorbCoverage(rand.compacted);
   table.AddRow({"TPGEN+RAND", Count(comp_size),

@@ -151,5 +151,6 @@ bench/CMakeFiles/bench_stl_summary.dir/bench_stl_summary.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/gpu/monitor.h \
  /root/repo/src/isa/instruction.h /root/repo/src/isa/opcode.h \
  /root/repo/src/isa/program.h /root/repo/src/trace/trace.h \
- /root/repo/src/compact/stl_campaign.h /root/repo/src/common/table.h \
- /root/repo/src/stl/generators.h
+ /root/repo/src/compact/stl_campaign.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/common/table.h /root/repo/src/stl/generators.h

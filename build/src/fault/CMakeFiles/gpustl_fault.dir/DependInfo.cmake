@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/fault/fault.cpp" "src/fault/CMakeFiles/gpustl_fault.dir/fault.cpp.o" "gcc" "src/fault/CMakeFiles/gpustl_fault.dir/fault.cpp.o.d"
   "/root/repo/src/fault/faultlist_io.cpp" "src/fault/CMakeFiles/gpustl_fault.dir/faultlist_io.cpp.o" "gcc" "src/fault/CMakeFiles/gpustl_fault.dir/faultlist_io.cpp.o.d"
   "/root/repo/src/fault/faultsim.cpp" "src/fault/CMakeFiles/gpustl_fault.dir/faultsim.cpp.o" "gcc" "src/fault/CMakeFiles/gpustl_fault.dir/faultsim.cpp.o.d"
+  "/root/repo/src/fault/parallel.cpp" "src/fault/CMakeFiles/gpustl_fault.dir/parallel.cpp.o" "gcc" "src/fault/CMakeFiles/gpustl_fault.dir/parallel.cpp.o.d"
   "/root/repo/src/fault/transition.cpp" "src/fault/CMakeFiles/gpustl_fault.dir/transition.cpp.o" "gcc" "src/fault/CMakeFiles/gpustl_fault.dir/transition.cpp.o.d"
   )
 

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/gpustl_fault.dir/faultlist_io.cpp.o.d"
   "CMakeFiles/gpustl_fault.dir/faultsim.cpp.o"
   "CMakeFiles/gpustl_fault.dir/faultsim.cpp.o.d"
+  "CMakeFiles/gpustl_fault.dir/parallel.cpp.o"
+  "CMakeFiles/gpustl_fault.dir/parallel.cpp.o.d"
   "CMakeFiles/gpustl_fault.dir/transition.cpp.o"
   "CMakeFiles/gpustl_fault.dir/transition.cpp.o.d"
   "libgpustl_fault.a"

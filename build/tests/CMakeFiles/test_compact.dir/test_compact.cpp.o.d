@@ -295,13 +295,15 @@ tests/CMakeFiles/test_compact.dir/test_compact.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/circuits/decoder_unit.h /root/repo/src/netlist/netlist.h \
  /root/repo/src/netlist/cell.h /root/repo/src/common/strutil.h \
- /root/repo/src/circuits/sp_core.h /root/repo/src/compact/compactor.h \
- /root/repo/src/common/bitops.h /root/repo/src/fault/faultsim.h \
- /root/repo/src/fault/fault.h /root/repo/src/netlist/logicsim.h \
- /root/repo/src/netlist/patterns.h /root/repo/src/gpu/sm.h \
- /root/repo/src/gpu/config.h /root/repo/src/gpu/memory.h \
- /root/repo/src/gpu/monitor.h /root/repo/src/isa/instruction.h \
- /root/repo/src/isa/opcode.h /root/repo/src/isa/program.h \
- /root/repo/src/trace/trace.h /root/repo/src/compact/report.h \
- /root/repo/src/isa/assembler.h /root/repo/src/isa/cfg.h \
- /root/repo/src/stl/generators.h
+ /root/repo/src/circuits/sfu.h /root/repo/src/circuits/sp_core.h \
+ /root/repo/src/compact/compactor.h /root/repo/src/common/bitops.h \
+ /root/repo/src/fault/faultsim.h /root/repo/src/fault/fault.h \
+ /root/repo/src/netlist/logicsim.h /root/repo/src/netlist/patterns.h \
+ /root/repo/src/gpu/sm.h /root/repo/src/gpu/config.h \
+ /root/repo/src/gpu/memory.h /root/repo/src/gpu/monitor.h \
+ /root/repo/src/isa/instruction.h /root/repo/src/isa/opcode.h \
+ /root/repo/src/isa/program.h /root/repo/src/trace/trace.h \
+ /root/repo/src/compact/report.h /root/repo/src/compact/stl_campaign.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/isa/assembler.h \
+ /root/repo/src/isa/cfg.h /root/repo/src/stl/generators.h

@@ -303,5 +303,6 @@ tests/CMakeFiles/test_integration.dir/test_integration.cpp.o: \
  /root/repo/src/gpu/memory.h /root/repo/src/gpu/monitor.h \
  /root/repo/src/isa/instruction.h /root/repo/src/isa/opcode.h \
  /root/repo/src/isa/program.h /root/repo/src/trace/trace.h \
- /root/repo/src/compact/stl_campaign.h /root/repo/src/stl/atpg_convert.h \
- /root/repo/src/stl/generators.h
+ /root/repo/src/compact/stl_campaign.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/stl/atpg_convert.h /root/repo/src/stl/generators.h

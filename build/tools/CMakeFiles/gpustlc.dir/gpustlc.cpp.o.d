@@ -192,7 +192,8 @@ tools/CMakeFiles/gpustlc.dir/gpustlc.cpp.o: /root/repo/tools/gpustlc.cpp \
  /root/repo/src/isa/instruction.h /root/repo/src/isa/opcode.h \
  /root/repo/src/isa/program.h /root/repo/src/trace/trace.h \
  /root/repo/src/compact/report.h /root/repo/src/compact/stl_campaign.h \
- /root/repo/src/isa/assembler.h /root/repo/src/isa/binary.h \
- /root/repo/src/isa/disasm.h /root/repo/src/isa/lint.h \
- /root/repo/src/fault/faultlist_io.h /root/repo/src/fault/transition.h \
- /root/repo/src/netlist/vcd.h
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/isa/assembler.h \
+ /root/repo/src/isa/binary.h /root/repo/src/isa/disasm.h \
+ /root/repo/src/isa/lint.h /root/repo/src/fault/faultlist_io.h \
+ /root/repo/src/fault/transition.h /root/repo/src/netlist/vcd.h

@@ -134,7 +134,8 @@ Compactor::TraceRun Compactor::RunLogicTrace(const Program& ptp) const {
 fault::FaultSimResult Compactor::SimulateFaults(
     const netlist::PatternSet& patterns, const BitVec* skip,
     bool drop_detected) const {
-  const fault::FaultSimOptions sim_options{.drop_detected = drop_detected};
+  const fault::FaultSimOptions sim_options{.drop_detected = drop_detected,
+                                           .num_threads = options_.num_threads};
   switch (options_.fault_model) {
     case FaultModel::kTransition:
       return fault::RunTransitionFaultSim(*module_, patterns, faults_, skip,

@@ -129,6 +129,12 @@ struct CompactorOptions {
   /// against the remaining faults only (inter-PTP dropping).
   bool update_fault_list = true;
 
+  /// Worker threads for every fault simulation this compactor runs
+  /// (stage 3, stage-5 validation, standalone measurements). 1 = serial,
+  /// 0 = hardware_concurrency. Results are bit-identical for every value,
+  /// so campaigns parallelize without perturbing the tables.
+  int num_threads = 1;
+
   gpu::SmConfig sm;
 };
 

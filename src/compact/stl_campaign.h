@@ -8,6 +8,7 @@
 // (the paper's 80.71% / 64.43% headline).
 #pragma once
 
+#include <deque>
 #include <map>
 #include <string>
 #include <vector>
@@ -59,10 +60,12 @@ class StlCampaign {
               const netlist::Netlist* fp32 = nullptr);
 
   /// Compacts (or carries through) one entry; records are appended in call
-  /// order. Returns the new record.
+  /// order. The returned reference stays valid for the campaign's lifetime:
+  /// records are stored in a deque precisely so that later Process calls
+  /// never invalidate earlier references (a vector would reallocate).
   const CampaignRecord& Process(const StlEntry& entry);
 
-  const std::vector<CampaignRecord>& records() const { return records_; }
+  const std::deque<CampaignRecord>& records() const { return records_; }
   CampaignSummary Summary() const;
 
   Compactor& compactor(trace::TargetModule target);
@@ -70,7 +73,7 @@ class StlCampaign {
  private:
   CompactorOptions base_;
   std::map<trace::TargetModule, Compactor> compactors_;
-  std::vector<CampaignRecord> records_;
+  std::deque<CampaignRecord> records_;
 };
 
 }  // namespace gpustl::compact

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <queue>
+#include <utility>
 
 #include "common/error.h"
+#include "fault/parallel.h"
 
 namespace gpustl::fault {
 
@@ -50,31 +52,16 @@ struct PropagationScratch {
   }
 };
 
-}  // namespace
-
-FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
-                           const std::vector<Fault>& faults, const BitVec* skip,
-                           const FaultSimOptions& options) {
-  GPUSTL_ASSERT(nl.frozen(), "fault sim requires a frozen netlist");
-  GPUSTL_ASSERT(nl.dffs().empty(),
-                "fault sim supports combinational modules only");
-  if (skip != nullptr) {
-    GPUSTL_ASSERT(skip->size() == faults.size(), "skip mask size mismatch");
-  }
-
-  FaultSimResult result;
-  result.first_detect.assign(faults.size(), FaultSimResult::kNotDetected);
-  result.detects_per_pattern.assign(patterns.size(), 0);
-  result.activates_per_pattern.assign(patterns.size(), 0);
-  result.detected_mask.Resize(faults.size(), false);
-
-  // `live[i]` = fault i still needs simulation.
-  std::vector<std::uint32_t> live;
-  live.reserve(faults.size());
-  for (std::uint32_t i = 0; i < faults.size(); ++i) {
-    if (skip == nullptr || !skip->Get(i)) live.push_back(i);
-  }
-
+/// The PPSFP loop over one fault shard: simulates exactly the faults in
+/// `live` (ascending fault ids) against every pattern block, accumulating
+/// into `result` (pre-sized by InitFaultSimResult). With `live` = the full
+/// non-skipped list this IS the legacy serial engine; the parallel engine
+/// runs it once per shard with private BitSimulator / good-value /
+/// PropagationScratch state, which is what makes the workers share-nothing.
+void SimulateShard(const Netlist& nl, const PatternSet& patterns,
+                   const std::vector<Fault>& faults,
+                   std::vector<std::uint32_t> live,
+                   const FaultSimOptions& options, FaultSimResult& result) {
   BitSimulator sim(nl);
   std::vector<std::uint64_t> good;
   PropagationScratch scratch(nl.gate_count());
@@ -178,7 +165,43 @@ FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
     live.resize(w);
     if (live.empty() && options.drop_detected) break;
   }
+}
 
+}  // namespace
+
+FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
+                           const std::vector<Fault>& faults, const BitVec* skip,
+                           const FaultSimOptions& options) {
+  GPUSTL_ASSERT(nl.frozen(), "fault sim requires a frozen netlist");
+  GPUSTL_ASSERT(nl.dffs().empty(),
+                "fault sim supports combinational modules only");
+  if (skip != nullptr) {
+    GPUSTL_ASSERT(skip->size() == faults.size(), "skip mask size mismatch");
+  }
+
+  FaultSimResult result = InitFaultSimResult(faults.size(), patterns.size());
+
+  // `live[i]` = fault i still needs simulation.
+  std::vector<std::uint32_t> live;
+  live.reserve(faults.size());
+  for (std::uint32_t i = 0; i < faults.size(); ++i) {
+    if (skip == nullptr || !skip->Get(i)) live.push_back(i);
+  }
+
+  const int threads = ResolveNumThreads(options.num_threads, live.size());
+  if (threads <= 1) {
+    SimulateShard(nl, patterns, faults, std::move(live), options, result);
+    return result;
+  }
+
+  std::vector<std::vector<std::uint32_t>> shards = StrideShards(live, threads);
+  std::vector<FaultSimResult> partial(
+      threads, InitFaultSimResult(faults.size(), patterns.size()));
+  RunOnShards(threads, [&](int t) {
+    SimulateShard(nl, patterns, faults, std::move(shards[t]), options,
+                  partial[t]);
+  });
+  MergeShardResults(partial, result);
   return result;
 }
 

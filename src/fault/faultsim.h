@@ -8,6 +8,11 @@
 // exactly the contents of the paper's Fault Sim Report — and supports fault
 // dropping both within a run and across runs (cross-PTP dropping via the
 // persistent fault-list mask).
+//
+// The simulator is fault-parallel: with num_threads > 1 the collapsed fault
+// list is sharded across a worker pool (each worker owns its good-machine
+// state) and the shard reports are merged deterministically, producing a
+// report bit-identical to the serial loop (see fault/parallel.h).
 #pragma once
 
 #include <cstdint>
@@ -24,6 +29,12 @@ struct FaultSimOptions {
   /// Stop simulating a fault after its first detection (fault dropping).
   /// When false every detection of every fault is counted per pattern.
   bool drop_detected = true;
+
+  /// Worker threads for the fault-parallel engine. 1 = the exact serial
+  /// legacy loop on the calling thread; 0 = hardware_concurrency; N > 1 =
+  /// the fault list is sharded over N workers with a deterministic merge.
+  /// The report is bit-identical for every value (see fault/parallel.h).
+  int num_threads = 1;
 };
 
 /// Per-run result: the paper's Fault Sim Report.

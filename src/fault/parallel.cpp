@@ -1,0 +1,79 @@
+#include "fault/parallel.h"
+
+#include <exception>
+#include <thread>
+
+#include "common/error.h"
+
+namespace gpustl::fault {
+
+int ResolveNumThreads(int requested, std::size_t work_items) {
+  GPUSTL_ASSERT(requested >= 0, "num_threads must be >= 0");
+  std::size_t n = requested == 0
+                      ? std::max(1u, std::thread::hardware_concurrency())
+                      : static_cast<std::size_t>(requested);
+  if (n > work_items) n = work_items;
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+std::vector<std::vector<std::uint32_t>> StrideShards(
+    const std::vector<std::uint32_t>& live, int shards) {
+  GPUSTL_ASSERT(shards >= 1, "shard count must be positive");
+  std::vector<std::vector<std::uint32_t>> out(shards);
+  const std::size_t per_shard = live.size() / shards + 1;
+  for (auto& shard : out) shard.reserve(per_shard);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    out[i % shards].push_back(live[i]);
+  }
+  return out;
+}
+
+void RunOnShards(int shards, const std::function<void(int)>& kernel) {
+  std::vector<std::exception_ptr> errors(shards);
+  auto guarded = [&](int t) {
+    try {
+      kernel(t);
+    } catch (...) {
+      errors[t] = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(shards - 1);
+  for (int t = 1; t < shards; ++t) workers.emplace_back(guarded, t);
+  guarded(0);
+  for (std::thread& w : workers) w.join();
+
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+FaultSimResult InitFaultSimResult(std::size_t num_faults,
+                                  std::size_t num_patterns) {
+  FaultSimResult result;
+  result.first_detect.assign(num_faults, FaultSimResult::kNotDetected);
+  result.detects_per_pattern.assign(num_patterns, 0);
+  result.activates_per_pattern.assign(num_patterns, 0);
+  result.detected_mask.Resize(num_faults, false);
+  return result;
+}
+
+void MergeShardResults(const std::vector<FaultSimResult>& shards,
+                       FaultSimResult& out) {
+  for (const FaultSimResult& shard : shards) {
+    out.num_detected += shard.num_detected;
+    out.detected_mask |= shard.detected_mask;
+    for (std::size_t fi = 0; fi < out.first_detect.size(); ++fi) {
+      if (shard.first_detect[fi] != FaultSimResult::kNotDetected) {
+        out.first_detect[fi] = shard.first_detect[fi];
+      }
+    }
+    for (std::size_t p = 0; p < out.detects_per_pattern.size(); ++p) {
+      out.detects_per_pattern[p] += shard.detects_per_pattern[p];
+      out.activates_per_pattern[p] += shard.activates_per_pattern[p];
+    }
+  }
+}
+
+}  // namespace gpustl::fault

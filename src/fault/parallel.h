@@ -1,0 +1,60 @@
+// Fault-parallel execution support for the PPSFP simulators.
+//
+// Both RunFaultSim and RunTransitionFaultSim parallelize the same way: the
+// live (non-skipped) fault list is sharded across a small worker pool, each
+// worker runs the unmodified serial PPSFP loop over its shard with private
+// good-machine state, and a deterministic merge reconstructs the serial
+// report. The merge is exact — not approximately equal — because the serial
+// loop's accounting is per-fault independent:
+//
+//  * `first_detect[f]` and `detected_mask[f]` depend only on fault f's own
+//    propagation history;
+//  * dropping fault f (after its first detection) changes only fault f's
+//    contribution to later blocks, never another fault's;
+//  * `detects_per_pattern` / `activates_per_pattern` are sums of per-fault
+//    indicator counts, and integer addition is order-independent.
+//
+// Summing shard histograms in (pattern, fault-id) order therefore replays
+// the serial drop-ordered accounting bit-for-bit, for any shard count and
+// any thread interleaving. The differential suite in
+// tests/test_faultsim_parallel.cpp locks this equivalence down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/faultsim.h"
+
+namespace gpustl::fault {
+
+/// Resolves a FaultSimOptions::num_threads request against the amount of
+/// shardable work: 0 = std::thread::hardware_concurrency(), otherwise the
+/// requested count, clamped to [1, work_items].
+int ResolveNumThreads(int requested, std::size_t work_items);
+
+/// Partitions `live` (ascending fault ids) into `shards` strided sub-lists:
+/// shard t owns live[t], live[t + shards], ... Striding balances load when
+/// fault difficulty correlates with netlist position, and keeps every shard
+/// list in ascending fault-id order (the serial iteration order).
+std::vector<std::vector<std::uint32_t>> StrideShards(
+    const std::vector<std::uint32_t>& live, int shards);
+
+/// Runs `kernel(shard_index)` once per shard on `shards` worker threads
+/// (shard 0 runs on the calling thread). The first worker exception, by
+/// shard index, is rethrown on the calling thread after all workers join.
+void RunOnShards(int shards, const std::function<void(int)>& kernel);
+
+/// An empty report with first_detect / per-pattern histograms / mask sized
+/// for `num_faults` x `num_patterns`.
+FaultSimResult InitFaultSimResult(std::size_t num_faults,
+                                  std::size_t num_patterns);
+
+/// Deterministic sharded merge (see the file comment for why this equals
+/// the serial result exactly): shard fault ids are disjoint, so
+/// first_detect / detected_mask scatter without conflicts and the
+/// per-pattern histograms sum.
+void MergeShardResults(const std::vector<FaultSimResult>& shards,
+                       FaultSimResult& out);
+
+}  // namespace gpustl::fault

@@ -1,8 +1,10 @@
 #include "fault/transition.h"
 
 #include <queue>
+#include <utility>
 
 #include "common/error.h"
+#include "fault/parallel.h"
 
 namespace gpustl::fault {
 
@@ -48,34 +50,19 @@ struct Scratch {
   }
 };
 
-}  // namespace
-
-FaultSimResult RunTransitionFaultSim(const Netlist& nl,
-                                     const PatternSet& patterns,
-                                     const std::vector<TransitionFault>& faults,
-                                     const BitVec* skip,
-                                     const FaultSimOptions& options) {
-  GPUSTL_ASSERT(nl.frozen(), "transition sim requires a frozen netlist");
-  GPUSTL_ASSERT(nl.dffs().empty(),
-                "transition sim supports combinational modules only");
-  if (skip != nullptr) {
-    GPUSTL_ASSERT(skip->size() == faults.size(), "skip mask size mismatch");
-  }
-
-  FaultSimResult result;
-  result.first_detect.assign(faults.size(), FaultSimResult::kNotDetected);
-  result.detects_per_pattern.assign(patterns.size(), 0);
-  result.activates_per_pattern.assign(patterns.size(), 0);
-  result.detected_mask.Resize(faults.size(), false);
-
-  std::vector<std::uint32_t> live;
-  live.reserve(faults.size());
+/// The transition-fault loop over one fault shard (see
+/// faultsim.cpp::SimulateShard for the sharding contract). The launch-side
+/// history (`prev_site_bit`) is per fault, so it shards with the fault list;
+/// each worker keeps its own copy indexed by global fault id.
+void SimulateShard(const Netlist& nl, const PatternSet& patterns,
+                   const std::vector<TransitionFault>& faults,
+                   std::vector<std::uint32_t> live,
+                   const FaultSimOptions& options, FaultSimResult& result) {
   // Launch-side history: the site value of the last pattern of the previous
   // block, per fault. Initialized to the FINAL value so pattern 0 (which
   // has no launch vector) can never activate.
   std::vector<std::uint8_t> prev_site_bit(faults.size());
   for (std::uint32_t i = 0; i < faults.size(); ++i) {
-    if (skip == nullptr || !skip->Get(i)) live.push_back(i);
     prev_site_bit[i] = faults[i].sa1 ? 0 : 1;  // != init value
   }
 
@@ -185,7 +172,44 @@ FaultSimResult RunTransitionFaultSim(const Netlist& nl,
     live.resize(w);
     if (live.empty() && options.drop_detected) break;
   }
+}
 
+}  // namespace
+
+FaultSimResult RunTransitionFaultSim(const Netlist& nl,
+                                     const PatternSet& patterns,
+                                     const std::vector<TransitionFault>& faults,
+                                     const BitVec* skip,
+                                     const FaultSimOptions& options) {
+  GPUSTL_ASSERT(nl.frozen(), "transition sim requires a frozen netlist");
+  GPUSTL_ASSERT(nl.dffs().empty(),
+                "transition sim supports combinational modules only");
+  if (skip != nullptr) {
+    GPUSTL_ASSERT(skip->size() == faults.size(), "skip mask size mismatch");
+  }
+
+  FaultSimResult result = InitFaultSimResult(faults.size(), patterns.size());
+
+  std::vector<std::uint32_t> live;
+  live.reserve(faults.size());
+  for (std::uint32_t i = 0; i < faults.size(); ++i) {
+    if (skip == nullptr || !skip->Get(i)) live.push_back(i);
+  }
+
+  const int threads = ResolveNumThreads(options.num_threads, live.size());
+  if (threads <= 1) {
+    SimulateShard(nl, patterns, faults, std::move(live), options, result);
+    return result;
+  }
+
+  std::vector<std::vector<std::uint32_t>> shards = StrideShards(live, threads);
+  std::vector<FaultSimResult> partial(
+      threads, InitFaultSimResult(faults.size(), patterns.size()));
+  RunOnShards(threads, [&](int t) {
+    SimulateShard(nl, patterns, faults, std::move(shards[t]), options,
+                  partial[t]);
+  });
+  MergeShardResults(partial, result);
   return result;
 }
 

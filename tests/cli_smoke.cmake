@@ -39,7 +39,8 @@ run_cli(lint tiny.asm)
 run_cli(run tiny.gptp --dump 0x10000 2)
 run_cli(trace tiny.gptp --module DU -o tiny --vcd)
 run_cli(faultsim tiny.gptp --module DU)
-run_cli(faultsim tiny.gptp --module DU --fault-model transition)
+run_cli(faultsim tiny.gptp --module DU --threads 2)
+run_cli(faultsim tiny.gptp --module DU --fault-model transition --threads 2)
 run_cli(compact tiny.gptp --module DU -o tiny.cptp.asm --report tiny)
 run_cli(disasm tiny.cptp.asm)
 
@@ -64,8 +65,8 @@ tiny.asm DU compact
 tiny.gptp DU carry
 fpu.asm FP32 compact
 ")
-run_cli(campaign manifest.txt --state stl)
-run_cli(campaign manifest.txt --state stl)  # resumed second run
+run_cli(campaign manifest.txt --state stl --threads 2)
+run_cli(campaign manifest.txt --state stl --threads 2)  # resumed second run
 
 foreach(artifact tiny.gptp tiny.trace.txt tiny.vcde tiny.vcd tiny.cptp.asm tiny.labels.txt tiny.report.txt)
   if(NOT EXISTS ${WORK}/${artifact})

@@ -5,9 +5,11 @@
 
 #include "circuits/decoder_unit.h"
 #include "common/strutil.h"
+#include "circuits/sfu.h"
 #include "circuits/sp_core.h"
 #include "compact/compactor.h"
 #include "compact/report.h"
+#include "compact/stl_campaign.h"
 #include "gpu/sm.h"
 #include "isa/assembler.h"
 #include "isa/cfg.h"
@@ -304,6 +306,118 @@ TEST_F(CompactorFixture, RenderedReportIsComplete) {
     }
   }
   EXPECT_EQ(rows, sbs.size());
+}
+
+/// A tiny SFU-targeted PTP for campaign tests (the generators cover DU/SP;
+/// SFU_IMM normally comes from ATPG, which is too slow for a unit test).
+Program SmallSfuPtp() {
+  return Assemble(R"(
+.entry sfu_small
+.threads 32
+    S2R R1, SR_TID
+    MOV32I R0, 4
+    IMUL R3, R1, R0
+    IADD32I R2, R3, 0x10000
+    MOV32I R4, 0x3F800000
+    IADD R5, R4, R1
+    RCP R6, R5
+    STG [R2+0x0], R6
+    SIN R7, R5
+    STG [R2+0x40], R7
+    EXIT
+)");
+}
+
+TEST(StlCampaignParallel, ThreadsReproduceSerialCampaignExactly) {
+  // Campaign-level differential: the full DU/SP/SFU campaign with
+  // threads = 4 must reproduce the serial campaign record-for-record —
+  // sizes, durations, FC — including the inter-PTP fault dropping state.
+  const netlist::Netlist du = circuits::BuildDecoderUnit();
+  const netlist::Netlist sp = circuits::BuildSpCore();
+  const netlist::Netlist sfu = circuits::BuildSfu();
+
+  const std::vector<StlEntry> entries = {
+      {stl::GenerateImm(6, 21), TargetModule::kDecoderUnit, true, false},
+      {stl::GenerateMem(6, 22), TargetModule::kDecoderUnit, true, false},
+      {stl::GenerateRand(6, 23), TargetModule::kSpCore, true, false},
+      {SmallSfuPtp(), TargetModule::kSfu, true, true},
+      {stl::GenerateCntrl(3, 24), TargetModule::kDecoderUnit, false, false},
+  };
+
+  CompactorOptions serial_base;
+  StlCampaign serial(du, sp, sfu, serial_base);
+  CompactorOptions parallel_base;
+  parallel_base.num_threads = 4;
+  StlCampaign parallel(du, sp, sfu, parallel_base);
+  for (const StlEntry& entry : entries) {
+    serial.Process(entry);
+    parallel.Process(entry);
+  }
+
+  ASSERT_EQ(serial.records().size(), parallel.records().size());
+  for (std::size_t i = 0; i < serial.records().size(); ++i) {
+    const CampaignRecord& s = serial.records()[i];
+    const CampaignRecord& p = parallel.records()[i];
+    EXPECT_EQ(s.name, p.name) << "record " << i;
+    EXPECT_EQ(s.compacted, p.compacted) << "record " << i;
+    EXPECT_EQ(s.original_size, p.original_size) << "record " << i;
+    EXPECT_EQ(s.original_duration, p.original_duration) << "record " << i;
+    EXPECT_EQ(s.final_size, p.final_size) << "record " << i;
+    EXPECT_EQ(s.final_duration, p.final_duration) << "record " << i;
+    if (s.compacted) {
+      EXPECT_EQ(s.result.result.size_instr, p.result.result.size_instr);
+      EXPECT_DOUBLE_EQ(s.result.original.fc_percent,
+                       p.result.original.fc_percent);
+      EXPECT_DOUBLE_EQ(s.result.result.fc_percent,
+                       p.result.result.fc_percent);
+      EXPECT_DOUBLE_EQ(s.result.diff_fc, p.result.diff_fc);
+      EXPECT_EQ(s.result.removed_sbs, p.result.removed_sbs);
+      EXPECT_EQ(s.result.fault_report.first_detect,
+                p.result.fault_report.first_detect);
+      EXPECT_EQ(s.result.fault_report.detects_per_pattern,
+                p.result.fault_report.detects_per_pattern);
+    }
+  }
+
+  // The summary and the persistent fault-list (dropping) state must match
+  // bit-for-bit; compaction_seconds is wall-clock and exempt.
+  const CampaignSummary ss = serial.Summary();
+  const CampaignSummary ps = parallel.Summary();
+  EXPECT_EQ(ss.original_size, ps.original_size);
+  EXPECT_EQ(ss.original_duration, ps.original_duration);
+  EXPECT_EQ(ss.final_size, ps.final_size);
+  EXPECT_EQ(ss.final_duration, ps.final_duration);
+  for (const auto target : {TargetModule::kDecoderUnit, TargetModule::kSpCore,
+                            TargetModule::kSfu}) {
+    EXPECT_TRUE(serial.compactor(target).detected() ==
+                parallel.compactor(target).detected())
+        << "module " << static_cast<int>(target);
+  }
+}
+
+TEST(StlCampaignRecords, ProcessReferencesSurviveReallocation) {
+  // Process returns a reference into the record store; with a vector this
+  // would dangle as soon as push_back reallocates. The deque-backed store
+  // guarantees stability — lock that in with enough entries to have forced
+  // several vector growth steps (1 -> 2 -> 4 -> ... -> 32).
+  const netlist::Netlist du = circuits::BuildDecoderUnit();
+  const netlist::Netlist sp = circuits::BuildSpCore();
+  const netlist::Netlist sfu = circuits::BuildSfu();
+  StlCampaign campaign(du, sp, sfu);
+
+  const Program tiny = stl::GenerateImm(1, 77);
+  const StlEntry carry{tiny, TargetModule::kDecoderUnit, false, false};
+
+  const CampaignRecord& first = campaign.Process(carry);
+  const CampaignRecord* first_addr = &first;
+  const std::size_t first_size = first.original_size;
+
+  for (int i = 0; i < 33; ++i) campaign.Process(carry);
+
+  ASSERT_EQ(campaign.records().size(), 34u);
+  EXPECT_EQ(&campaign.records().front(), first_addr);
+  EXPECT_EQ(first.original_size, first_size);
+  EXPECT_EQ(first.name, campaign.records().front().name);
 }
 
 TEST_F(CompactorFixture, ReportsAreConsistent) {

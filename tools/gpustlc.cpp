@@ -68,7 +68,11 @@ int Usage() {
       "  campaign <manifest> [--state base]    compact a whole STL; --state\n"
       "                                        persists the fault lists\n"
       "\n"
-      "modules M: DU (Decoder Unit), SP (SP core), SFU, FP32\n");
+      "modules M: DU (Decoder Unit), SP (SP core), SFU, FP32\n"
+      "\n"
+      "faultsim/compact/campaign accept --threads N: fault-parallel PPSFP\n"
+      "with N workers (0 = all cores, default 1 = serial). Reports are\n"
+      "bit-identical for every N.\n");
   return 2;
 }
 
@@ -131,6 +135,7 @@ struct Args {
   std::string fault_model = "stuck-at";
   std::string state;
   int sp_cores = 8;
+  int threads = 1;
   bool reverse = false;
   bool no_drop = false;
   bool vcd = false;
@@ -153,6 +158,10 @@ struct Args {
       else if (arg == "--state") state = next();
       else if (arg == "--no-drop") no_drop = true;
       else if (arg == "--sp") sp_cores = std::atoi(next().c_str());
+      else if (arg == "--threads") {
+        threads = std::atoi(next().c_str());
+        if (threads < 0) Die("--threads must be >= 0");
+      }
       else if (arg == "--dump") {
         dump_addr = static_cast<std::uint32_t>(
             ParseInt(next()).value_or(0));
@@ -272,7 +281,8 @@ int CmdFaultsim(const Args& args) {
   const auto faults = fault::CollapsedFaultList(nl);
   const auto patterns =
       args.reverse ? probe.patterns().Reversed() : probe.patterns();
-  const fault::FaultSimOptions sim_options{.drop_detected = !args.no_drop};
+  const fault::FaultSimOptions sim_options{.drop_detected = !args.no_drop,
+                                           .num_threads = args.threads};
   const auto report =
       args.fault_model == "transition"
           ? fault::RunTransitionFaultSim(nl, patterns, faults, nullptr,
@@ -298,6 +308,7 @@ int CmdCompact(const Args& args) {
   compact::CompactorOptions options;
   options.reverse_patterns = args.reverse;
   options.drop_within_ptp = !args.no_drop;
+  options.num_threads = args.threads;
   if (args.fault_model == "transition") {
     options.fault_model = compact::FaultModel::kTransition;
   } else if (args.fault_model != "stuck-at") {
@@ -351,7 +362,9 @@ int CmdCampaign(const Args& args) {
   const netlist::Netlist sp = circuits::BuildSpCore();
   const netlist::Netlist sfu = circuits::BuildSfu();
   const netlist::Netlist fp32 = circuits::BuildFp32();
-  compact::StlCampaign campaign(du, sp, sfu, {}, &fp32);
+  compact::CompactorOptions base;
+  base.num_threads = args.threads;
+  compact::StlCampaign campaign(du, sp, sfu, base, &fp32);
 
   // Resume a persistent fault-list state (cross-invocation dropping).
   const auto modules = {trace::TargetModule::kDecoderUnit,
