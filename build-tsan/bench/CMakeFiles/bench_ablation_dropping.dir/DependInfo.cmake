@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_dropping.cpp" "bench/CMakeFiles/bench_ablation_dropping.dir/bench_ablation_dropping.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_dropping.dir/bench_ablation_dropping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/bench/CMakeFiles/gpustl_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/inject/CMakeFiles/gpustl_inject.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baseline/CMakeFiles/gpustl_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/compact/CMakeFiles/gpustl_compact.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stl/CMakeFiles/gpustl_stl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/atpg/CMakeFiles/gpustl_atpg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fault/CMakeFiles/gpustl_fault.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/gpustl_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gpu/CMakeFiles/gpustl_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/circuits/CMakeFiles/gpustl_circuits.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/netlist/CMakeFiles/gpustl_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/isa/CMakeFiles/gpustl_isa.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/gpustl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dropping.dir/bench_ablation_dropping.cpp.o"
+  "CMakeFiles/bench_ablation_dropping.dir/bench_ablation_dropping.cpp.o.d"
+  "bench_ablation_dropping"
+  "bench_ablation_dropping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dropping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sm.dir/bench_ablation_sm.cpp.o"
+  "CMakeFiles/bench_ablation_sm.dir/bench_ablation_sm.cpp.o.d"
+  "bench_ablation_sm"
+  "bench_ablation_sm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

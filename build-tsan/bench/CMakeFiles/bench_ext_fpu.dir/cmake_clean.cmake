@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_fpu.dir/bench_ext_fpu.cpp.o"
+  "CMakeFiles/bench_ext_fpu.dir/bench_ext_fpu.cpp.o.d"
+  "bench_ext_fpu"
+  "bench_ext_fpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_observability.dir/bench_ext_observability.cpp.o"
+  "CMakeFiles/bench_ext_observability.dir/bench_ext_observability.cpp.o.d"
+  "bench_ext_observability"
+  "bench_ext_observability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_observability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

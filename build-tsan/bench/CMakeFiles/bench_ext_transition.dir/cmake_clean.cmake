@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_transition.dir/bench_ext_transition.cpp.o"
+  "CMakeFiles/bench_ext_transition.dir/bench_ext_transition.cpp.o.d"
+  "bench_ext_transition"
+  "bench_ext_transition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

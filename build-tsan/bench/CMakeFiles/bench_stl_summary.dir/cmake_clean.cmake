@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stl_summary.dir/bench_stl_summary.cpp.o"
+  "CMakeFiles/bench_stl_summary.dir/bench_stl_summary.cpp.o.d"
+  "bench_stl_summary"
+  "bench_stl_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stl_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

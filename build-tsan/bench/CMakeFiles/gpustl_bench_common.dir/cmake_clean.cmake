@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpustl_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/gpustl_bench_common.dir/bench_common.cpp.o.d"
+  "libgpustl_bench_common.a"
+  "libgpustl_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpustl_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atpg_to_ptp.dir/atpg_to_ptp.cpp.o"
+  "CMakeFiles/atpg_to_ptp.dir/atpg_to_ptp.cpp.o.d"
+  "atpg_to_ptp"
+  "atpg_to_ptp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atpg_to_ptp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/du_compaction.dir/du_compaction.cpp.o"
+  "CMakeFiles/du_compaction.dir/du_compaction.cpp.o.d"
+  "du_compaction"
+  "du_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/du_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

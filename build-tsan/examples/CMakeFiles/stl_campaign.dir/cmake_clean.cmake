@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stl_campaign.dir/stl_campaign.cpp.o"
+  "CMakeFiles/stl_campaign.dir/stl_campaign.cpp.o.d"
+  "stl_campaign"
+  "stl_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stl_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

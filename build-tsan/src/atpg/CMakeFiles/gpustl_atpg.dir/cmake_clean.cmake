@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpustl_atpg.dir/podem.cpp.o"
+  "CMakeFiles/gpustl_atpg.dir/podem.cpp.o.d"
+  "libgpustl_atpg.a"
+  "libgpustl_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpustl_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpustl_baseline.dir/iterative.cpp.o"
+  "CMakeFiles/gpustl_baseline.dir/iterative.cpp.o.d"
+  "libgpustl_baseline.a"
+  "libgpustl_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpustl_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/blocks.cpp" "src/circuits/CMakeFiles/gpustl_circuits.dir/blocks.cpp.o" "gcc" "src/circuits/CMakeFiles/gpustl_circuits.dir/blocks.cpp.o.d"
+  "/root/repo/src/circuits/decoder_unit.cpp" "src/circuits/CMakeFiles/gpustl_circuits.dir/decoder_unit.cpp.o" "gcc" "src/circuits/CMakeFiles/gpustl_circuits.dir/decoder_unit.cpp.o.d"
+  "/root/repo/src/circuits/fp32.cpp" "src/circuits/CMakeFiles/gpustl_circuits.dir/fp32.cpp.o" "gcc" "src/circuits/CMakeFiles/gpustl_circuits.dir/fp32.cpp.o.d"
+  "/root/repo/src/circuits/reference.cpp" "src/circuits/CMakeFiles/gpustl_circuits.dir/reference.cpp.o" "gcc" "src/circuits/CMakeFiles/gpustl_circuits.dir/reference.cpp.o.d"
+  "/root/repo/src/circuits/sfu.cpp" "src/circuits/CMakeFiles/gpustl_circuits.dir/sfu.cpp.o" "gcc" "src/circuits/CMakeFiles/gpustl_circuits.dir/sfu.cpp.o.d"
+  "/root/repo/src/circuits/sp_core.cpp" "src/circuits/CMakeFiles/gpustl_circuits.dir/sp_core.cpp.o" "gcc" "src/circuits/CMakeFiles/gpustl_circuits.dir/sp_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/netlist/CMakeFiles/gpustl_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/isa/CMakeFiles/gpustl_isa.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/gpustl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpustl_circuits.dir/blocks.cpp.o"
+  "CMakeFiles/gpustl_circuits.dir/blocks.cpp.o.d"
+  "CMakeFiles/gpustl_circuits.dir/decoder_unit.cpp.o"
+  "CMakeFiles/gpustl_circuits.dir/decoder_unit.cpp.o.d"
+  "CMakeFiles/gpustl_circuits.dir/fp32.cpp.o"
+  "CMakeFiles/gpustl_circuits.dir/fp32.cpp.o.d"
+  "CMakeFiles/gpustl_circuits.dir/reference.cpp.o"
+  "CMakeFiles/gpustl_circuits.dir/reference.cpp.o.d"
+  "CMakeFiles/gpustl_circuits.dir/sfu.cpp.o"
+  "CMakeFiles/gpustl_circuits.dir/sfu.cpp.o.d"
+  "CMakeFiles/gpustl_circuits.dir/sp_core.cpp.o"
+  "CMakeFiles/gpustl_circuits.dir/sp_core.cpp.o.d"
+  "libgpustl_circuits.a"
+  "libgpustl_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpustl_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

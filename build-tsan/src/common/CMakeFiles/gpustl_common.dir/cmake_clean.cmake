@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpustl_common.dir/bitops.cpp.o"
+  "CMakeFiles/gpustl_common.dir/bitops.cpp.o.d"
+  "CMakeFiles/gpustl_common.dir/rng.cpp.o"
+  "CMakeFiles/gpustl_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gpustl_common.dir/strutil.cpp.o"
+  "CMakeFiles/gpustl_common.dir/strutil.cpp.o.d"
+  "CMakeFiles/gpustl_common.dir/table.cpp.o"
+  "CMakeFiles/gpustl_common.dir/table.cpp.o.d"
+  "libgpustl_common.a"
+  "libgpustl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpustl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

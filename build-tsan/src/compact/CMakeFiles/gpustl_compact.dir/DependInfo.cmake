@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compact/compactor.cpp" "src/compact/CMakeFiles/gpustl_compact.dir/compactor.cpp.o" "gcc" "src/compact/CMakeFiles/gpustl_compact.dir/compactor.cpp.o.d"
+  "/root/repo/src/compact/report.cpp" "src/compact/CMakeFiles/gpustl_compact.dir/report.cpp.o" "gcc" "src/compact/CMakeFiles/gpustl_compact.dir/report.cpp.o.d"
+  "/root/repo/src/compact/stl_campaign.cpp" "src/compact/CMakeFiles/gpustl_compact.dir/stl_campaign.cpp.o" "gcc" "src/compact/CMakeFiles/gpustl_compact.dir/stl_campaign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/fault/CMakeFiles/gpustl_fault.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gpu/CMakeFiles/gpustl_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/gpustl_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/isa/CMakeFiles/gpustl_isa.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/gpustl_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/circuits/CMakeFiles/gpustl_circuits.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/netlist/CMakeFiles/gpustl_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

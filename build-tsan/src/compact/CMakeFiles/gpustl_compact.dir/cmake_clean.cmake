@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpustl_compact.dir/compactor.cpp.o"
+  "CMakeFiles/gpustl_compact.dir/compactor.cpp.o.d"
+  "CMakeFiles/gpustl_compact.dir/report.cpp.o"
+  "CMakeFiles/gpustl_compact.dir/report.cpp.o.d"
+  "CMakeFiles/gpustl_compact.dir/stl_campaign.cpp.o"
+  "CMakeFiles/gpustl_compact.dir/stl_campaign.cpp.o.d"
+  "libgpustl_compact.a"
+  "libgpustl_compact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpustl_compact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

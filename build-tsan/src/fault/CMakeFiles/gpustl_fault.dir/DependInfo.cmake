@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/fault.cpp" "src/fault/CMakeFiles/gpustl_fault.dir/fault.cpp.o" "gcc" "src/fault/CMakeFiles/gpustl_fault.dir/fault.cpp.o.d"
+  "/root/repo/src/fault/faultlist_io.cpp" "src/fault/CMakeFiles/gpustl_fault.dir/faultlist_io.cpp.o" "gcc" "src/fault/CMakeFiles/gpustl_fault.dir/faultlist_io.cpp.o.d"
+  "/root/repo/src/fault/faultsim.cpp" "src/fault/CMakeFiles/gpustl_fault.dir/faultsim.cpp.o" "gcc" "src/fault/CMakeFiles/gpustl_fault.dir/faultsim.cpp.o.d"
+  "/root/repo/src/fault/parallel.cpp" "src/fault/CMakeFiles/gpustl_fault.dir/parallel.cpp.o" "gcc" "src/fault/CMakeFiles/gpustl_fault.dir/parallel.cpp.o.d"
+  "/root/repo/src/fault/transition.cpp" "src/fault/CMakeFiles/gpustl_fault.dir/transition.cpp.o" "gcc" "src/fault/CMakeFiles/gpustl_fault.dir/transition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/netlist/CMakeFiles/gpustl_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/gpustl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

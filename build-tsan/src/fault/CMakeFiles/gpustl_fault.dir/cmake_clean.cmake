@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpustl_fault.dir/fault.cpp.o"
+  "CMakeFiles/gpustl_fault.dir/fault.cpp.o.d"
+  "CMakeFiles/gpustl_fault.dir/faultlist_io.cpp.o"
+  "CMakeFiles/gpustl_fault.dir/faultlist_io.cpp.o.d"
+  "CMakeFiles/gpustl_fault.dir/faultsim.cpp.o"
+  "CMakeFiles/gpustl_fault.dir/faultsim.cpp.o.d"
+  "CMakeFiles/gpustl_fault.dir/parallel.cpp.o"
+  "CMakeFiles/gpustl_fault.dir/parallel.cpp.o.d"
+  "CMakeFiles/gpustl_fault.dir/transition.cpp.o"
+  "CMakeFiles/gpustl_fault.dir/transition.cpp.o.d"
+  "libgpustl_fault.a"
+  "libgpustl_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpustl_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/gpu.cpp" "src/gpu/CMakeFiles/gpustl_gpu.dir/gpu.cpp.o" "gcc" "src/gpu/CMakeFiles/gpustl_gpu.dir/gpu.cpp.o.d"
+  "/root/repo/src/gpu/memory.cpp" "src/gpu/CMakeFiles/gpustl_gpu.dir/memory.cpp.o" "gcc" "src/gpu/CMakeFiles/gpustl_gpu.dir/memory.cpp.o.d"
+  "/root/repo/src/gpu/sm.cpp" "src/gpu/CMakeFiles/gpustl_gpu.dir/sm.cpp.o" "gcc" "src/gpu/CMakeFiles/gpustl_gpu.dir/sm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/isa/CMakeFiles/gpustl_isa.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/circuits/CMakeFiles/gpustl_circuits.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/gpustl_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/netlist/CMakeFiles/gpustl_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

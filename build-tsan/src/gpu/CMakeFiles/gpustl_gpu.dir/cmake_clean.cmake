@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpustl_gpu.dir/gpu.cpp.o"
+  "CMakeFiles/gpustl_gpu.dir/gpu.cpp.o.d"
+  "CMakeFiles/gpustl_gpu.dir/memory.cpp.o"
+  "CMakeFiles/gpustl_gpu.dir/memory.cpp.o.d"
+  "CMakeFiles/gpustl_gpu.dir/sm.cpp.o"
+  "CMakeFiles/gpustl_gpu.dir/sm.cpp.o.d"
+  "libgpustl_gpu.a"
+  "libgpustl_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpustl_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpustl_inject.dir/inject.cpp.o"
+  "CMakeFiles/gpustl_inject.dir/inject.cpp.o.d"
+  "libgpustl_inject.a"
+  "libgpustl_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpustl_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/assembler.cpp" "src/isa/CMakeFiles/gpustl_isa.dir/assembler.cpp.o" "gcc" "src/isa/CMakeFiles/gpustl_isa.dir/assembler.cpp.o.d"
+  "/root/repo/src/isa/binary.cpp" "src/isa/CMakeFiles/gpustl_isa.dir/binary.cpp.o" "gcc" "src/isa/CMakeFiles/gpustl_isa.dir/binary.cpp.o.d"
+  "/root/repo/src/isa/cfg.cpp" "src/isa/CMakeFiles/gpustl_isa.dir/cfg.cpp.o" "gcc" "src/isa/CMakeFiles/gpustl_isa.dir/cfg.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/isa/CMakeFiles/gpustl_isa.dir/disasm.cpp.o" "gcc" "src/isa/CMakeFiles/gpustl_isa.dir/disasm.cpp.o.d"
+  "/root/repo/src/isa/instruction.cpp" "src/isa/CMakeFiles/gpustl_isa.dir/instruction.cpp.o" "gcc" "src/isa/CMakeFiles/gpustl_isa.dir/instruction.cpp.o.d"
+  "/root/repo/src/isa/lint.cpp" "src/isa/CMakeFiles/gpustl_isa.dir/lint.cpp.o" "gcc" "src/isa/CMakeFiles/gpustl_isa.dir/lint.cpp.o.d"
+  "/root/repo/src/isa/opcode.cpp" "src/isa/CMakeFiles/gpustl_isa.dir/opcode.cpp.o" "gcc" "src/isa/CMakeFiles/gpustl_isa.dir/opcode.cpp.o.d"
+  "/root/repo/src/isa/program.cpp" "src/isa/CMakeFiles/gpustl_isa.dir/program.cpp.o" "gcc" "src/isa/CMakeFiles/gpustl_isa.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/gpustl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpustl_isa.dir/assembler.cpp.o"
+  "CMakeFiles/gpustl_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/gpustl_isa.dir/binary.cpp.o"
+  "CMakeFiles/gpustl_isa.dir/binary.cpp.o.d"
+  "CMakeFiles/gpustl_isa.dir/cfg.cpp.o"
+  "CMakeFiles/gpustl_isa.dir/cfg.cpp.o.d"
+  "CMakeFiles/gpustl_isa.dir/disasm.cpp.o"
+  "CMakeFiles/gpustl_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/gpustl_isa.dir/instruction.cpp.o"
+  "CMakeFiles/gpustl_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/gpustl_isa.dir/lint.cpp.o"
+  "CMakeFiles/gpustl_isa.dir/lint.cpp.o.d"
+  "CMakeFiles/gpustl_isa.dir/opcode.cpp.o"
+  "CMakeFiles/gpustl_isa.dir/opcode.cpp.o.d"
+  "CMakeFiles/gpustl_isa.dir/program.cpp.o"
+  "CMakeFiles/gpustl_isa.dir/program.cpp.o.d"
+  "libgpustl_isa.a"
+  "libgpustl_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpustl_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/cell.cpp" "src/netlist/CMakeFiles/gpustl_netlist.dir/cell.cpp.o" "gcc" "src/netlist/CMakeFiles/gpustl_netlist.dir/cell.cpp.o.d"
+  "/root/repo/src/netlist/logicsim.cpp" "src/netlist/CMakeFiles/gpustl_netlist.dir/logicsim.cpp.o" "gcc" "src/netlist/CMakeFiles/gpustl_netlist.dir/logicsim.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/gpustl_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/gpustl_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/patterns.cpp" "src/netlist/CMakeFiles/gpustl_netlist.dir/patterns.cpp.o" "gcc" "src/netlist/CMakeFiles/gpustl_netlist.dir/patterns.cpp.o.d"
+  "/root/repo/src/netlist/vcd.cpp" "src/netlist/CMakeFiles/gpustl_netlist.dir/vcd.cpp.o" "gcc" "src/netlist/CMakeFiles/gpustl_netlist.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/gpustl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

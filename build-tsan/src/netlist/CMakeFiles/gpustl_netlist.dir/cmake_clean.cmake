@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpustl_netlist.dir/cell.cpp.o"
+  "CMakeFiles/gpustl_netlist.dir/cell.cpp.o.d"
+  "CMakeFiles/gpustl_netlist.dir/logicsim.cpp.o"
+  "CMakeFiles/gpustl_netlist.dir/logicsim.cpp.o.d"
+  "CMakeFiles/gpustl_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/gpustl_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/gpustl_netlist.dir/patterns.cpp.o"
+  "CMakeFiles/gpustl_netlist.dir/patterns.cpp.o.d"
+  "CMakeFiles/gpustl_netlist.dir/vcd.cpp.o"
+  "CMakeFiles/gpustl_netlist.dir/vcd.cpp.o.d"
+  "libgpustl_netlist.a"
+  "libgpustl_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpustl_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

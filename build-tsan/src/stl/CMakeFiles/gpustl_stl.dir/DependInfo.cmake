@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stl/atpg_convert.cpp" "src/stl/CMakeFiles/gpustl_stl.dir/atpg_convert.cpp.o" "gcc" "src/stl/CMakeFiles/gpustl_stl.dir/atpg_convert.cpp.o.d"
+  "/root/repo/src/stl/generators.cpp" "src/stl/CMakeFiles/gpustl_stl.dir/generators.cpp.o" "gcc" "src/stl/CMakeFiles/gpustl_stl.dir/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/isa/CMakeFiles/gpustl_isa.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/netlist/CMakeFiles/gpustl_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/gpustl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

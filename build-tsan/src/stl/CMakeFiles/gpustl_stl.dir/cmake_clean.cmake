@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpustl_stl.dir/atpg_convert.cpp.o"
+  "CMakeFiles/gpustl_stl.dir/atpg_convert.cpp.o.d"
+  "CMakeFiles/gpustl_stl.dir/generators.cpp.o"
+  "CMakeFiles/gpustl_stl.dir/generators.cpp.o.d"
+  "libgpustl_stl.a"
+  "libgpustl_stl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpustl_stl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpustl_trace.dir/histogram.cpp.o"
+  "CMakeFiles/gpustl_trace.dir/histogram.cpp.o.d"
+  "CMakeFiles/gpustl_trace.dir/trace.cpp.o"
+  "CMakeFiles/gpustl_trace.dir/trace.cpp.o.d"
+  "libgpustl_trace.a"
+  "libgpustl_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpustl_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compact.dir/test_compact.cpp.o"
+  "CMakeFiles/test_compact.dir/test_compact.cpp.o.d"
+  "test_compact"
+  "test_compact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faultsim_parallel.dir/test_faultsim_parallel.cpp.o"
+  "CMakeFiles/test_faultsim_parallel.dir/test_faultsim_parallel.cpp.o.d"
+  "test_faultsim_parallel"
+  "test_faultsim_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faultsim_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

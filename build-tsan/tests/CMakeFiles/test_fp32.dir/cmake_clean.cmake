@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fp32.dir/test_fp32.cpp.o"
+  "CMakeFiles/test_fp32.dir/test_fp32.cpp.o.d"
+  "test_fp32"
+  "test_fp32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fp32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

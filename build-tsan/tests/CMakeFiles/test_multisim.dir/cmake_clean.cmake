@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multisim.dir/test_multisim.cpp.o"
+  "CMakeFiles/test_multisim.dir/test_multisim.cpp.o.d"
+  "test_multisim"
+  "test_multisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stl.dir/test_stl.cpp.o"
+  "CMakeFiles/test_stl.dir/test_stl.cpp.o.d"
+  "test_stl"
+  "test_stl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

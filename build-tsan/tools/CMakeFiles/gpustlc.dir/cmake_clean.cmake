@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpustlc.dir/gpustlc.cpp.o"
+  "CMakeFiles/gpustlc.dir/gpustlc.cpp.o.d"
+  "gpustlc"
+  "gpustlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpustlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
