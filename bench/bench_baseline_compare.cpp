@@ -91,6 +91,7 @@ int Run() {
 
   TextTable speedup({"Threads", "Campaign time (s)", "Speedup", "Compacted size",
                      "Faults detected", "Identical"});
+  const std::size_t du_faults = fault::CollapsedFaultList(du).size();
   const CampaignOutcome serial = run_campaign(1);
   for (const int threads : {1, 2, 4}) {
     const CampaignOutcome out = threads == 1 ? serial : run_campaign(threads);
@@ -101,6 +102,19 @@ int Run() {
                     ::gpustl::Format("%.2fx", serial.seconds / out.seconds),
                     Count(out.size), Count(out.detected),
                     identical ? "yes" : "NO (BUG)"});
+
+    BenchRecord record;
+    record.bench = "baseline_compare";
+    record.name = "DU campaign/" + std::to_string(threads) + " threads";
+    record.module = du.name();
+    record.wall_seconds = out.seconds;
+    record.faults_per_sec =
+        out.seconds > 0.0 ? static_cast<double>(du_faults) / out.seconds : 0.0;
+    record.faults = du_faults;
+    record.threads = threads;
+    record.extra = {{"speedup", serial.seconds / out.seconds},
+                    {"identical", identical ? 1.0 : 0.0}};
+    AppendBenchJson(BenchJsonPath(), record);
   }
   std::printf(
       "FAULT-PARALLEL PPSFP: TABLE II DU CAMPAIGN, SERIAL VS SHARDED\n\n%s\n",

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "atpg/podem.h"
 #include "circuits/decoder_unit.h"
@@ -105,6 +107,54 @@ StlFixture BuildFixture(const StlScale& scale, bool verbose) {
 
   log("fixture complete");
   return fx;
+}
+
+std::string BenchJsonPath() {
+  const char* env = std::getenv("GPUSTL_BENCH_JSON");
+  if (env != nullptr && *env != '\0') return env;
+  return "BENCH_faultsim.json";
+}
+
+void AppendBenchJson(const std::string& path, const BenchRecord& record) {
+  // Escaping is unnecessary: every string field is a label this repo
+  // controls (no quotes/backslashes).
+  std::string entry = "  {";
+  entry += "\"bench\": \"" + record.bench + "\", ";
+  entry += "\"name\": \"" + record.name + "\", ";
+  entry += "\"module\": \"" + record.module + "\", ";
+  entry += Format("\"wall_seconds\": %.6f, ", record.wall_seconds);
+  entry += Format("\"faults_per_sec\": %.1f, ", record.faults_per_sec);
+  entry += Format("\"patterns\": %zu, ", record.patterns);
+  entry += Format("\"faults\": %zu, ", record.faults);
+  entry += Format("\"threads\": %d", record.threads);
+  for (const auto& [key, value] : record.extra) {
+    entry += Format(", \"%s\": %.6f", key.c_str(), value);
+  }
+  entry += "}";
+
+  // Keep the file a valid JSON array after every append: rewrite it with
+  // the previous entries plus the new one.
+  std::string existing;
+  {
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    existing = ss.str();
+  }
+  std::string body;
+  const auto open = existing.find('[');
+  const auto close = existing.rfind(']');
+  if (open != std::string::npos && close != std::string::npos && close > open) {
+    body = existing.substr(open + 1, close - open - 1);
+    // Trim whitespace-only bodies down to empty.
+    while (!body.empty() && (body.back() == '\n' || body.back() == ' ')) {
+      body.pop_back();
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  out << "[\n" << body;
+  if (!body.empty()) out << ",\n";
+  out << entry << "\n]\n";
 }
 
 int BenchThreads() {

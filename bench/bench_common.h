@@ -56,6 +56,29 @@ int BenchThreads();
 /// CompactorOptions preset with BenchThreads() applied.
 compact::CompactorOptions BenchCompactorOptions();
 
+/// One machine-readable fault-sim bench record for BENCH_faultsim.json.
+struct BenchRecord {
+  std::string bench;   // emitting benchmark, e.g. "ablation_faultsim"
+  std::string name;    // configuration label, e.g. "SP/collapse+cone"
+  std::string module;  // target module name ("" when campaign-level)
+  double wall_seconds = 0.0;
+  double faults_per_sec = 0.0;  // reported faults / wall second
+  std::size_t patterns = 0;
+  std::size_t faults = 0;
+  int threads = 1;
+  /// Additional numeric fields, appended verbatim (e.g. classes, speedup).
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// Appends `record` to the JSON array at `path`, creating the file on first
+/// use. The file stays a valid JSON array after every call so partial bench
+/// runs are still parseable.
+void AppendBenchJson(const std::string& path, const BenchRecord& record);
+
+/// Output path for fault-sim bench records: $GPUSTL_BENCH_JSON when set,
+/// else "BENCH_faultsim.json" in the working directory.
+std::string BenchJsonPath();
+
 /// Formats helpers shared by the table benches.
 std::string Pct(double value);                  // "97.30"
 std::string SignedPct(double value);            // "-97.30" / "+0.06"

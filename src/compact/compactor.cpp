@@ -116,6 +116,7 @@ Compactor::Compactor(const netlist::Netlist& module,
       target_(target),
       options_(std::move(options)),
       faults_(fault::CollapsedFaultList(module)),
+      collapse_(fault::BuildFaultCollapse(module, faults_)),
       detected_(faults_.size(), false) {}
 
 Compactor::TraceRun Compactor::RunLogicTrace(const Program& ptp) const {
@@ -134,8 +135,12 @@ Compactor::TraceRun Compactor::RunLogicTrace(const Program& ptp) const {
 fault::FaultSimResult Compactor::SimulateFaults(
     const netlist::PatternSet& patterns, const BitVec* skip,
     bool drop_detected) const {
-  const fault::FaultSimOptions sim_options{.drop_detected = drop_detected,
-                                           .num_threads = options_.num_threads};
+  const fault::FaultSimOptions sim_options{
+      .drop_detected = drop_detected,
+      .num_threads = options_.num_threads,
+      .collapse = options_.collapse_faults,
+      .cone_limit = options_.cone_limit,
+      .collapse_plan = options_.collapse_faults ? &collapse_ : nullptr};
   switch (options_.fault_model) {
     case FaultModel::kTransition:
       return fault::RunTransitionFaultSim(*module_, patterns, faults_, skip,

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/bitops.h"
+#include "fault/collapse.h"
 #include "fault/faultsim.h"
 #include "gpu/sm.h"
 #include "isa/program.h"
@@ -135,6 +136,16 @@ struct CompactorOptions {
   /// so campaigns parallelize without perturbing the tables.
   int num_threads = 1;
 
+  /// Structural fault collapsing for the stuck-at simulations: the
+  /// equivalence classes are built once per module and reused by every
+  /// fault sim of this compactor. Reports are bit-identical either way
+  /// (see fault/collapse.h); off = simulate every fault individually.
+  bool collapse_faults = true;
+
+  /// Output-cone restriction inside the fault simulator (detection scans
+  /// and propagation pruning; exact either way).
+  bool cone_limit = true;
+
   gpu::SmConfig sm;
 };
 
@@ -172,6 +183,10 @@ class Compactor {
   const std::vector<fault::Fault>& faults() const { return faults_; }
   const netlist::Netlist& module() const { return *module_; }
 
+  /// Collapsed-vs-total numbers of this module's fault list (classes the
+  /// engine propagates vs faults it reports on), for campaign stats.
+  fault::CollapseStats collapse_stats() const { return collapse_.Stats(); }
+
  private:
   /// Stage 2: one logic simulation with monitors attached.
   struct TraceRun {
@@ -190,6 +205,7 @@ class Compactor {
   trace::TargetModule target_;
   CompactorOptions options_;
   std::vector<fault::Fault> faults_;
+  fault::FaultCollapse collapse_;  // built once, shared by every fault sim
   BitVec detected_;
 };
 

@@ -16,6 +16,12 @@ double CampaignSummary::duration_reduction_percent() const {
                             static_cast<double>(original_duration));
 }
 
+double CampaignSummary::fault_collapse_percent() const {
+  if (total_faults == 0) return 0.0;
+  return 100.0 * (1.0 - static_cast<double>(simulated_classes) /
+                            static_cast<double>(total_faults));
+}
+
 StlCampaign::StlCampaign(const netlist::Netlist& du, const netlist::Netlist& sp,
                          const netlist::Netlist& sfu,
                          const CompactorOptions& base,
@@ -91,6 +97,13 @@ CampaignSummary StlCampaign::Summary() const {
     s.final_size += rec.final_size;
     s.final_duration += rec.final_duration;
     if (rec.compacted) s.compaction_seconds += rec.result.compaction_seconds;
+  }
+  for (const auto& [target, c] : compactors_) {
+    (void)target;
+    const fault::CollapseStats cs = c.collapse_stats();
+    s.total_faults += cs.num_faults;
+    s.simulated_classes +=
+        base_.collapse_faults ? cs.num_classes : cs.num_faults;
   }
   return s;
 }

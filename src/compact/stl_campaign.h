@@ -45,8 +45,15 @@ struct CampaignSummary {
   std::uint64_t final_duration = 0;
   double compaction_seconds = 0.0;
 
+  /// Fault-list sizes summed over the campaign's modules: every fault the
+  /// reports cover vs the equivalence-class representatives the simulator
+  /// actually propagates (equal when collapsing is off).
+  std::size_t total_faults = 0;
+  std::size_t simulated_classes = 0;
+
   double size_reduction_percent() const;
   double duration_reduction_percent() const;
+  double fault_collapse_percent() const;
 };
 
 /// Runs the compaction method over an ordered STL.

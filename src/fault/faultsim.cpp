@@ -1,11 +1,13 @@
 #include "fault/faultsim.h"
 
 #include <algorithm>
-#include <queue>
+#include <numeric>
 #include <utility>
 
 #include "common/error.h"
+#include "fault/collapse.h"
 #include "fault/parallel.h"
+#include "fault/scratch.h"
 
 namespace gpustl::fault {
 
@@ -19,53 +21,65 @@ using netlist::PatternSet;
 
 namespace {
 
-/// Scratch state for single-fault forward propagation within one block.
-/// Faulty net values are stored copy-on-write with epoch stamps so that
-/// per-fault cleanup is O(1).
-struct PropagationScratch {
-  explicit PropagationScratch(std::size_t n)
-      : fval(n, 0), touched_epoch(n, 0), queued_epoch(n, 0) {}
+/// What one run actually simulates: the equivalence classes of the fault
+/// list with skipped faults removed (a fully skipped class disappears).
+/// Without collapsing this degenerates to one singleton class per
+/// non-skipped fault, which is exactly the legacy engine's `live` list.
+struct SimPlan {
+  std::vector<std::uint32_t> offsets;  // num_classes() + 1
+  std::vector<std::uint32_t> members;  // fault indices, grouped by class
 
-  std::vector<std::uint64_t> fval;
-  std::vector<std::uint32_t> touched_epoch;
-  std::vector<std::uint32_t> queued_epoch;
-  std::uint32_t epoch = 0;
-  std::priority_queue<NetId, std::vector<NetId>, std::greater<NetId>> queue;
-
-  void NewFault() { ++epoch; }
-
-  std::uint64_t FaultyValue(const std::vector<std::uint64_t>& good,
-                            NetId net) const {
-    return touched_epoch[net] == epoch ? fval[net] : good[net];
-  }
-
-  void SetFaulty(NetId net, std::uint64_t value) {
-    fval[net] = value;
-    touched_epoch[net] = epoch;
-  }
-
-  void Enqueue(NetId net) {
-    if (queued_epoch[net] != epoch) {
-      queued_epoch[net] = epoch;
-      queue.push(net);
-    }
-  }
+  std::size_t num_classes() const { return offsets.size() - 1; }
 };
 
-/// The PPSFP loop over one fault shard: simulates exactly the faults in
-/// `live` (ascending fault ids) against every pattern block, accumulating
-/// into `result` (pre-sized by InitFaultSimResult). With `live` = the full
-/// non-skipped list this IS the legacy serial engine; the parallel engine
-/// runs it once per shard with private BitSimulator / good-value /
-/// PropagationScratch state, which is what makes the workers share-nothing.
+SimPlan BuildSimPlan(const FaultCollapse* collapse, const BitVec* skip,
+                     std::size_t num_faults) {
+  SimPlan plan;
+  plan.offsets.push_back(0);
+  if (collapse == nullptr) {
+    plan.members.reserve(num_faults);
+    for (std::uint32_t i = 0; i < num_faults; ++i) {
+      if (skip != nullptr && skip->Get(i)) continue;
+      plan.members.push_back(i);
+      plan.offsets.push_back(static_cast<std::uint32_t>(plan.members.size()));
+    }
+    return plan;
+  }
+  plan.members.reserve(collapse->members.size());
+  for (std::size_t c = 0; c < collapse->num_classes(); ++c) {
+    const std::size_t before = plan.members.size();
+    for (std::uint32_t m : collapse->class_members(c)) {
+      if (skip != nullptr && skip->Get(m)) continue;
+      plan.members.push_back(m);
+    }
+    if (plan.members.size() > before) {
+      plan.offsets.push_back(static_cast<std::uint32_t>(plan.members.size()));
+    }
+  }
+  return plan;
+}
+
+/// The PPSFP loop over one shard of `live` class indices (ascending),
+/// accumulating into `result` (pre-sized by InitFaultSimResult). With
+/// `live` = all classes this IS the serial engine; the parallel engine runs
+/// it once per shard with private BitSimulator / PropagationScratch state,
+/// which is what makes the workers share-nothing.
+///
+/// Per class: activation (a property of the fault *site*) is computed and
+/// counted for every member, but the faulty function is propagated only
+/// once, from the leader — the detection diff (faulty^good at the outputs)
+/// is identical for every member by construction of the classes, and is
+/// contained in every member's activation word, so detections expand to the
+/// whole class exactly and a class drops wholesale.
 void SimulateShard(const Netlist& nl, const PatternSet& patterns,
-                   const std::vector<Fault>& faults,
+                   const std::vector<Fault>& faults, const SimPlan& plan,
                    std::vector<std::uint32_t> live,
                    const FaultSimOptions& options, FaultSimResult& result) {
   BitSimulator sim(nl);
-  std::vector<std::uint64_t> good;
-  PropagationScratch scratch(nl.gate_count());
+  internal::PropagationScratch scratch(nl);
   const auto& outputs = nl.outputs();
+  const bool cone_on = options.cone_limit;
+  const std::size_t cone_words = nl.cone_words();
 
   for (std::size_t base = 0; base < patterns.size(); base += 64) {
     const int count = sim.LoadBlock(patterns, base);
@@ -73,34 +87,50 @@ void SimulateShard(const Netlist& nl, const PatternSet& patterns,
     const std::uint64_t valid =
         count >= 64 ? ~0ull : ((1ull << count) - 1);
     sim.Eval();
-    good = sim.values();
+    // Borrowed, not copied: the block's good-machine values live in the
+    // simulator until the next LoadBlock.
+    const std::vector<std::uint64_t>& good = sim.values();
 
     std::size_t w = 0;  // compaction write index over `live`
     for (std::size_t r = 0; r < live.size(); ++r) {
-      const std::uint32_t fi = live[r];
-      const Fault& f = faults[fi];
-      const Gate& g = nl.gate(f.gate);
-      const std::uint64_t stuck = f.sa1 ? ~0ull : 0ull;
+      const std::uint32_t ci = live[r];
+      const std::uint32_t mbegin = plan.offsets[ci];
+      const std::uint32_t mend = plan.offsets[ci + 1];
 
-      // Activation: patterns whose good value at the site differs from the
-      // stuck value.
-      const NetId site_net =
-          f.pin == Fault::kOutputPin ? f.gate : g.fanin[f.pin];
-      std::uint64_t act = (good[site_net] ^ stuck) & valid;
-      for (std::uint64_t bits = act; bits != 0; bits &= bits - 1) {
-        result.activates_per_pattern[base + static_cast<std::size_t>(
-                                                LowestSetBit(bits))]++;
+      std::uint64_t leader_act = 0;
+      for (std::uint32_t mi = mbegin; mi < mend; ++mi) {
+        const Fault& f = faults[plan.members[mi]];
+        const NetId site_net = f.pin == Fault::kOutputPin
+                                   ? f.gate
+                                   : nl.gate(f.gate).fanin[f.pin];
+        const std::uint64_t stuck = f.sa1 ? ~0ull : 0ull;
+        const std::uint64_t act = (good[site_net] ^ stuck) & valid;
+        for (std::uint64_t bits = act; bits != 0; bits &= bits - 1) {
+          result.activates_per_pattern[base + static_cast<std::size_t>(
+                                                  LowestSetBit(bits))]++;
+        }
+        if (mi == mbegin) leader_act = act;
       }
-      if (act == 0) {
-        live[w++] = fi;  // fault untouched this block, keep it
+      // diff is contained in every member's activation word, the leader's
+      // included: an inactive leader means no detection this block.
+      if (leader_act == 0) {
+        live[w++] = ci;
         continue;
       }
 
-      // Single-fault propagation, event-driven in topological (id) order.
+      // Single-fault propagation from the leader site, event-driven in
+      // level order. Events that leave the output cone are not enqueued:
+      // every frontier net is reachable from the site, so "reaches some
+      // output" is equivalent to "reaches an output of this fault's cone".
+      const Fault& f = faults[plan.members[mbegin]];
+      const Gate& g = nl.gate(f.gate);
+      const std::uint64_t stuck = f.sa1 ? ~0ull : 0ull;
       scratch.NewFault();
       if (f.pin == Fault::kOutputPin) {
         scratch.SetFaulty(f.gate, stuck);
-        for (NetId fo : nl.fanout(f.gate)) scratch.Enqueue(fo);
+        for (NetId fo : nl.fanout(f.gate)) {
+          if (!cone_on || nl.ReachesOutput(fo)) scratch.Enqueue(fo);
+        }
       } else {
         // Re-evaluate the faulted gate with the pin forced.
         std::uint64_t in[kMaxFanin];
@@ -110,13 +140,13 @@ void SimulateShard(const Netlist& nl, const PatternSet& patterns,
         const std::uint64_t out = netlist::EvalCell(g.type, in);
         if (out != good[f.gate]) {
           scratch.SetFaulty(f.gate, out);
-          for (NetId fo : nl.fanout(f.gate)) scratch.Enqueue(fo);
+          for (NetId fo : nl.fanout(f.gate)) {
+            if (!cone_on || nl.ReachesOutput(fo)) scratch.Enqueue(fo);
+          }
         }
       }
 
-      while (!scratch.queue.empty()) {
-        const NetId id = scratch.queue.top();
-        scratch.queue.pop();
+      scratch.Drain([&](NetId id) {
         const Gate& gg = nl.gate(id);
         std::uint64_t in[kMaxFanin];
         for (int i = 0; i < gg.fanin_count(); ++i) {
@@ -125,41 +155,63 @@ void SimulateShard(const Netlist& nl, const PatternSet& patterns,
         const std::uint64_t out = netlist::EvalCell(gg.type, in);
         if (out != good[id]) {
           scratch.SetFaulty(id, out);
-          for (NetId fo : nl.fanout(id)) scratch.Enqueue(fo);
+          for (NetId fo : nl.fanout(id)) {
+            if (!cone_on || nl.ReachesOutput(fo)) scratch.Enqueue(fo);
+          }
         }
-      }
+      });
 
-      // Detection: any touched primary output that differs from good.
+      // Detection: any touched primary output that differs from good. Only
+      // outputs inside the site's cone can be touched, so with the cone on
+      // the scan walks just those set bits.
       std::uint64_t diff = 0;
-      for (NetId o : outputs) {
-        if (scratch.touched_epoch[o] == scratch.epoch) {
-          diff |= (scratch.fval[o] ^ good[o]);
+      if (cone_on) {
+        const std::uint64_t* cone = nl.OutputCone(f.gate);
+        for (std::size_t cw = 0; cw < cone_words; ++cw) {
+          for (std::uint64_t bits = cone[cw]; bits != 0; bits &= bits - 1) {
+            const NetId o =
+                outputs[cw * 64 + static_cast<std::size_t>(LowestSetBit(bits))];
+            if (scratch.touched_epoch[o] == scratch.epoch) {
+              diff |= (scratch.fval[o] ^ good[o]);
+            }
+          }
+        }
+      } else {
+        for (NetId o : outputs) {
+          if (scratch.touched_epoch[o] == scratch.epoch) {
+            diff |= (scratch.fval[o] ^ good[o]);
+          }
         }
       }
       diff &= valid;
 
       if (diff == 0) {
-        live[w++] = fi;
+        live[w++] = ci;
         continue;
       }
 
       const auto first_pattern =
           base + static_cast<std::size_t>(LowestSetBit(diff));
-      if (result.first_detect[fi] == FaultSimResult::kNotDetected) {
-        result.first_detect[fi] = static_cast<std::uint32_t>(first_pattern);
-        result.detected_mask.Set(fi, true);
-        ++result.num_detected;
+      const std::uint32_t num_members = mend - mbegin;
+      for (std::uint32_t mi = mbegin; mi < mend; ++mi) {
+        const std::uint32_t fi = plan.members[mi];
+        if (result.first_detect[fi] == FaultSimResult::kNotDetected) {
+          result.first_detect[fi] = static_cast<std::uint32_t>(first_pattern);
+          result.detected_mask.Set(fi, true);
+          ++result.num_detected;
+        }
       }
 
       if (options.drop_detected) {
-        result.detects_per_pattern[first_pattern]++;
+        result.detects_per_pattern[first_pattern] += num_members;
         // dropped: do not keep in `live`.
       } else {
         for (std::uint64_t bits = diff; bits != 0; bits &= bits - 1) {
           result.detects_per_pattern[base + static_cast<std::size_t>(
-                                                LowestSetBit(bits))]++;
+                                                LowestSetBit(bits))] +=
+              num_members;
         }
-        live[w++] = fi;
+        live[w++] = ci;
       }
     }
     live.resize(w);
@@ -181,16 +233,28 @@ FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
 
   FaultSimResult result = InitFaultSimResult(faults.size(), patterns.size());
 
-  // `live[i]` = fault i still needs simulation.
-  std::vector<std::uint32_t> live;
-  live.reserve(faults.size());
-  for (std::uint32_t i = 0; i < faults.size(); ++i) {
-    if (skip == nullptr || !skip->Get(i)) live.push_back(i);
+  FaultCollapse local;
+  const FaultCollapse* collapse = nullptr;
+  if (options.collapse) {
+    if (options.collapse_plan != nullptr) {
+      GPUSTL_ASSERT(options.collapse_plan->num_faults == faults.size(),
+                    "collapse plan does not match the fault list");
+      collapse = options.collapse_plan;
+    } else {
+      local = BuildFaultCollapse(nl, faults);
+      collapse = &local;
+    }
   }
+  const SimPlan plan = BuildSimPlan(collapse, skip, faults.size());
+
+  // `live` = class indices still needing simulation.
+  std::vector<std::uint32_t> live(plan.num_classes());
+  std::iota(live.begin(), live.end(), 0u);
 
   const int threads = ResolveNumThreads(options.num_threads, live.size());
   if (threads <= 1) {
-    SimulateShard(nl, patterns, faults, std::move(live), options, result);
+    SimulateShard(nl, patterns, faults, plan, std::move(live), options,
+                  result);
     return result;
   }
 
@@ -198,7 +262,7 @@ FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
   std::vector<FaultSimResult> partial(
       threads, InitFaultSimResult(faults.size(), patterns.size()));
   RunOnShards(threads, [&](int t) {
-    SimulateShard(nl, patterns, faults, std::move(shards[t]), options,
+    SimulateShard(nl, patterns, faults, plan, std::move(shards[t]), options,
                   partial[t]);
   });
   MergeShardResults(partial, result);

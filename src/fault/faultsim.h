@@ -25,6 +25,8 @@
 
 namespace gpustl::fault {
 
+struct FaultCollapse;  // fault/collapse.h
+
 struct FaultSimOptions {
   /// Stop simulating a fault after its first detection (fault dropping).
   /// When false every detection of every fault is counted per pattern.
@@ -35,6 +37,22 @@ struct FaultSimOptions {
   /// the fault list is sharded over N workers with a deterministic merge.
   /// The report is bit-identical for every value (see fault/parallel.h).
   int num_threads = 1;
+
+  /// Propagate one representative per structural equivalence class (see
+  /// fault/collapse.h) and expand detections to every member. Activation is
+  /// still computed per member, so the report stays bit-identical to the
+  /// collapse=false engine; only the propagation work shrinks.
+  bool collapse = true;
+
+  /// Restrict detection scans to the fault's output cone and stop
+  /// propagating events through nets that reach no primary output. Exact:
+  /// a fault effect outside the site's cone can never be observed.
+  bool cone_limit = true;
+
+  /// Optional precomputed collapse plan for this exact fault list (e.g.
+  /// cached across PTP runs by the campaign driver). Ignored when
+  /// `collapse` is false; when null the plan is built per run.
+  const FaultCollapse* collapse_plan = nullptr;
 };
 
 /// Per-run result: the paper's Fault Sim Report.

@@ -1,10 +1,10 @@
 #include "fault/transition.h"
 
-#include <queue>
 #include <utility>
 
 #include "common/error.h"
 #include "fault/parallel.h"
+#include "fault/scratch.h"
 
 namespace gpustl::fault {
 
@@ -23,37 +23,16 @@ std::vector<TransitionFault> TransitionFaultList(const Netlist& nl) {
 
 namespace {
 
-/// Copy-on-write faulty-value scratch (same scheme as faultsim.cpp).
-struct Scratch {
-  explicit Scratch(std::size_t n)
-      : fval(n, 0), touched_epoch(n, 0), queued_epoch(n, 0) {}
-
-  std::vector<std::uint64_t> fval;
-  std::vector<std::uint32_t> touched_epoch;
-  std::vector<std::uint32_t> queued_epoch;
-  std::uint32_t epoch = 0;
-  std::priority_queue<NetId, std::vector<NetId>, std::greater<NetId>> queue;
-
-  void NewFault() { ++epoch; }
-  std::uint64_t Value(const std::vector<std::uint64_t>& good, NetId net) const {
-    return touched_epoch[net] == epoch ? fval[net] : good[net];
-  }
-  void Set(NetId net, std::uint64_t value) {
-    fval[net] = value;
-    touched_epoch[net] = epoch;
-  }
-  void Enqueue(NetId net) {
-    if (queued_epoch[net] != epoch) {
-      queued_epoch[net] = epoch;
-      queue.push(net);
-    }
-  }
-};
-
 /// The transition-fault loop over one fault shard (see
 /// faultsim.cpp::SimulateShard for the sharding contract). The launch-side
 /// history (`prev_site_bit`) is per fault, so it shards with the fault list;
 /// each worker keeps its own copy indexed by global fault id.
+///
+/// No fault collapsing here: the launch condition is a property of the
+/// fault *site's* value history, so two transition faults with identical
+/// faulty functions still activate on different patterns. The bucket-queue
+/// scratch and output-cone restriction apply unchanged (FaultSimOptions::
+/// collapse is ignored, cone_limit is honoured).
 void SimulateShard(const Netlist& nl, const PatternSet& patterns,
                    const std::vector<TransitionFault>& faults,
                    std::vector<std::uint32_t> live,
@@ -67,16 +46,17 @@ void SimulateShard(const Netlist& nl, const PatternSet& patterns,
   }
 
   BitSimulator sim(nl);
-  std::vector<std::uint64_t> good;
-  Scratch scratch(nl.gate_count());
+  internal::PropagationScratch scratch(nl);
   const auto& outputs = nl.outputs();
+  const bool cone_on = options.cone_limit;
+  const std::size_t cone_words = nl.cone_words();
 
   for (std::size_t base = 0; base < patterns.size(); base += 64) {
     const int count = sim.LoadBlock(patterns, base);
     if (count == 0) break;
     const std::uint64_t valid = count >= 64 ? ~0ull : ((1ull << count) - 1);
     sim.Eval();
-    good = sim.values();
+    const std::vector<std::uint64_t>& good = sim.values();
 
     std::size_t w = 0;
     for (std::size_t r = 0; r < live.size(); ++r) {
@@ -111,8 +91,10 @@ void SimulateShard(const Netlist& nl, const PatternSet& patterns,
       // capture vectors.
       scratch.NewFault();
       if (f.pin == Fault::kOutputPin) {
-        scratch.Set(f.gate, stuck);
-        for (NetId fo : nl.fanout(f.gate)) scratch.Enqueue(fo);
+        scratch.SetFaulty(f.gate, stuck);
+        for (NetId fo : nl.fanout(f.gate)) {
+          if (!cone_on || nl.ReachesOutput(fo)) scratch.Enqueue(fo);
+        }
       } else {
         std::uint64_t in[kMaxFanin];
         for (int i = 0; i < g.fanin_count(); ++i) {
@@ -120,29 +102,44 @@ void SimulateShard(const Netlist& nl, const PatternSet& patterns,
         }
         const std::uint64_t out = netlist::EvalCell(g.type, in);
         if (out != good[f.gate]) {
-          scratch.Set(f.gate, out);
-          for (NetId fo : nl.fanout(f.gate)) scratch.Enqueue(fo);
+          scratch.SetFaulty(f.gate, out);
+          for (NetId fo : nl.fanout(f.gate)) {
+            if (!cone_on || nl.ReachesOutput(fo)) scratch.Enqueue(fo);
+          }
         }
       }
-      while (!scratch.queue.empty()) {
-        const NetId id = scratch.queue.top();
-        scratch.queue.pop();
+      scratch.Drain([&](NetId id) {
         const Gate& gg = nl.gate(id);
         std::uint64_t in[kMaxFanin];
         for (int i = 0; i < gg.fanin_count(); ++i) {
-          in[i] = scratch.Value(good, gg.fanin[i]);
+          in[i] = scratch.FaultyValue(good, gg.fanin[i]);
         }
         const std::uint64_t out = netlist::EvalCell(gg.type, in);
         if (out != good[id]) {
-          scratch.Set(id, out);
-          for (NetId fo : nl.fanout(id)) scratch.Enqueue(fo);
+          scratch.SetFaulty(id, out);
+          for (NetId fo : nl.fanout(id)) {
+            if (!cone_on || nl.ReachesOutput(fo)) scratch.Enqueue(fo);
+          }
         }
-      }
+      });
 
       std::uint64_t diff = 0;
-      for (NetId o : outputs) {
-        if (scratch.touched_epoch[o] == scratch.epoch) {
-          diff |= scratch.fval[o] ^ good[o];
+      if (cone_on) {
+        const std::uint64_t* cone = nl.OutputCone(f.gate);
+        for (std::size_t cw = 0; cw < cone_words; ++cw) {
+          for (std::uint64_t bits = cone[cw]; bits != 0; bits &= bits - 1) {
+            const NetId o =
+                outputs[cw * 64 + static_cast<std::size_t>(LowestSetBit(bits))];
+            if (scratch.touched_epoch[o] == scratch.epoch) {
+              diff |= scratch.fval[o] ^ good[o];
+            }
+          }
+        }
+      } else {
+        for (NetId o : outputs) {
+          if (scratch.touched_epoch[o] == scratch.epoch) {
+            diff |= scratch.fval[o] ^ good[o];
+          }
         }
       }
       diff &= act;  // detection only on properly-launched capture vectors

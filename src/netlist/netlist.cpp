@@ -53,8 +53,9 @@ void Netlist::Freeze() {
   // Because AddGate only accepts already-existing nets, gate ids are already
   // a topological order of the combinational logic (DFF outputs act as
   // sources). We still verify and build levels + fanout lists.
-  fanout_.assign(n, {});
+  fanout_offset_.assign(n + 1, 0);
   level_.assign(n, 0);
+  max_level_ = 0;
   topo_.clear();
   topo_.reserve(n);
   for (NetId id = 0; id < n; ++id) {
@@ -66,13 +67,56 @@ void Netlist::Freeze() {
         throw NetlistError("combinational cycle or forward reference");
       }
       if (f < n) {
-        fanout_[f].push_back(id);
+        ++fanout_offset_[f + 1];
         if (g.type != CellType::kDff) lvl = std::max(lvl, level_[f] + 1);
       }
     }
     level_[id] = lvl;
+    max_level_ = std::max(max_level_, lvl);
     if (IsCombinational(g.type)) topo_.push_back(id);
   }
+
+  // CSR fanout: prefix-sum the degrees, then fill in gate-id order so every
+  // per-net list stays ascending (the order the old vector-of-vectors had).
+  for (std::size_t i = 1; i <= n; ++i) fanout_offset_[i] += fanout_offset_[i - 1];
+  fanout_list_.assign(fanout_offset_[n], 0);
+  std::vector<std::uint32_t> cursor(fanout_offset_.begin(),
+                                    fanout_offset_.end() - 1);
+  for (NetId id = 0; id < n; ++id) {
+    const Gate& g = gates_[id];
+    for (int i = 0; i < g.fanin_count(); ++i) {
+      const NetId f = g.fanin[i];
+      if (f < n) fanout_list_[cursor[f]++] = id;
+    }
+  }
+
+  // Output cones, swept in descending id order (every combinational
+  // consumer has a larger id than its fanins, so a net's cone is complete
+  // before it is pushed into the fanins). DFFs are a sequential boundary.
+  cone_words_ = (outputs_.size() + 63) / 64;
+  cone_.assign(n * cone_words_, 0);
+  reaches_output_.assign(n, 0);
+  for (std::size_t k = 0; k < outputs_.size(); ++k) {
+    cone_[outputs_[k] * cone_words_ + k / 64] |= 1ull << (k % 64);
+  }
+  for (NetId id = static_cast<NetId>(n); id-- > 0;) {
+    const Gate& g = gates_[id];
+    if (g.type == CellType::kDff) continue;
+    const std::uint64_t* mine = cone_.data() + id * cone_words_;
+    for (int i = 0; i < g.fanin_count(); ++i) {
+      std::uint64_t* dst = cone_.data() + g.fanin[i] * cone_words_;
+      for (std::size_t w = 0; w < cone_words_; ++w) dst[w] |= mine[w];
+    }
+  }
+  for (NetId id = 0; id < n; ++id) {
+    for (std::size_t w = 0; w < cone_words_; ++w) {
+      if (cone_[id * cone_words_ + w] != 0) {
+        reaches_output_[id] = 1;
+        break;
+      }
+    }
+  }
+
   frozen_ = true;
 }
 

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -72,10 +73,38 @@ class Netlist {
   const std::vector<NetId>& topo_order() const { return topo_; }
 
   /// Gates whose fanin includes `net` (used by the event-driven fault sim).
-  const std::vector<NetId>& fanout(NetId net) const { return fanout_[net]; }
+  /// Stored flat in CSR layout so the hot propagation loop walks one
+  /// contiguous array instead of chasing per-net vectors.
+  std::span<const NetId> fanout(NetId net) const {
+    return {fanout_list_.data() + fanout_offset_[net],
+            fanout_offset_[net + 1] - fanout_offset_[net]};
+  }
 
   /// Depth-levelized: level of each net (inputs at 0).
   const std::vector<std::uint32_t>& levels() const { return level_; }
+
+  /// Largest level of any net (0 for an empty netlist).
+  std::uint32_t max_level() const { return max_level_; }
+
+  // --- output-cone reachability (computed at Freeze) ---
+  //
+  // For every net, a bitset over primary-output *indices* (bit k =
+  // outputs()[k]) that are combinationally reachable from the net. The
+  // fault simulator uses these to scan only a fault's cone during
+  // detection and to stop propagating events that can no longer reach any
+  // observed output. DFF data pins are a sequential boundary: cones do not
+  // propagate through them.
+
+  /// Words per cone mask: ceil(num_outputs / 64).
+  std::size_t cone_words() const { return cone_words_; }
+
+  /// The cone mask of `net` (`cone_words()` packed words).
+  const std::uint64_t* OutputCone(NetId net) const {
+    return cone_.data() + static_cast<std::size_t>(net) * cone_words_;
+  }
+
+  /// True when at least one primary output is in `net`'s cone.
+  bool ReachesOutput(NetId net) const { return reaches_output_[net] != 0; }
 
   /// All DFF gate ids.
   const std::vector<NetId>& dffs() const { return dffs_; }
@@ -94,8 +123,13 @@ class Netlist {
 
   bool frozen_ = false;
   std::vector<NetId> topo_;
-  std::vector<std::vector<NetId>> fanout_;
+  std::vector<std::uint32_t> fanout_offset_;  // gate_count() + 1
+  std::vector<NetId> fanout_list_;            // CSR payload
   std::vector<std::uint32_t> level_;
+  std::uint32_t max_level_ = 0;
+  std::size_t cone_words_ = 0;
+  std::vector<std::uint64_t> cone_;           // gate_count() * cone_words_
+  std::vector<std::uint8_t> reaches_output_;  // cone mask nonzero
 };
 
 // --- Word-level construction helpers (used by the circuit builders) ---

@@ -31,6 +31,7 @@
 #include "compact/compactor.h"
 #include "compact/report.h"
 #include "compact/stl_campaign.h"
+#include "fault/collapse.h"
 #include "fault/faultsim.h"
 #include "gpu/sm.h"
 #include "isa/assembler.h"
@@ -72,7 +73,12 @@ int Usage() {
       "\n"
       "faultsim/compact/campaign accept --threads N: fault-parallel PPSFP\n"
       "with N workers (0 = all cores, default 1 = serial). Reports are\n"
-      "bit-identical for every N.\n");
+      "bit-identical for every N.\n"
+      "\n"
+      "faultsim/compact/campaign also accept --no-collapse (simulate every\n"
+      "fault instead of one representative per structural equivalence\n"
+      "class) and --no-cone (disable output-cone pruning). Both switches\n"
+      "only trade speed; reports are bit-identical either way.\n");
   return 2;
 }
 
@@ -138,6 +144,8 @@ struct Args {
   int threads = 1;
   bool reverse = false;
   bool no_drop = false;
+  bool no_collapse = false;
+  bool no_cone = false;
   bool vcd = false;
   std::uint32_t dump_addr = 0;
   int dump_count = 0;
@@ -157,6 +165,8 @@ struct Args {
       else if (arg == "--fault-model") fault_model = next();
       else if (arg == "--state") state = next();
       else if (arg == "--no-drop") no_drop = true;
+      else if (arg == "--no-collapse") no_collapse = true;
+      else if (arg == "--no-cone") no_cone = true;
       else if (arg == "--sp") sp_cores = std::atoi(next().c_str());
       else if (arg == "--threads") {
         threads = std::atoi(next().c_str());
@@ -282,7 +292,9 @@ int CmdFaultsim(const Args& args) {
   const auto patterns =
       args.reverse ? probe.patterns().Reversed() : probe.patterns();
   const fault::FaultSimOptions sim_options{.drop_detected = !args.no_drop,
-                                           .num_threads = args.threads};
+                                           .num_threads = args.threads,
+                                           .collapse = !args.no_collapse,
+                                           .cone_limit = !args.no_cone};
   const auto report =
       args.fault_model == "transition"
           ? fault::RunTransitionFaultSim(nl, patterns, faults, nullptr,
@@ -293,6 +305,13 @@ int CmdFaultsim(const Args& args) {
               prog.name().c_str(), nl.name().c_str(), patterns.size(),
               report.num_detected, faults.size(),
               fault::CoveragePercent(report.num_detected, faults.size()));
+  if (!args.no_collapse && args.fault_model != "transition") {
+    const auto stats = fault::BuildFaultCollapse(nl, faults).Stats();
+    std::printf("  collapsed: %zu classes for %zu faults (-%.1f%%), "
+                "%zu dominance edges\n",
+                stats.num_classes, stats.num_faults,
+                stats.reduction_percent(), stats.dominance_edges);
+  }
   std::size_t detecting = 0;
   for (const auto d : report.detects_per_pattern) detecting += d > 0 ? 1 : 0;
   std::printf("  %zu patterns contribute detections\n", detecting);
@@ -309,6 +328,8 @@ int CmdCompact(const Args& args) {
   options.reverse_patterns = args.reverse;
   options.drop_within_ptp = !args.no_drop;
   options.num_threads = args.threads;
+  options.collapse_faults = !args.no_collapse;
+  options.cone_limit = !args.no_cone;
   if (args.fault_model == "transition") {
     options.fault_model = compact::FaultModel::kTransition;
   } else if (args.fault_model != "stuck-at") {
@@ -364,6 +385,8 @@ int CmdCampaign(const Args& args) {
   const netlist::Netlist fp32 = circuits::BuildFp32();
   compact::CompactorOptions base;
   base.num_threads = args.threads;
+  base.collapse_faults = !args.no_collapse;
+  base.cone_limit = !args.no_cone;
   compact::StlCampaign campaign(du, sp, sfu, base, &fp32);
 
   // Resume a persistent fault-list state (cross-invocation dropping).
@@ -434,6 +457,10 @@ int CmdCampaign(const Args& args) {
       static_cast<unsigned long long>(summary.original_duration),
       static_cast<unsigned long long>(summary.final_duration),
       summary.duration_reduction_percent(), summary.compaction_seconds);
+  std::printf(
+      "fault lists: %zu classes simulated for %zu faults (-%.1f%%)\n",
+      summary.simulated_classes, summary.total_faults,
+      summary.fault_collapse_percent());
   return 0;
 }
 
