@@ -1,0 +1,129 @@
+// Cold-vs-warm benchmark for the content-addressed result store: the
+// Table-II Decoder-Unit campaign (IMM + MEM compacted, CNTRL carried) is run
+// three times — live (no store), cold (populating a fresh cache) and warm
+// (every fault simulation served from disk). The warm run must reproduce the
+// deterministic campaign report byte for byte; what the store buys is the
+// wall-clock column and the hit rate.
+//
+// Each round is appended to BENCH_store.json (see bench_common.h).
+#include <cstdio>
+#include <filesystem>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "compact/report.h"
+#include "compact/stl_campaign.h"
+#include "store/result_store.h"
+
+namespace gpustl::bench {
+namespace {
+
+struct Round {
+  const char* name;
+  double seconds = 0.0;
+  store::StoreStats stats;
+  std::string report;
+};
+
+Round RunCampaign(const char* name, const StlFixture& fx,
+                  store::ResultStore* cache) {
+  compact::CompactorOptions base = BenchCompactorOptions();
+  base.result_store = cache;
+  compact::StlCampaign campaign(fx.du, fx.sp, fx.sfu, base);
+
+  const store::StoreStats before = cache ? cache->stats() : store::StoreStats{};
+  Timer timer;
+  campaign.Process({fx.imm, trace::TargetModule::kDecoderUnit, true, false});
+  campaign.Process({fx.mem, trace::TargetModule::kDecoderUnit, true, false});
+  campaign.Process({fx.cntrl, trace::TargetModule::kDecoderUnit, false, false});
+  Round round;
+  round.name = name;
+  round.seconds = timer.Seconds();
+  if (cache) {
+    round.stats = cache->stats();
+    round.stats.hits -= before.hits;
+    round.stats.misses -= before.misses;
+    round.stats.stores -= before.stores;
+    round.stats.bytes_read -= before.bytes_read;
+    round.stats.bytes_written -= before.bytes_written;
+  }
+  round.report =
+      compact::RenderCampaignReport(campaign.records(), campaign.Summary());
+  return round;
+}
+
+int Run() {
+  // ~Table-II scale / 2 keeps the three rounds inside a coffee break.
+  StlScale scale;
+  scale.imm_sbs /= 2;
+  scale.mem_sbs /= 2;
+  const StlFixture fx = BuildFixture(scale);
+
+  const std::string cache_dir = ".bench_store_cache";
+  std::filesystem::remove_all(cache_dir);
+  store::ResultStore cache(cache_dir);
+
+  const Round rounds[] = {
+      RunCampaign("live (no store)", fx, nullptr),
+      RunCampaign("cold (populate)", fx, &cache),
+      RunCampaign("warm (cached)", fx, &cache),
+  };
+  const Round& live = rounds[0];
+  const Round& warm = rounds[2];
+
+  const std::string json = "BENCH_store.json";
+  TextTable table({"Round", "Time (s)", "Speedup", "Hits", "Misses",
+                   "Hit rate", "MiB written", "MiB read", "Identical"});
+  for (const Round& r : rounds) {
+    const bool identical = r.report == live.report;
+    table.AddRow({r.name, ::gpustl::Format("%.3f", r.seconds),
+                  ::gpustl::Format("%.2fx", live.seconds / r.seconds),
+                  Count(r.stats.hits), Count(r.stats.misses),
+                  Pct(r.stats.hit_rate_percent()),
+                  ::gpustl::Format("%.2f", r.stats.bytes_written / 1048576.0),
+                  ::gpustl::Format("%.2f", r.stats.bytes_read / 1048576.0),
+                  identical ? "yes" : "NO (BUG)"});
+
+    BenchRecord record;
+    record.bench = "store";
+    record.name = r.name;
+    record.module = "DU";
+    record.wall_seconds = r.seconds;
+    record.threads = BenchThreads();
+    record.extra = {
+        {"hits", static_cast<double>(r.stats.hits)},
+        {"misses", static_cast<double>(r.stats.misses)},
+        {"hit_rate", r.stats.hit_rate_percent()},
+        {"bytes_written", static_cast<double>(r.stats.bytes_written)},
+        {"bytes_read", static_cast<double>(r.stats.bytes_read)},
+        {"speedup_vs_live", live.seconds / r.seconds},
+        {"identical", identical ? 1.0 : 0.0},
+    };
+    AppendBenchJson(json, record);
+  }
+
+  std::printf("RESULT STORE: COLD VS WARM DECODER-UNIT CAMPAIGN\n\n%s\n",
+              table.Render().c_str());
+  std::printf(
+      "The campaign report is deterministic by design, so every round's\n"
+      "Identical column must read 'yes': a cached result is bit-identical\n"
+      "to a live fault simulation by key construction. The warm round's\n"
+      "miss column counts only simulations whose inputs genuinely changed\n"
+      "(none here). Cache at %s, records appended to %s.\n",
+      cache_dir.c_str(), json.c_str());
+
+  const bool all_identical = rounds[1].report == live.report &&
+                             warm.report == live.report;
+  const bool warm_hit = warm.stats.misses == 0 && warm.stats.hits > 0;
+  if (!all_identical || !warm_hit) {
+    std::printf("BUG: warm campaign diverged from the live run\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpustl::bench
+
+int main() { return gpustl::bench::Run(); }

@@ -1,0 +1,102 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace gpustl {
+namespace {
+
+constexpr std::uint64_t kMul1 = 0xff51afd7ed558ccdull;  // Murmur3 fmix64
+constexpr std::uint64_t kMul2 = 0xc4ceb9fe1a85ec53ull;
+
+std::uint64_t Fmix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= kMul1;
+  x ^= x >> 33;
+  x *= kMul2;
+  x ^= x >> 33;
+  return x;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string Hash128::ToHex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t word = i < 8 ? hi : lo;
+    const int shift = 56 - 8 * (i % 8);
+    const std::uint8_t byte = static_cast<std::uint8_t>(word >> shift);
+    out[2 * i] = digits[byte >> 4];
+    out[2 * i + 1] = digits[byte & 0xf];
+  }
+  return out;
+}
+
+bool Hash128::FromHex(std::string_view hex, Hash128* out) {
+  if (hex.size() != 32 || out == nullptr) return false;
+  std::uint64_t words[2] = {0, 0};
+  for (int i = 0; i < 32; ++i) {
+    const int d = HexDigit(hex[i]);
+    if (d < 0) return false;
+    words[i / 16] = (words[i / 16] << 4) | static_cast<std::uint64_t>(d);
+  }
+  out->hi = words[0];
+  out->lo = words[1];
+  return true;
+}
+
+Hasher128::Hasher128(std::uint64_t seed) { Mix(seed); }
+
+void Hasher128::Mix(std::uint64_t v) {
+  a_ = (a_ ^ v) * kMul1;
+  a_ ^= a_ >> 29;
+  b_ = (b_ + v) * kMul2;
+  b_ ^= b_ >> 31;
+  b_ += a_;
+}
+
+void Hasher128::AddU64(std::uint64_t v) {
+  Mix(v);
+  length_ += 8;
+}
+
+void Hasher128::AddBytes(const void* data, std::size_t size) {
+  AddU64(size);  // length prefix: "ab" + "c" never aliases "a" + "bc"
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    // Byte-wise assembly (little-endian by definition) keeps the digest
+    // independent of host endianness and alignment.
+    std::uint64_t block = 0;
+    for (int k = 0; k < 8; ++k) {
+      block |= static_cast<std::uint64_t>(p[i + k]) << (8 * k);
+    }
+    Mix(block);
+  }
+  if (i < size) {
+    std::uint64_t block = 0;
+    for (int k = 0; i + k < size; ++k) {
+      block |= static_cast<std::uint64_t>(p[i + k]) << (8 * k);
+    }
+    Mix(block | (0x80ull << (8 * (size - i))));  // pad marker
+  }
+  length_ += size;
+}
+
+Hash128 Hasher128::Finish() const {
+  std::uint64_t x = a_ ^ Fmix64(length_);
+  std::uint64_t y = b_ + Fmix64(length_ ^ kMul1);
+  Hash128 out;
+  out.lo = Fmix64(x + y);
+  out.hi = Fmix64(y ^ out.lo);
+  return out;
+}
+
+}  // namespace gpustl

@@ -1,0 +1,74 @@
+// 128-bit streaming content hash used for cache keys and fingerprints.
+//
+// The store subsystem addresses fault-simulation results by the hash of
+// everything that determines them (netlist topology, pattern contents,
+// fault list, skip mask, semantic options). The hash therefore needs to be
+// (a) stable across runs, platforms and compiler versions — it is defined
+// purely over the byte values fed in, never over in-memory object layout —
+// and (b) collision-resistant enough that a 128-bit accidental collision is
+// never the weakest link. It is NOT cryptographic; the store additionally
+// checksums payloads, so a forged entry can corrupt nothing silently.
+//
+// Construction: two 64-bit lanes cross-fed per 64-bit block, mixed with the
+// MurmurHash3/SplitMix64 finalizer constants, length-strengthened at
+// Finish(). Variable-length fields must be added length-prefixed
+// (AddString/AddBytes do this) so concatenation ambiguities cannot alias.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gpustl {
+
+/// A 128-bit digest value.
+struct Hash128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  bool operator==(const Hash128&) const = default;
+
+  /// 32 lowercase hex chars, hi word first — the store's entry file stem.
+  std::string ToHex() const;
+
+  /// Parses ToHex() output; returns false on malformed input.
+  static bool FromHex(std::string_view hex, Hash128* out);
+};
+
+/// Streaming hasher. Feed fields in a fixed, documented order; the digest
+/// depends on that order.
+class Hasher128 {
+ public:
+  Hasher128() = default;
+  explicit Hasher128(std::uint64_t seed);
+
+  void AddU64(std::uint64_t v);
+  void AddU32(std::uint32_t v) { AddU64(v); }
+  void AddBool(bool v) { AddU64(v ? 1 : 0); }
+
+  /// Length-prefixed raw bytes.
+  void AddBytes(const void* data, std::size_t size);
+
+  /// Length-prefixed string contents.
+  void AddString(std::string_view s) { AddBytes(s.data(), s.size()); }
+
+  /// Folds a finished digest in (for composing per-field fingerprints).
+  void AddHash(const Hash128& h) {
+    AddU64(h.lo);
+    AddU64(h.hi);
+  }
+
+  /// Finalizes. The hasher may keep being fed afterwards; each Finish()
+  /// digests everything added so far.
+  Hash128 Finish() const;
+
+ private:
+  void Mix(std::uint64_t v);
+
+  std::uint64_t a_ = 0x9e3779b97f4a7c15ull;
+  std::uint64_t b_ = 0xc2b2ae3d27d4eb4full;
+  std::uint64_t length_ = 0;
+};
+
+}  // namespace gpustl

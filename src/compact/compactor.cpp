@@ -4,13 +4,12 @@
 
 #include "common/error.h"
 #include "common/timer.h"
-#include "fault/transition.h"
 #include "isa/cfg.h"
+#include "store/result_store.h"
 
 namespace gpustl::compact {
 
 using fault::FaultSimResult;
-using fault::RunFaultSim;
 using isa::Program;
 using netlist::PatternSet;
 
@@ -117,6 +116,7 @@ Compactor::Compactor(const netlist::Netlist& module,
       options_(std::move(options)),
       faults_(fault::CollapsedFaultList(module)),
       collapse_(fault::BuildFaultCollapse(module, faults_)),
+      faults_fp_(store::FingerprintFaults(faults_)),
       detected_(faults_.size(), false) {}
 
 Compactor::TraceRun Compactor::RunLogicTrace(const Program& ptp) const {
@@ -141,14 +141,12 @@ fault::FaultSimResult Compactor::SimulateFaults(
       .collapse = options_.collapse_faults,
       .cone_limit = options_.cone_limit,
       .collapse_plan = options_.collapse_faults ? &collapse_ : nullptr};
-  switch (options_.fault_model) {
-    case FaultModel::kTransition:
-      return fault::RunTransitionFaultSim(*module_, patterns, faults_, skip,
-                                          sim_options);
-    case FaultModel::kStuckAt:
-      break;
-  }
-  return RunFaultSim(*module_, patterns, faults_, skip, sim_options);
+  const store::SimModel model = options_.fault_model == FaultModel::kTransition
+                                    ? store::SimModel::kTransition
+                                    : store::SimModel::kStuckAt;
+  return store::SimulateWithStore(options_.result_store, *module_, patterns,
+                                  faults_, skip, sim_options, model,
+                                  &faults_fp_);
 }
 
 CompactionResult Compactor::CompactPtp(const Program& ptp) {

@@ -38,6 +38,10 @@
 #include "netlist/netlist.h"
 #include "trace/trace.h"
 
+namespace gpustl::store {
+class ResultStore;  // store/result_store.h
+}
+
 namespace gpustl::compact {
 
 /// One Small Block: a load-operands / execute / propagate sequence inside a
@@ -146,6 +150,13 @@ struct CompactorOptions {
   /// and propagation pruning; exact either way).
   bool cone_limit = true;
 
+  /// Content-addressed result store consulted before every fault
+  /// simulation (and written back after a miss). Null = caching off. Not
+  /// owned; must outlive every Compactor sharing it. A cached result is
+  /// bit-identical to a live run by key construction, so campaigns warm
+  /// from the store without perturbing any table.
+  store::ResultStore* result_store = nullptr;
+
   gpu::SmConfig sm;
 };
 
@@ -206,6 +217,7 @@ class Compactor {
   CompactorOptions options_;
   std::vector<fault::Fault> faults_;
   fault::FaultCollapse collapse_;  // built once, shared by every fault sim
+  Hash128 faults_fp_;              // fault-list digest, for store keys
   BitVec detected_;
 };
 

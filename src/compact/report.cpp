@@ -80,4 +80,43 @@ void WriteCompactionReport(std::ostream& os, const isa::Program& original,
   os << RenderCompactionReport(original, result);
 }
 
+std::string RenderCampaignReport(const std::deque<CampaignRecord>& records,
+                                 const CampaignSummary& summary) {
+  using ::gpustl::Format;
+  std::string out = "=== STL campaign report ===\n\n";
+
+  TextTable table({"PTP", "module", "mode", "size", "size'", "cc", "cc'",
+                   "diff FC"});
+  for (const CampaignRecord& rec : records) {
+    table.AddRow(
+        {rec.name.empty() ? "<anon>" : rec.name,
+         std::string(trace::TargetModuleName(rec.target)),
+         rec.compacted ? "compacted" : "carried",
+         std::to_string(rec.original_size), std::to_string(rec.final_size),
+         std::to_string(rec.original_duration),
+         std::to_string(rec.final_duration),
+         rec.compacted ? Format("%+.2f", rec.result.diff_fc) : "-"});
+  }
+  out += table.Render();
+  out += "\n";
+
+  out += Format("size      %zu -> %zu instructions (-%.2f%%)\n",
+                summary.original_size, summary.final_size,
+                summary.size_reduction_percent());
+  out += Format("duration  %llu -> %llu ccs (-%.2f%%)\n",
+                static_cast<unsigned long long>(summary.original_duration),
+                static_cast<unsigned long long>(summary.final_duration),
+                summary.duration_reduction_percent());
+  out += Format("faults    %zu classes simulated for %zu faults (-%.1f%%)\n",
+                summary.simulated_classes, summary.total_faults,
+                summary.fault_collapse_percent());
+  return out;
+}
+
+void WriteCampaignReport(std::ostream& os,
+                         const std::deque<CampaignRecord>& records,
+                         const CampaignSummary& summary) {
+  os << RenderCampaignReport(records, summary);
+}
+
 }  // namespace gpustl::compact

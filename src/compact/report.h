@@ -6,7 +6,7 @@
 #include <iosfwd>
 #include <string>
 
-#include "compact/compactor.h"
+#include "compact/stl_campaign.h"
 
 namespace gpustl::compact {
 
@@ -18,5 +18,18 @@ std::string RenderCompactionReport(const isa::Program& original,
 /// Writes the report to a stream.
 void WriteCompactionReport(std::ostream& os, const isa::Program& original,
                            const CompactionResult& result);
+
+/// Renders the whole-STL campaign report: one row per record plus the
+/// summary totals. Deliberately DETERMINISTIC — wall-clock seconds and
+/// cache counters are excluded — so a cached/resumed re-run of the same
+/// campaign renders byte-identical text (the CI cache-determinism job and
+/// the --resume acceptance test diff exactly this).
+std::string RenderCampaignReport(const std::deque<CampaignRecord>& records,
+                                 const CampaignSummary& summary);
+
+/// Writes the campaign report to a stream.
+void WriteCampaignReport(std::ostream& os,
+                         const std::deque<CampaignRecord>& records,
+                         const CampaignSummary& summary);
 
 }  // namespace gpustl::compact

@@ -89,6 +89,11 @@ const CampaignRecord& StlCampaign::Process(const StlEntry& entry) {
   return records_.back();
 }
 
+const CampaignRecord& StlCampaign::AppendRestoredRecord(CampaignRecord rec) {
+  records_.push_back(std::move(rec));
+  return records_.back();
+}
+
 CampaignSummary StlCampaign::Summary() const {
   CampaignSummary s;
   for (const CampaignRecord& rec : records_) {
@@ -104,6 +109,10 @@ CampaignSummary StlCampaign::Summary() const {
     s.total_faults += cs.num_faults;
     s.simulated_classes +=
         base_.collapse_faults ? cs.num_classes : cs.num_faults;
+  }
+  if (base_.result_store != nullptr) {
+    s.cache_enabled = true;
+    s.cache = base_.result_store->stats();
   }
   return s;
 }

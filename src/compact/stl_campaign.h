@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "compact/compactor.h"
+#include "store/result_store.h"
 
 namespace gpustl::compact {
 
@@ -51,6 +52,13 @@ struct CampaignSummary {
   std::size_t total_faults = 0;
   std::size_t simulated_classes = 0;
 
+  /// Result-store counters at Summary() time (zeros when no store is
+  /// configured). Observability only: wall-clock and cache state, unlike
+  /// every other field, are NOT deterministic across runs, which is why
+  /// WriteCampaignReport excludes them (and compaction_seconds).
+  bool cache_enabled = false;
+  store::StoreStats cache;
+
   double size_reduction_percent() const;
   double duration_reduction_percent() const;
   double fault_collapse_percent() const;
@@ -71,6 +79,14 @@ class StlCampaign {
   /// records are stored in a deque precisely so that later Process calls
   /// never invalidate earlier references (a vector would reallocate).
   const CampaignRecord& Process(const StlEntry& entry);
+
+  /// Appends a record restored from a campaign checkpoint WITHOUT any
+  /// recomputation. The caller separately restores the per-module
+  /// fault-list state (Compactor::MutableDetected) so subsequent Process
+  /// calls continue the inter-PTP dropping exactly where the interrupted
+  /// run left off. Only the summary-relevant fields of `rec` need to be
+  /// populated (sizes, durations, rec.result.compaction_seconds).
+  const CampaignRecord& AppendRestoredRecord(CampaignRecord rec);
 
   const std::deque<CampaignRecord>& records() const { return records_; }
   CampaignSummary Summary() const;

@@ -117,6 +117,23 @@ void Netlist::Freeze() {
     }
   }
 
+  // Content fingerprint: every bit of structure that determines simulation
+  // behaviour, nothing that doesn't (names are skipped). The field order is
+  // part of the store's key-derivation contract (docs/FORMATS.md).
+  Hasher128 hasher;
+  hasher.AddString("gpustl-netlist-v1");
+  hasher.AddU64(n);
+  for (NetId id = 0; id < n; ++id) {
+    const Gate& g = gates_[id];
+    hasher.AddU32(static_cast<std::uint32_t>(g.type));
+    for (int i = 0; i < g.fanin_count(); ++i) hasher.AddU32(g.fanin[i]);
+  }
+  hasher.AddU64(inputs_.size());
+  for (const NetId id : inputs_) hasher.AddU32(id);
+  hasher.AddU64(outputs_.size());
+  for (const NetId id : outputs_) hasher.AddU32(id);
+  fingerprint_ = hasher.Finish();
+
   frozen_ = true;
 }
 

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
 #include "netlist/cell.h"
 
 namespace gpustl::netlist {
@@ -106,6 +107,14 @@ class Netlist {
   /// True when at least one primary output is in `net`'s cone.
   bool ReachesOutput(NetId net) const { return reaches_output_[net] != 0; }
 
+  /// Content fingerprint of the frozen netlist: topology + cell functions
+  /// (gate types, fanin wiring, primary input/output lists). Pin names are
+  /// excluded — they never affect simulation results. Computed once at
+  /// Freeze(); the result-store derives cache keys from it, so two
+  /// identically built modules share cached fault-sim results across
+  /// processes.
+  const Hash128& fingerprint() const { return fingerprint_; }
+
   /// All DFF gate ids.
   const std::vector<NetId>& dffs() const { return dffs_; }
 
@@ -130,6 +139,7 @@ class Netlist {
   std::size_t cone_words_ = 0;
   std::vector<std::uint64_t> cone_;           // gate_count() * cone_words_
   std::vector<std::uint8_t> reaches_output_;  // cone mask nonzero
+  Hash128 fingerprint_;
 };
 
 // --- Word-level construction helpers (used by the circuit builders) ---

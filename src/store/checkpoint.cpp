@@ -1,0 +1,166 @@
+#include "store/checkpoint.h"
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "common/error.h"
+#include "common/strutil.h"
+
+namespace gpustl::store {
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string HexU64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::optional<std::uint64_t> ParseHexU64(std::string_view s) {
+  if (s.empty() || s.size() > 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else return std::nullopt;
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  return v;
+}
+
+std::optional<std::uint64_t> ParseU64(std::string_view s) {
+  const auto v = ParseInt(s);
+  if (!v || *v < 0) return std::nullopt;
+  return static_cast<std::uint64_t>(*v);
+}
+
+}  // namespace
+
+Hash128 FingerprintStlEntry(std::string_view ptp_bytes,
+                            std::string_view target, bool compactable,
+                            bool reverse_patterns) {
+  Hasher128 h;
+  h.AddString("gpustl-stlentry-v1");
+  h.AddString(ptp_bytes);
+  h.AddString(target);
+  h.AddBool(compactable);
+  h.AddBool(reverse_patterns);
+  return h.Finish();
+}
+
+std::string CheckpointPath(const std::string& dir) {
+  return (fs::path(dir) / "campaign.ckpt").string();
+}
+
+void AtomicWriteFile(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("store: cannot write " + tmp);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw Error("store: short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw Error("store: cannot replace " + path + ": " + ec.message());
+  }
+}
+
+void WriteCheckpoint(const std::string& dir, const CampaignCheckpoint& ckpt) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    throw Error("store: cannot create checkpoint directory '" + dir +
+                "': " + ec.message());
+  }
+  std::ostringstream out;
+  out << "$campaign v1 entries " << ckpt.entries.size() << "\n";
+  for (const CheckpointEntry& e : ckpt.entries) {
+    out << e.entry_fp.ToHex() << " " << e.target << " "
+        << (e.compacted ? 1 : 0) << " " << e.original_size << " "
+        << e.original_duration << " " << e.final_size << " "
+        << e.final_duration << " "
+        << HexU64(std::bit_cast<std::uint64_t>(e.compaction_seconds)) << " "
+        << HexU64(std::bit_cast<std::uint64_t>(e.diff_fc)) << " " << e.name
+        << "\n";
+  }
+  out << "$end\n";
+  AtomicWriteFile(CheckpointPath(dir), out.str());
+}
+
+std::optional<CampaignCheckpoint> ReadCheckpoint(const std::string& dir) {
+  const std::string path = CheckpointPath(dir);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;  // no checkpoint yet: normal first run
+
+  auto damaged = [&](const char* why) -> std::optional<CampaignCheckpoint> {
+    std::fprintf(stderr,
+                 "gpustl-store: ignoring damaged checkpoint %s (%s)\n",
+                 path.c_str(), why);
+    return std::nullopt;
+  };
+
+  std::string line;
+  if (!std::getline(in, line)) return damaged("empty file");
+  const auto head = SplitWs(line);
+  if (head.size() != 4 || head[0] != "$campaign" || head[1] != "v1" ||
+      head[2] != "entries") {
+    return damaged("bad header");
+  }
+  const auto count = ParseU64(head[3]);
+  if (!count) return damaged("bad entry count");
+
+  CampaignCheckpoint ckpt;
+  ckpt.entries.reserve(*count);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    if (!std::getline(in, line)) return damaged("truncated");
+    const std::string_view trimmed = Trim(line);
+    const auto toks = SplitWs(trimmed);
+    // The name is the line's tail and may be empty; 9 leading fields.
+    if (toks.size() < 9) return damaged("short record line");
+    CheckpointEntry e;
+    if (!Hash128::FromHex(toks[0], &e.entry_fp)) return damaged("bad fp");
+    e.target = std::string(toks[1]);
+    const auto compacted = ParseU64(toks[2]);
+    const auto osize = ParseU64(toks[3]);
+    const auto odur = ParseU64(toks[4]);
+    const auto fsize = ParseU64(toks[5]);
+    const auto fdur = ParseU64(toks[6]);
+    const auto secbits = ParseHexU64(toks[7]);
+    const auto fcbits = ParseHexU64(toks[8]);
+    if (!compacted || *compacted > 1 || !osize || !odur || !fsize || !fdur ||
+        !secbits || !fcbits) {
+      return damaged("bad record field");
+    }
+    e.compacted = *compacted == 1;
+    e.original_size = *osize;
+    e.original_duration = *odur;
+    e.final_size = *fsize;
+    e.final_duration = *fdur;
+    e.compaction_seconds = std::bit_cast<double>(*secbits);
+    e.diff_fc = std::bit_cast<double>(*fcbits);
+    if (toks.size() > 9) {
+      e.name = std::string(trimmed.substr(toks[9].data() - trimmed.data()));
+    }
+    ckpt.entries.push_back(std::move(e));
+  }
+  if (!std::getline(in, line) || Trim(line) != "$end") {
+    return damaged("missing $end");
+  }
+  return ckpt;
+}
+
+}  // namespace gpustl::store

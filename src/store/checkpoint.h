@@ -1,0 +1,88 @@
+// Campaign checkpointing: resumable whole-STL compaction runs.
+//
+// `gpustlc campaign --resume <dir>` writes, after every processed PTP, a
+// checkpoint file carrying one entry per campaign record — enough to
+// rebuild the CampaignRecord sizes/durations (and hence a bit-identical
+// CampaignSummary) without recomputing — plus the per-module persistent
+// fault-list state (`state.<MODULE>.flist`, the fault/faultlist_io
+// format). On restart the manifest is fingerprinted entry by entry; when
+// the checkpointed entries form an exact prefix of the manifest, the
+// prefix is restored and processing continues at the first unprocessed
+// entry. Any mismatch (edited PTP, reordered manifest, changed flags)
+// discards the checkpoint and starts fresh — combined with the result
+// store, the fresh run still skips every fault simulation whose inputs
+// did not change, which is what makes one-PTP edits cheap (incremental
+// recompaction).
+//
+// Checkpoint directory layout (docs/FORMATS.md):
+//   <dir>/campaign.ckpt       the record file below
+//   <dir>/state.DU.flist      fault-list state per module (faultlist_io)
+//   <dir>/state.SP.flist      ...
+//
+// campaign.ckpt, line-oriented text:
+//   $campaign v1 entries <N>
+//   <fp> <target> <c> <osize> <odur> <fsize> <fdur> <secbits> <fcbits>
+//     <name>                                    (one line per record)
+//   $end
+// where <fp> is the 32-hex-char manifest-entry fingerprint, <c> is 0/1
+// (carried/compacted) and <secbits>/<fcbits> are the IEEE-754 bit
+// patterns of the record's compaction seconds and diff-FC in hex —
+// doubles round-trip bit-exactly, which is what makes a resumed
+// campaign's report byte-identical to the uninterrupted one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace gpustl::store {
+
+/// One checkpointed campaign record.
+struct CheckpointEntry {
+  Hash128 entry_fp;    // FingerprintStlEntry of the manifest entry
+  std::string name;    // record/PTP name (may be empty)
+  std::string target;  // module token: DU, SP, SFU, FP32
+  bool compacted = false;
+  std::uint64_t original_size = 0;
+  std::uint64_t original_duration = 0;
+  std::uint64_t final_size = 0;
+  std::uint64_t final_duration = 0;
+  double compaction_seconds = 0.0;
+  double diff_fc = 0.0;  // FC difference of a compacted record, % points
+
+  bool operator==(const CheckpointEntry&) const = default;
+};
+
+struct CampaignCheckpoint {
+  std::vector<CheckpointEntry> entries;
+};
+
+/// Content fingerprint of one manifest entry: the PTP's serialized bytes
+/// (GPTP container or raw assembly — whatever the campaign loads), the
+/// target module token and the processing flags. Identifies "the same
+/// work" across invocations; any edit to the PTP or its flags changes it.
+Hash128 FingerprintStlEntry(std::string_view ptp_bytes,
+                            std::string_view target, bool compactable,
+                            bool reverse_patterns);
+
+/// Path of the record file inside a checkpoint directory.
+std::string CheckpointPath(const std::string& dir);
+
+/// Serializes and atomically replaces `<dir>/campaign.ckpt` (the directory
+/// is created if needed). Throws gpustl::Error on I/O failure.
+void WriteCheckpoint(const std::string& dir, const CampaignCheckpoint& ckpt);
+
+/// Loads `<dir>/campaign.ckpt`. Returns nullopt when the file is absent OR
+/// malformed/truncated — a damaged checkpoint is logged and ignored (the
+/// campaign restarts from scratch), never fatal.
+std::optional<CampaignCheckpoint> ReadCheckpoint(const std::string& dir);
+
+/// Atomic file replacement used for checkpoint state (temp file + rename).
+/// Throws gpustl::Error on I/O failure.
+void AtomicWriteFile(const std::string& path, std::string_view content);
+
+}  // namespace gpustl::store

@@ -1,0 +1,329 @@
+#include "store/result_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <vector>
+
+#include "common/error.h"
+#include "fault/transition.h"
+
+namespace gpustl::store {
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'S', 'R', 'E'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeaderBytes = 4 + 4 + 16 + 8 + 16;
+
+void PutU32(std::string& out, std::uint32_t v) {
+  for (int k = 0; k < 4; ++k) out.push_back(static_cast<char>(v >> (8 * k)));
+}
+
+void PutU64(std::string& out, std::uint64_t v) {
+  for (int k = 0; k < 8; ++k) out.push_back(static_cast<char>(v >> (8 * k)));
+}
+
+/// Bounded little-endian reader over a byte buffer; Ok() goes false on the
+/// first out-of-range read and stays false (truncation-safe decoding).
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool Ok() const { return ok_; }
+  std::size_t pos() const { return pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  std::uint32_t U32() { return static_cast<std::uint32_t>(Raw(4)); }
+  std::uint64_t U64() { return Raw(8); }
+
+  bool Expect(const char* bytes, std::size_t n) {
+    if (pos_ + n > data_.size()) return ok_ = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (data_[pos_ + i] != bytes[i]) return ok_ = false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  std::uint64_t Raw(std::size_t n) {
+    if (!ok_ || pos_ + n > data_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(data_[pos_ + k]))
+           << (8 * k);
+    }
+    pos_ += n;
+    return v;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+Hash128 Checksum(std::string_view payload) {
+  Hasher128 h;
+  h.AddString("gpustl-entry-v1");
+  h.AddBytes(payload.data(), payload.size());
+  return h.Finish();
+}
+
+void LogBadEntry(const std::string& path, const char* why) {
+  std::fprintf(stderr, "gpustl-store: discarding %s (%s); will recompute\n",
+               path.c_str(), why);
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::string dir, std::uint64_t max_bytes)
+    : dir_(std::move(dir)), max_bytes_(max_bytes) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw Error("store: cannot create cache directory '" + dir_ +
+                "': " + ec.message());
+  }
+}
+
+std::string ResultStore::EntryPath(const StoreKey& key) const {
+  return (fs::path(dir_) / (key.ToHex() + ".gsr")).string();
+}
+
+std::string ResultStore::EncodeResult(const fault::FaultSimResult& result) {
+  std::string out;
+  PutU64(out, result.first_detect.size());
+  for (const std::uint32_t v : result.first_detect) PutU32(out, v);
+  PutU64(out, result.detects_per_pattern.size());
+  for (const std::uint32_t v : result.detects_per_pattern) PutU32(out, v);
+  for (const std::uint32_t v : result.activates_per_pattern) PutU32(out, v);
+  PutU64(out, result.num_detected);
+  PutU64(out, result.detected_mask.size());
+  for (const std::uint64_t w : result.detected_mask.Words()) PutU64(out, w);
+  return out;
+}
+
+bool ResultStore::DecodeResult(std::string_view payload,
+                               fault::FaultSimResult* out) {
+  Reader r(payload);
+  fault::FaultSimResult res;
+
+  const std::uint64_t num_faults = r.U64();
+  if (!r.Ok() || num_faults > payload.size()) return false;  // size sanity
+  res.first_detect.resize(num_faults);
+  for (std::uint64_t i = 0; i < num_faults; ++i) res.first_detect[i] = r.U32();
+
+  const std::uint64_t num_patterns = r.U64();
+  if (!r.Ok() || num_patterns > payload.size()) return false;
+  res.detects_per_pattern.resize(num_patterns);
+  for (std::uint64_t i = 0; i < num_patterns; ++i) {
+    res.detects_per_pattern[i] = r.U32();
+  }
+  res.activates_per_pattern.resize(num_patterns);
+  for (std::uint64_t i = 0; i < num_patterns; ++i) {
+    res.activates_per_pattern[i] = r.U32();
+  }
+
+  res.num_detected = r.U64();
+
+  const std::uint64_t mask_bits = r.U64();
+  if (!r.Ok() || mask_bits != num_faults) return false;
+  res.detected_mask.Resize(mask_bits);
+  auto& words = res.detected_mask.MutableWords();
+  for (std::uint64_t w = 0; w < words.size(); ++w) words[w] = r.U64();
+
+  if (!r.Ok() || !r.AtEnd()) return false;
+  // Internal consistency: the scalar count must match the mask.
+  if (res.num_detected != res.detected_mask.Count()) return false;
+  *out = std::move(res);
+  return true;
+}
+
+std::optional<fault::FaultSimResult> ResultStore::Load(const StoreKey& key) {
+  const std::string path = EntryPath(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+
+  const char* why = nullptr;
+  fault::FaultSimResult result;
+  Reader r(data);
+  if (data.size() < kHeaderBytes) {
+    why = "truncated header";
+  } else if (!r.Expect(kMagic, 4)) {
+    why = "bad magic";
+  } else if (r.U32() != kFormatVersion) {
+    why = "format version mismatch";
+  } else {
+    const std::uint64_t key_lo = r.U64();
+    const std::uint64_t key_hi = r.U64();
+    const std::uint64_t payload_size = r.U64();
+    const std::uint64_t sum_lo = r.U64();
+    const std::uint64_t sum_hi = r.U64();
+    if (key_lo != key.lo || key_hi != key.hi) {
+      why = "key mismatch";
+    } else if (data.size() - kHeaderBytes != payload_size) {
+      why = "payload size mismatch";
+    } else {
+      const std::string_view payload(data.data() + kHeaderBytes,
+                                     payload_size);
+      const Hash128 sum = Checksum(payload);
+      if (sum.lo != sum_lo || sum.hi != sum_hi) {
+        why = "checksum mismatch";
+      } else if (!DecodeResult(payload, &result)) {
+        why = "undecodable payload";
+      }
+    }
+  }
+
+  if (why != nullptr) {
+    LogBadEntry(path, why);
+    ++stats_.bad_entries;
+    ++stats_.misses;
+    std::error_code ec;
+    fs::remove(path, ec);
+    return std::nullopt;
+  }
+
+  ++stats_.hits;
+  stats_.bytes_read += data.size();
+  return result;
+}
+
+void ResultStore::Store(const StoreKey& key,
+                        const fault::FaultSimResult& result) {
+  const std::string payload = EncodeResult(result);
+  const Hash128 sum = Checksum(payload);
+
+  std::string data;
+  data.reserve(kHeaderBytes + payload.size());
+  data.append(kMagic, 4);
+  PutU32(data, kFormatVersion);
+  PutU64(data, key.lo);
+  PutU64(data, key.hi);
+  PutU64(data, payload.size());
+  PutU64(data, sum.lo);
+  PutU64(data, sum.hi);
+  data += payload;
+
+  const std::string path = EntryPath(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "gpustl-store: cannot write %s (caching skipped)\n",
+                   tmp.c_str());
+      return;
+    }
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      std::fprintf(stderr, "gpustl-store: short write to %s (caching "
+                           "skipped)\n", tmp.c_str());
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    std::fprintf(stderr, "gpustl-store: cannot publish %s (caching skipped)\n",
+                 path.c_str());
+    return;
+  }
+  ++stats_.stores;
+  stats_.bytes_written += data.size();
+  if (max_bytes_ > 0) EnforceBudget();
+}
+
+void ResultStore::Discard(const StoreKey& key) {
+  const std::string path = EntryPath(key);
+  LogBadEntry(path, "query shape mismatch");
+  ++stats_.bad_entries;
+  std::error_code ec;
+  fs::remove(path, ec);
+}
+
+void ResultStore::EnforceBudget() {
+  struct Entry {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::uint64_t size;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& it : fs::directory_iterator(dir_, ec)) {
+    if (ec) return;
+    if (!it.is_regular_file(ec) || it.path().extension() != ".gsr") continue;
+    Entry e;
+    e.path = it.path();
+    e.mtime = fs::last_write_time(e.path, ec);
+    e.size = it.file_size(ec);
+    if (ec) continue;
+    total += e.size;
+    entries.push_back(std::move(e));
+  }
+  if (total <= max_bytes_) return;
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
+  });
+  for (const Entry& e : entries) {
+    if (total <= max_bytes_) break;
+    fs::remove(e.path, ec);
+    if (ec) continue;
+    total -= e.size;
+    ++stats_.evictions;
+  }
+}
+
+fault::FaultSimResult SimulateWithStore(ResultStore* store,
+                                        const netlist::Netlist& nl,
+                                        const netlist::PatternSet& patterns,
+                                        const std::vector<fault::Fault>& faults,
+                                        const BitVec* skip,
+                                        const fault::FaultSimOptions& options,
+                                        SimModel model,
+                                        const Hash128* faults_fp) {
+  auto run = [&] {
+    return model == SimModel::kTransition
+               ? fault::RunTransitionFaultSim(nl, patterns, faults, skip,
+                                              options)
+               : fault::RunFaultSim(nl, patterns, faults, skip, options);
+  };
+  if (store == nullptr) return run();
+
+  const StoreKey key =
+      faults_fp != nullptr
+          ? FaultSimKeyWith(nl, patterns, *faults_fp, skip,
+                            options.drop_detected, model)
+          : FaultSimKey(nl, patterns, faults, skip, options.drop_detected,
+                        model);
+  if (auto cached = store->Load(key)) {
+    if (cached->first_detect.size() == faults.size() &&
+        cached->detects_per_pattern.size() == patterns.size() &&
+        cached->activates_per_pattern.size() == patterns.size()) {
+      return std::move(*cached);
+    }
+    store->Discard(key);
+  }
+  fault::FaultSimResult result = run();
+  store->Store(key, result);
+  return result;
+}
+
+}  // namespace gpustl::store

@@ -1,0 +1,112 @@
+// Content-addressed, on-disk store for fault-simulation results.
+//
+// The paper's flow already amortizes ONE optimized fault simulation across
+// the PTPs of a module via inter-PTP dropping; this store amortizes it
+// across PROCESSES: a campaign re-run (or an edited-one-PTP re-run) loads
+// every unchanged fault-sim result from disk instead of recomputing it.
+// Entries are addressed purely by content (store/fingerprint.h), so any
+// invocation — gpustlc faultsim, compact, campaign, a bench — that asks
+// the same semantic question hits the same entry.
+//
+// Entry file `<dir>/<key-hex32>.gsr`, little-endian (docs/FORMATS.md):
+//
+//   "GSRE"  magic
+//   u32     format version (1)
+//   u64 u64 key (lo, hi) — must match the file's own address
+//   u64     payload size in bytes
+//   u64 u64 payload checksum (Hash128 lo, hi)
+//   bytes   payload: the serialized FaultSimResult
+//
+// Corrupt, truncated, version-mismatched or mis-keyed entries are detected
+// by construction, counted in stats().bad_entries, logged to stderr and
+// treated as a miss — the caller recomputes and overwrites. A cache can
+// therefore never make a run wrong, only slow.
+//
+// Writes go through a temp file + atomic rename, so a killed campaign
+// leaves either the old entry or the new one, never a torn file. The store
+// object itself is not synchronized: one store per thread of control
+// (campaigns are sequential above the fault-parallel engine).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "fault/faultsim.h"
+#include "store/fingerprint.h"
+
+namespace gpustl::store {
+
+/// Observability counters, surfaced in campaign reports and bench_store.
+struct StoreStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;       // absent entries (bad entries count extra)
+  std::uint64_t stores = 0;       // entries written
+  std::uint64_t bad_entries = 0;  // corrupt/truncated/mismatched, discarded
+  std::uint64_t evictions = 0;    // entries removed by the size budget
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  double hit_rate_percent() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class ResultStore {
+ public:
+  /// Opens (creating if needed) the store rooted at `dir`. `max_bytes` > 0
+  /// caps the total entry payload on disk: after each write, the
+  /// oldest-written entries are evicted until the cap holds.
+  explicit ResultStore(std::string dir, std::uint64_t max_bytes = 0);
+
+  const std::string& dir() const { return dir_; }
+  std::string EntryPath(const StoreKey& key) const;
+
+  /// Loads and validates an entry. Any defect (missing, short, bad magic/
+  /// version/key/checksum, undecodable payload) returns nullopt; defects
+  /// other than plain absence also remove the file and count bad_entries.
+  std::optional<fault::FaultSimResult> Load(const StoreKey& key);
+
+  /// Serializes and atomically writes an entry, then applies the size cap.
+  void Store(const StoreKey& key, const fault::FaultSimResult& result);
+
+  /// Removes an entry that decoded but failed a caller-side sanity check
+  /// (e.g. shape mismatch against the query); counts it as bad.
+  void Discard(const StoreKey& key);
+
+  const StoreStats& stats() const { return stats_; }
+
+  /// Payload codec, exposed for tests and bench tooling.
+  static std::string EncodeResult(const fault::FaultSimResult& result);
+  static bool DecodeResult(std::string_view payload,
+                           fault::FaultSimResult* out);
+
+ private:
+  void EnforceBudget();
+
+  std::string dir_;
+  std::uint64_t max_bytes_ = 0;
+  StoreStats stats_;
+};
+
+/// The single choke point callers use: consult `store` (nullable = caching
+/// disabled), fall back to the live engine, write back on miss. Cached
+/// results are shape-checked against the query (fault/pattern counts)
+/// before being trusted; a mismatch — possible only via key collision or a
+/// foreign file planted at the right path — is discarded and recomputed.
+///
+/// `faults_fp`, when non-null, must equal FingerprintFaults(faults)
+/// (campaigns precompute it once per module).
+fault::FaultSimResult SimulateWithStore(ResultStore* store,
+                                        const netlist::Netlist& nl,
+                                        const netlist::PatternSet& patterns,
+                                        const std::vector<fault::Fault>& faults,
+                                        const BitVec* skip,
+                                        const fault::FaultSimOptions& options,
+                                        SimModel model,
+                                        const Hash128* faults_fp = nullptr);
+
+}  // namespace gpustl::store

@@ -68,6 +68,53 @@ fpu.asm FP32 compact
 run_cli(campaign manifest.txt --state stl --threads 2)
 run_cli(campaign manifest.txt --state stl --threads 2)  # resumed second run
 
+# Like run_cli, but additionally requires `pattern` in the combined output.
+function(run_cli_match pattern)
+  execute_process(COMMAND ${GPUSTLC} ${ARGN}
+                  WORKING_DIRECTORY ${WORK}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "gpustlc ${ARGN} failed (${rc}):\n${out}\n${err}")
+  endif()
+  if(NOT "${out}${err}" MATCHES "${pattern}")
+    message(FATAL_ERROR "gpustlc ${ARGN}: output lacks '${pattern}':\n${out}\n${err}")
+  endif()
+  message(STATUS "gpustlc ${ARGN}: OK (matched '${pattern}')")
+endfunction()
+
+# Result store: a cold faultsim populates the cache, the warm re-run is
+# served entirely from it.
+run_cli_match("cache: 0 hits / 1 misses" faultsim tiny.gptp --module DU --cache-dir cache)
+run_cli_match("cache: 1 hits / 0 misses" faultsim tiny.gptp --module DU --cache-dir cache)
+
+# --no-cache wins over --cache-dir: no cache stats are printed.
+execute_process(COMMAND ${GPUSTLC} faultsim tiny.gptp --module DU --cache-dir cache --no-cache
+                WORKING_DIRECTORY ${WORK}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gpustlc faultsim --no-cache failed (${rc}):\n${out}\n${err}")
+endif()
+if("${out}${err}" MATCHES "cache:")
+  message(FATAL_ERROR "--no-cache still reported cache stats:\n${out}")
+endif()
+message(STATUS "gpustlc faultsim --no-cache: OK (caching disabled)")
+
+# Campaign checkpointing: the cold run writes ckpt/, the no-op --resume run
+# restores every entry, recomputes nothing, and reproduces the report
+# byte for byte.
+run_cli(campaign manifest.txt --cache-dir cache --resume ckpt --report r1.txt --threads 2)
+run_cli_match("resumed 3/3 entries" campaign manifest.txt --cache-dir cache --resume ckpt --report r2.txt --threads 2)
+file(READ ${WORK}/r1.txt report_cold)
+file(READ ${WORK}/r2.txt report_resumed)
+if(NOT report_cold STREQUAL report_resumed)
+  message(FATAL_ERROR "resumed campaign report differs from the cold run")
+endif()
+if(NOT EXISTS ${WORK}/ckpt/campaign.ckpt)
+  message(FATAL_ERROR "missing checkpoint file ckpt/campaign.ckpt")
+endif()
+
 foreach(artifact tiny.gptp tiny.trace.txt tiny.vcde tiny.vcd tiny.cptp.asm tiny.labels.txt tiny.report.txt)
   if(NOT EXISTS ${WORK}/${artifact})
     message(FATAL_ERROR "missing artifact ${artifact}")

@@ -329,6 +329,47 @@ TEST(FaultListIo, RejectsSiteMismatch) {
   EXPECT_THROW(ReadFaultList(ss, "and2", faults), ReportError);
 }
 
+TEST(FaultListIo, RejectsMalformedHeader) {
+  const Netlist nl = AndCircuit();
+  const auto faults = CollapsedFaultList(nl);
+  const auto read = [&](const std::string& text) {
+    std::stringstream ss(text);
+    return ReadFaultList(ss, "and2", faults);
+  };
+  EXPECT_THROW(read(""), ReportError);                      // empty stream
+  EXPECT_THROW(read("$vcde and2 faults 6 detected 0\n"), ReportError);
+  EXPECT_THROW(read("$faultlist and2 faults 6\n"), ReportError);
+  EXPECT_THROW(read("$faultlist and2 faults six detected 0\n"), ReportError);
+}
+
+TEST(FaultListIo, RejectsTruncatedAndCorruptRows) {
+  const Netlist nl = AndCircuit();
+  const auto faults = CollapsedFaultList(nl);
+  std::stringstream ss;
+  WriteFaultList(ss, "and2", faults, BitVec(faults.size(), false));
+  const std::string full = ss.str();
+
+  // Cut the file mid-row, after the header, and before $end: all truncated.
+  const auto read_prefix = [&](std::size_t n) {
+    std::stringstream in(full.substr(0, n));
+    return ReadFaultList(in, "and2", faults);
+  };
+  EXPECT_THROW(read_prefix(full.find('\n') + 1), ReportError);
+  EXPECT_THROW(read_prefix(full.size() / 2), ReportError);
+  EXPECT_THROW(read_prefix(full.rfind("$end")), ReportError);
+
+  // Corrupt one row: non-numeric detected flag and a short row.
+  const std::size_t row = full.find('\n') + 1;
+  const std::size_t row_end = full.find('\n', row);
+  std::string bad = full;
+  bad[row_end - 1] = 'x';
+  std::stringstream in1(bad);
+  EXPECT_THROW(ReadFaultList(in1, "and2", faults), ReportError);
+  std::stringstream in2(full.substr(0, row_end - 2) + "\n" +
+                        full.substr(row_end + 1));
+  EXPECT_THROW(ReadFaultList(in2, "and2", faults), ReportError);
+}
+
 TEST(Coverage, Percent) {
   EXPECT_DOUBLE_EQ(CoveragePercent(0, 10), 0.0);
   EXPECT_DOUBLE_EQ(CoveragePercent(5, 10), 50.0);

@@ -15,8 +15,11 @@
 // Manifest format for `campaign` (one PTP per line, '#' comments):
 //   <file> <DU|SP|SFU> <compact|carry> [reverse]
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -42,6 +45,8 @@
 #include "fault/transition.h"
 #include "netlist/patterns.h"
 #include "netlist/vcd.h"
+#include "store/checkpoint.h"
+#include "store/result_store.h"
 #include "trace/trace.h"
 
 namespace gpustl::tools {
@@ -67,7 +72,12 @@ int Usage() {
       "  compact  <ptp> --module M -o <out>    five-stage compaction\n"
       "           [--reverse] [--report base]\n"
       "  campaign <manifest> [--state base]    compact a whole STL; --state\n"
-      "                                        persists the fault lists\n"
+      "           [--resume dir]               persists the fault lists;\n"
+      "           [--report file]              --resume checkpoints after\n"
+      "                                        every PTP and continues an\n"
+      "                                        interrupted run; --report\n"
+      "                                        writes the deterministic\n"
+      "                                        campaign report\n"
       "\n"
       "modules M: DU (Decoder Unit), SP (SP core), SFU, FP32\n"
       "\n"
@@ -78,7 +88,15 @@ int Usage() {
       "faultsim/compact/campaign also accept --no-collapse (simulate every\n"
       "fault instead of one representative per structural equivalence\n"
       "class) and --no-cone (disable output-cone pruning). Both switches\n"
-      "only trade speed; reports are bit-identical either way.\n");
+      "only trade speed; reports are bit-identical either way.\n"
+      "\n"
+      "caching: --cache-dir <dir> (or GPUSTL_CACHE_DIR) enables the\n"
+      "content-addressed result store: fault simulations whose inputs are\n"
+      "unchanged are loaded from disk instead of recomputed, so warm\n"
+      "re-runs and one-PTP edits only resimulate what changed. --no-cache\n"
+      "overrides; --cache-limit-mb N evicts oldest entries over N MiB.\n"
+      "Cached results are bit-identical to live runs; corrupt entries are\n"
+      "detected and recomputed.\n");
   return 2;
 }
 
@@ -140,12 +158,16 @@ struct Args {
   std::string module;
   std::string fault_model = "stuck-at";
   std::string state;
+  std::string cache_dir;
+  std::string resume;
+  std::uint64_t cache_limit_mb = 0;
   int sp_cores = 8;
   int threads = 1;
   bool reverse = false;
   bool no_drop = false;
   bool no_collapse = false;
   bool no_cone = false;
+  bool no_cache = false;
   bool vcd = false;
   std::uint32_t dump_addr = 0;
   int dump_count = 0;
@@ -167,6 +189,14 @@ struct Args {
       else if (arg == "--no-drop") no_drop = true;
       else if (arg == "--no-collapse") no_collapse = true;
       else if (arg == "--no-cone") no_cone = true;
+      else if (arg == "--cache-dir") cache_dir = next();
+      else if (arg == "--no-cache") no_cache = true;
+      else if (arg == "--resume") resume = next();
+      else if (arg == "--cache-limit-mb") {
+        const auto v = ParseInt(next());
+        if (!v || *v < 0) Die("--cache-limit-mb must be >= 0");
+        cache_limit_mb = static_cast<std::uint64_t>(*v);
+      }
       else if (arg == "--sp") sp_cores = std::atoi(next().c_str());
       else if (arg == "--threads") {
         threads = std::atoi(next().c_str());
@@ -195,6 +225,34 @@ struct Args {
     return positional[0];
   }
 };
+
+/// Opens the result store selected by --cache-dir / $GPUSTL_CACHE_DIR
+/// (--no-cache wins). nullopt = caching disabled.
+std::optional<store::ResultStore> MakeStore(const Args& args) {
+  if (args.no_cache) return std::nullopt;
+  std::string dir = args.cache_dir;
+  if (dir.empty()) {
+    if (const char* env = std::getenv("GPUSTL_CACHE_DIR")) dir = env;
+  }
+  if (dir.empty()) return std::nullopt;
+  std::optional<store::ResultStore> st;
+  st.emplace(dir, args.cache_limit_mb * 1024ull * 1024ull);
+  return st;
+}
+
+void PrintCacheStats(const store::StoreStats& s) {
+  std::printf("cache: %llu hits / %llu misses (%.1f%% hit rate), "
+              "%llu stored, %llu bad, %llu evicted, %llu B read, "
+              "%llu B written\n",
+              static_cast<unsigned long long>(s.hits),
+              static_cast<unsigned long long>(s.misses),
+              s.hit_rate_percent(),
+              static_cast<unsigned long long>(s.stores),
+              static_cast<unsigned long long>(s.bad_entries),
+              static_cast<unsigned long long>(s.evictions),
+              static_cast<unsigned long long>(s.bytes_read),
+              static_cast<unsigned long long>(s.bytes_written));
+}
 
 int CmdAssemble(const Args& args) {
   const isa::Program prog = LoadPtp(args.RequireInput());
@@ -295,11 +353,13 @@ int CmdFaultsim(const Args& args) {
                                            .num_threads = args.threads,
                                            .collapse = !args.no_collapse,
                                            .cone_limit = !args.no_cone};
+  std::optional<store::ResultStore> cache = MakeStore(args);
+  const store::SimModel model = args.fault_model == "transition"
+                                    ? store::SimModel::kTransition
+                                    : store::SimModel::kStuckAt;
   const auto report =
-      args.fault_model == "transition"
-          ? fault::RunTransitionFaultSim(nl, patterns, faults, nullptr,
-                                         sim_options)
-          : fault::RunFaultSim(nl, patterns, faults, nullptr, sim_options);
+      store::SimulateWithStore(cache ? &*cache : nullptr, nl, patterns,
+                               faults, nullptr, sim_options, model);
 
   std::printf("%s on %s: %zu patterns, %zu/%zu faults detected (FC %.2f%%)\n",
               prog.name().c_str(), nl.name().c_str(), patterns.size(),
@@ -315,6 +375,7 @@ int CmdFaultsim(const Args& args) {
   std::size_t detecting = 0;
   for (const auto d : report.detects_per_pattern) detecting += d > 0 ? 1 : 0;
   std::printf("  %zu patterns contribute detections\n", detecting);
+  if (cache) PrintCacheStats(cache->stats());
   return 0;
 }
 
@@ -335,6 +396,8 @@ int CmdCompact(const Args& args) {
   } else if (args.fault_model != "stuck-at") {
     Die("--fault-model must be stuck-at or transition");
   }
+  std::optional<store::ResultStore> cache = MakeStore(args);
+  options.result_store = cache ? &*cache : nullptr;
   compact::Compactor compactor(nl, module, options);
   const compact::CompactionResult res = compactor.CompactPtp(prog);
 
@@ -373,6 +436,7 @@ int CmdCompact(const Args& args) {
     std::printf("reports -> %s.report.txt, %s.trace.txt, %s.labels.txt\n",
                 args.report.c_str(), args.report.c_str(), args.report.c_str());
   }
+  if (cache) PrintCacheStats(cache->stats());
   return 0;
 }
 
@@ -387,12 +451,55 @@ int CmdCampaign(const Args& args) {
   base.num_threads = args.threads;
   base.collapse_faults = !args.no_collapse;
   base.cone_limit = !args.no_cone;
+  std::optional<store::ResultStore> cache = MakeStore(args);
+  base.result_store = cache ? &*cache : nullptr;
   compact::StlCampaign campaign(du, sp, sfu, base, &fp32);
 
-  // Resume a persistent fault-list state (cross-invocation dropping).
   const auto modules = {trace::TargetModule::kDecoderUnit,
                         trace::TargetModule::kSpCore,
                         trace::TargetModule::kSfu, trace::TargetModule::kFp32};
+
+  // Parse the whole manifest up front: the checkpoint prefix-match needs
+  // every entry's content fingerprint before any processing starts.
+  struct ManifestEntry {
+    compact::StlEntry entry;
+    std::string target_token;
+    Hash128 fp;
+  };
+  std::vector<ManifestEntry> plan;
+  int line_no = 0;
+  for (std::string_view raw : Split(manifest, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = Trim(line.substr(0, hash));
+    }
+    if (line.empty()) continue;
+    const auto toks = SplitWs(line);
+    if (toks.size() < 3) {
+      Die("manifest line " + std::to_string(line_no) +
+          ": expected <file> <module> <compact|carry> [reverse]");
+    }
+    ManifestEntry me;
+    me.entry.ptp = LoadPtp(std::string(toks[0]));
+    const auto module = ParseModule(std::string(toks[1]));
+    if (!module) Die("manifest line " + std::to_string(line_no) + ": bad module");
+    me.entry.target = *module;
+    me.entry.compactable = toks[2] == "compact";
+    me.entry.reverse_patterns = toks.size() > 3 && toks[3] == "reverse";
+    me.target_token = std::string(trace::TargetModuleName(*module));
+    // Fingerprint the canonical serialized form, not the source file: an
+    // .asm comment edit or assemble-to-.gptp round trip keeps the same
+    // identity, so neither invalidates a checkpoint.
+    std::ostringstream ptp_bytes;
+    isa::SaveBinary(ptp_bytes, me.entry.ptp);
+    me.fp = store::FingerprintStlEntry(ptp_bytes.str(), me.target_token,
+                                       me.entry.compactable,
+                                       me.entry.reverse_patterns);
+    plan.push_back(std::move(me));
+  }
+
+  // Resume a persistent fault-list state (cross-invocation dropping).
   if (!args.state.empty()) {
     for (const auto m : modules) {
       const std::string path = args.state + "." +
@@ -408,31 +515,118 @@ int CmdCampaign(const Args& args) {
     }
   }
 
-  int line_no = 0;
-  for (std::string_view raw : Split(manifest, '\n')) {
-    ++line_no;
-    std::string_view line = Trim(raw);
-    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
-      line = Trim(line.substr(0, hash));
+  // --resume: restore the longest checkpointed prefix that exactly matches
+  // the manifest. Any divergence (edited PTP, reordered/changed manifest)
+  // discards the checkpoint — with a cache dir the re-run still skips every
+  // fault simulation whose inputs didn't change.
+  store::CampaignCheckpoint ckpt;  // records processed so far, persisted
+  std::size_t restored = 0;
+  if (!args.resume.empty()) {
+    if (auto prior = store::ReadCheckpoint(args.resume)) {
+      bool match = prior->entries.size() <= plan.size();
+      for (std::size_t i = 0; match && i < prior->entries.size(); ++i) {
+        match = prior->entries[i].entry_fp == plan[i].fp &&
+                ParseModule(prior->entries[i].target).has_value();
+      }
+      std::map<trace::TargetModule, BitVec> flists;
+      if (match) {
+        // The fault-list snapshots must all load cleanly before anything
+        // is restored; a damaged one invalidates the whole checkpoint.
+        for (const auto m : modules) {
+          const std::string path =
+              (std::filesystem::path(args.resume) /
+               ("state." + std::string(trace::TargetModuleName(m)) +
+                ".flist"))
+                  .string();
+          std::ifstream in(path);
+          if (!in) {
+            match = false;
+            break;
+          }
+          auto& compactor = campaign.compactor(m);
+          try {
+            flists[m] = fault::ReadFaultList(in, compactor.module().name(),
+                                             compactor.faults());
+          } catch (const Error&) {
+            match = false;
+            break;
+          }
+        }
+      }
+      if (match) {
+        for (const store::CheckpointEntry& e : prior->entries) {
+          compact::CampaignRecord rec;
+          rec.name = e.name;
+          rec.target = *ParseModule(e.target);
+          rec.compacted = e.compacted;
+          rec.original_size = e.original_size;
+          rec.original_duration = e.original_duration;
+          rec.final_size = e.final_size;
+          rec.final_duration = e.final_duration;
+          rec.result.compaction_seconds = e.compaction_seconds;
+          rec.result.diff_fc = e.diff_fc;
+          campaign.AppendRestoredRecord(std::move(rec));
+        }
+        for (auto& [m, detected] : flists) {
+          campaign.compactor(m).MutableDetected() = std::move(detected);
+        }
+        ckpt.entries = std::move(prior->entries);
+        restored = ckpt.entries.size();
+        std::printf("resumed %zu/%zu entries from %s\n", restored,
+                    plan.size(), args.resume.c_str());
+      } else {
+        std::fprintf(stderr,
+                     "gpustlc: checkpoint in %s does not match the manifest; "
+                     "starting fresh\n",
+                     args.resume.c_str());
+      }
     }
-    if (line.empty()) continue;
-    const auto toks = SplitWs(line);
-    if (toks.size() < 3) {
-      Die("manifest line " + std::to_string(line_no) +
-          ": expected <file> <module> <compact|carry> [reverse]");
+  }
+
+  const auto write_checkpoint = [&]() {
+    if (args.resume.empty()) return;
+    store::WriteCheckpoint(args.resume, ckpt);
+    for (const auto m : modules) {
+      auto& compactor = campaign.compactor(m);
+      std::ostringstream ss;
+      fault::WriteFaultList(ss, compactor.module().name(), compactor.faults(),
+                            compactor.detected());
+      const std::string path =
+          (std::filesystem::path(args.resume) /
+           ("state." + std::string(trace::TargetModuleName(m)) + ".flist"))
+              .string();
+      store::AtomicWriteFile(path, ss.str());
     }
-    compact::StlEntry entry;
-    entry.ptp = LoadPtp(std::string(toks[0]));
-    const auto module = ParseModule(std::string(toks[1]));
-    if (!module) Die("manifest line " + std::to_string(line_no) + ": bad module");
-    entry.target = *module;
-    entry.compactable = toks[2] == "compact";
-    entry.reverse_patterns = toks.size() > 3 && toks[3] == "reverse";
-    const auto& rec = campaign.Process(entry);
+  };
+  if (restored == 0 && !args.resume.empty()) write_checkpoint();
+
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (i < restored) {
+      const auto& rec = campaign.records()[i];
+      std::printf("  %-12s [%s] %s: %zu -> %zu instr (checkpointed)\n",
+                  rec.name.c_str(), trace::TargetModuleName(rec.target).data(),
+                  rec.compacted ? "compacted" : "carried", rec.original_size,
+                  rec.final_size);
+      continue;
+    }
+    const auto& rec = campaign.Process(plan[i].entry);
     std::printf("  %-12s [%s] %s: %zu -> %zu instr\n", rec.name.c_str(),
                 trace::TargetModuleName(rec.target).data(),
                 rec.compacted ? "compacted" : "carried", rec.original_size,
                 rec.final_size);
+    store::CheckpointEntry e;
+    e.entry_fp = plan[i].fp;
+    e.name = rec.name;
+    e.target = plan[i].target_token;
+    e.compacted = rec.compacted;
+    e.original_size = rec.original_size;
+    e.original_duration = rec.original_duration;
+    e.final_size = rec.final_size;
+    e.final_duration = rec.final_duration;
+    e.compaction_seconds = rec.compacted ? rec.result.compaction_seconds : 0.0;
+    e.diff_fc = rec.compacted ? rec.result.diff_fc : 0.0;
+    ckpt.entries.push_back(std::move(e));
+    write_checkpoint();
   }
 
   if (!args.state.empty()) {
@@ -449,6 +643,12 @@ int CmdCampaign(const Args& args) {
   }
 
   const auto summary = campaign.Summary();
+  if (!args.report.empty()) {
+    std::ofstream report_file(args.report);
+    if (!report_file) Die("cannot write " + args.report);
+    compact::WriteCampaignReport(report_file, campaign.records(), summary);
+    std::printf("campaign report -> %s\n", args.report.c_str());
+  }
   std::printf(
       "STL: size %zu -> %zu (-%.2f%%), duration %llu -> %llu (-%.2f%%), "
       "%.2fs\n",
@@ -461,6 +661,7 @@ int CmdCampaign(const Args& args) {
       "fault lists: %zu classes simulated for %zu faults (-%.1f%%)\n",
       summary.simulated_classes, summary.total_faults,
       summary.fault_collapse_percent());
+  if (summary.cache_enabled) PrintCacheStats(summary.cache);
   return 0;
 }
 
