@@ -1,12 +1,12 @@
 // Ablation of the cone-aware PPSFP engine (this repo's fault-sim
-// optimizations, not a paper table): structural fault collapsing and
-// output-cone restriction are toggled independently on the three evaluated
-// modules, against the same fixed-seed random pattern set. Every
-// configuration must produce a bit-identical Fault Sim Report — the axes
-// only trade wall-clock — so the table carries an "identical" column
-// checked against the all-off engine, plus the collapse numbers
-// (equivalence classes vs the simulated list and vs the full fault
-// universe, and the count-only dominance edges).
+// optimizations, not a paper table): FFR-clustered critical-path tracing,
+// structural fault collapsing and output-cone restriction are toggled
+// independently on the three evaluated modules, against the same
+// fixed-seed random pattern set. Every configuration must produce a
+// bit-identical Fault Sim Report — the axes only trade wall-clock — so the
+// table carries an "identical" column checked against the all-off engine,
+// plus the collapse numbers (equivalence classes vs the simulated list and
+// vs the full fault universe, and the count-only dominance edges).
 //
 // Each row is also appended to BENCH_faultsim.json (see bench_common.h)
 // for machine consumption.
@@ -63,13 +63,18 @@ int Run() {
 
   struct Config {
     const char* name;
+    bool ffr;
     bool collapse;
     bool cone;
   };
-  const Config configs[] = {{"neither", false, false},
-                            {"cone only", false, true},
-                            {"collapse only", true, false},
-                            {"collapse+cone", true, true}};
+  const Config configs[] = {{"neither", false, false, false},
+                            {"cone only", false, false, true},
+                            {"collapse only", false, true, false},
+                            {"collapse+cone", false, true, true},
+                            {"ffr only", true, false, false},
+                            {"ffr+cone", true, false, true},
+                            {"ffr+collapse", true, true, false},
+                            {"ffr+collapse+cone", true, true, true}};
 
   const std::string json = BenchJsonPath();
   TextTable table({"Module", "Config", "Time (s)", "Speedup", "Faults/s",
@@ -101,12 +106,13 @@ int Run() {
       const fault::FaultSimOptions options{.drop_detected = true,
                                            .num_threads = 1,
                                            .collapse = cfg.collapse,
-                                           .cone_limit = cfg.cone};
+                                           .cone_limit = cfg.cone,
+                                           .ffr_trace = cfg.ffr};
       Timer timer;
       const fault::FaultSimResult res =
           RunFaultSim(m.nl, patterns, faults, nullptr, options);
       const double seconds = timer.Seconds();
-      if (!cfg.collapse && !cfg.cone) {
+      if (!cfg.ffr && !cfg.collapse && !cfg.cone) {
         baseline = res;
         baseline_seconds = seconds;
       }
@@ -129,6 +135,7 @@ int Run() {
       record.faults = faults.size();
       record.threads = 1;
       record.extra = {
+          {"ffr", cfg.ffr ? 1.0 : 0.0},
           {"collapse", cfg.collapse ? 1.0 : 0.0},
           {"cone_limit", cfg.cone ? 1.0 : 0.0},
           {"classes", static_cast<double>(list_stats.num_classes)},
@@ -146,8 +153,11 @@ int Run() {
   std::printf("STRUCTURAL FAULT COLLAPSING\n\n%s\n",
               collapse_table.Render().c_str());
   std::printf(
-      "Both axes are exact: the Identical column must read 'yes' on every\n"
-      "row (each configuration is compared against the neither-on engine).\n"
+      "All three axes are exact: the Identical column must read 'yes' on\n"
+      "every row (each configuration is compared against the all-off\n"
+      "engine). FFR rows run one stem propagation per fanout-free region\n"
+      "per pattern block and derive per-fault detection from exact\n"
+      "critical-path tracing to the stem (see fault/faultsim.h).\n"
       "Collapsing simulates one representative per equivalence class; the\n"
       "'vs universe' column is the reduction a flat fault list would see,\n"
       "'vs list' the further reduction over the pre-collapsed list the\n"

@@ -140,6 +140,7 @@ fault::FaultSimResult Compactor::SimulateFaults(
       .num_threads = options_.num_threads,
       .collapse = options_.collapse_faults,
       .cone_limit = options_.cone_limit,
+      .ffr_trace = options_.ffr_trace,
       .collapse_plan = options_.collapse_faults ? &collapse_ : nullptr};
   const store::SimModel model = options_.fault_model == FaultModel::kTransition
                                     ? store::SimModel::kTransition

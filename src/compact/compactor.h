@@ -150,6 +150,13 @@ struct CompactorOptions {
   /// and propagation pruning; exact either way).
   bool cone_limit = true;
 
+  /// FFR-clustered critical-path tracing inside the stuck-at fault
+  /// simulator: one stem propagation per fanout-free region per pattern
+  /// block instead of one per fault class (see fault/faultsim.h; exact
+  /// either way, so reports are bit-identical and cached results are
+  /// shared across the toggle).
+  bool ffr_trace = true;
+
   /// Content-addressed result store consulted before every fault
   /// simulation (and written back after a miss). Null = caching off. Not
   /// owned; must outlive every Compactor sharing it. A cached result is

@@ -256,6 +256,43 @@ FaultCollapse BuildFaultCollapse(const Netlist& nl,
   return out;
 }
 
+FfrClassGroups GroupClassesByFfr(const Netlist& nl,
+                                 const std::vector<Fault>& faults,
+                                 std::span<const std::uint32_t> class_offsets,
+                                 std::span<const std::uint32_t> class_members) {
+  GPUSTL_ASSERT(nl.frozen(), "FFR grouping requires a frozen netlist");
+  const std::size_t num_classes =
+      class_offsets.empty() ? 0 : class_offsets.size() - 1;
+
+  // (stem, class) pairs; sorting buckets the classes per stem while class
+  // indices stay ascending within a bucket (they are unique).
+  std::vector<std::pair<NetId, std::uint32_t>> keyed;
+  keyed.reserve(num_classes);
+  for (std::uint32_t c = 0; c < num_classes; ++c) {
+    const NetId stem = nl.stem_of(faults[class_members[class_offsets[c]]].gate);
+    for (std::uint32_t m = class_offsets[c] + 1; m < class_offsets[c + 1];
+         ++m) {
+      GPUSTL_ASSERT(nl.stem_of(faults[class_members[m]].gate) == stem,
+                    "equivalence class straddles fanout-free regions");
+    }
+    keyed.emplace_back(stem, c);
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  FfrClassGroups out;
+  out.group_offsets.push_back(0);
+  out.classes.reserve(keyed.size());
+  for (std::size_t i = 0; i < keyed.size(); ++i) {
+    out.classes.push_back(keyed[i].second);
+    if (i + 1 == keyed.size() || keyed[i + 1].first != keyed[i].first) {
+      out.stems.push_back(keyed[i].first);
+      out.ffrs.push_back(nl.ffr_of(keyed[i].first));
+      out.group_offsets.push_back(static_cast<std::uint32_t>(i + 1));
+    }
+  }
+  return out;
+}
+
 FaultCollapse IdentityCollapse(std::size_t num_faults) {
   FaultCollapse out;
   out.num_faults = num_faults;

@@ -11,7 +11,6 @@
 
 namespace gpustl::fault {
 
-using netlist::BitSimulator;
 using netlist::CellType;
 using netlist::Gate;
 using netlist::kMaxFanin;
@@ -59,11 +58,12 @@ SimPlan BuildSimPlan(const FaultCollapse* collapse, const BitVec* skip,
   return plan;
 }
 
-/// The PPSFP loop over one shard of `live` class indices (ascending),
-/// accumulating into `result` (pre-sized by InitFaultSimResult). With
-/// `live` = all classes this IS the serial engine; the parallel engine runs
-/// it once per shard with private BitSimulator / PropagationScratch state,
-/// which is what makes the workers share-nothing.
+/// The classic PPSFP loop over one shard of `live` class indices
+/// (ascending), accumulating into `result` (pre-sized by
+/// InitFaultSimResult). With `live` = all classes this IS the serial
+/// engine; the parallel engine runs it once per shard with private
+/// PropagationScratch state — only the good-machine blocks are shared,
+/// read-only, through `good_blocks`.
 ///
 /// Per class: activation (a property of the fault *site*) is computed and
 /// counted for every member, but the faulty function is propagated only
@@ -74,22 +74,20 @@ SimPlan BuildSimPlan(const FaultCollapse* collapse, const BitVec* skip,
 void SimulateShard(const Netlist& nl, const PatternSet& patterns,
                    const std::vector<Fault>& faults, const SimPlan& plan,
                    std::vector<std::uint32_t> live,
-                   const FaultSimOptions& options, FaultSimResult& result) {
-  BitSimulator sim(nl);
+                   GoodBlockCache& good_blocks, const FaultSimOptions& options,
+                   FaultSimResult& result) {
   internal::PropagationScratch scratch(nl);
   const auto& outputs = nl.outputs();
   const bool cone_on = options.cone_limit;
   const std::size_t cone_words = nl.cone_words();
 
   for (std::size_t base = 0; base < patterns.size(); base += 64) {
-    const int count = sim.LoadBlock(patterns, base);
-    if (count == 0) break;
+    if (live.empty()) break;
+    const GoodBlockCache::Block& block = good_blocks.Get(base / 64);
+    if (block.count == 0) break;
     const std::uint64_t valid =
-        count >= 64 ? ~0ull : ((1ull << count) - 1);
-    sim.Eval();
-    // Borrowed, not copied: the block's good-machine values live in the
-    // simulator until the next LoadBlock.
-    const std::vector<std::uint64_t>& good = sim.values();
+        block.count >= 64 ? ~0ull : ((1ull << block.count) - 1);
+    const std::vector<std::uint64_t>& good = block.values;
 
     std::size_t w = 0;  // compaction write index over `live`
     for (std::size_t r = 0; r < live.size(); ++r) {
@@ -219,6 +217,237 @@ void SimulateShard(const Netlist& nl, const PatternSet& patterns,
   }
 }
 
+/// The FFR-clustered PPSFP loop over one shard of FFR-group indices
+/// (ascending; a group = every live class whose sites sit in one
+/// fanout-free region, see GroupClassesByFfr). Instead of one event-driven
+/// propagation per class, each region runs per 64-pattern block:
+///
+///  1. per-member activation, computed and counted exactly as in the
+///     classic loop (it feeds the same histogram);
+///  2. one backward critical-path trace over the region's good words: for
+///     every member net, the word of patterns on which a value change there
+///     reaches the region's stem. Exact, because an FFR has no
+///     reconvergence — each internal net feeds exactly one pin, so the
+///     chain of lane-wise pin sensitizations to the stem is unique;
+///  3. ONE stem propagation (faulty stem = ~good) whose output diff is the
+///     stem's observability word — lane-independent cell evaluation makes
+///     the all-lanes flip valid for every subset of lanes, so the word is
+///     shared by every class of the region;
+///  4. per-class detection = leader activation & site-to-stem observability
+///     & stem observability, followed by the classic accounting. This
+///     equals the classic engine's output diff bit-for-bit: the faulty
+///     machine differs from the good one beyond the stem exactly on the
+///     lanes where the effect reaches the stem, and there it looks like the
+///     good machine with the stem complemented.
+///
+/// Steps 2–4 are skipped outright when no live class activates, and step 4
+/// when every activated effect dies inside the region — the cheap local
+/// filter that removes most of the classic engine's per-class propagation.
+void SimulateFfrShard(const Netlist& nl, const PatternSet& patterns,
+                      const std::vector<Fault>& faults, const SimPlan& plan,
+                      const FfrClassGroups& groups,
+                      const std::vector<std::uint32_t>& shard_groups,
+                      GoodBlockCache& good_blocks,
+                      const FaultSimOptions& options, FaultSimResult& result) {
+  internal::FfrScratch scratch(nl);
+  const auto& outputs = nl.outputs();
+  const bool cone_on = options.cone_limit;
+  const std::size_t cone_words = nl.cone_words();
+
+  // Live state: per owned region, the class indices still needing
+  // simulation. Regions compact away once every class has dropped.
+  struct FfrWork {
+    NetId stem;
+    std::uint32_t ffr;  // netlist region index (for the member list)
+    std::vector<std::uint32_t> classes;
+  };
+  std::vector<FfrWork> work;
+  work.reserve(shard_groups.size());
+  for (const std::uint32_t gi : shard_groups) {
+    const std::span<const std::uint32_t> cls = groups.group_classes(gi);
+    work.push_back(
+        FfrWork{groups.stems[gi], groups.ffrs[gi], {cls.begin(), cls.end()}});
+  }
+
+  std::vector<std::uint64_t>& obs = scratch.obs;
+  std::vector<std::uint64_t>& leader_act = scratch.leader_act;
+  std::vector<std::uint64_t>& stem_local = scratch.stem_local;
+
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    if (work.empty()) break;
+    const GoodBlockCache::Block& block = good_blocks.Get(base / 64);
+    if (block.count == 0) break;
+    const std::uint64_t valid =
+        block.count >= 64 ? ~0ull : ((1ull << block.count) - 1);
+    const std::vector<std::uint64_t>& good = block.values;
+
+    const auto process = [&](FfrWork& fw) {
+      std::vector<std::uint32_t>& cls = fw.classes;
+
+      // 1. Activation per member, leader activation per class.
+      leader_act.assign(cls.size(), 0);
+      std::uint64_t any_act = 0;
+      for (std::size_t k = 0; k < cls.size(); ++k) {
+        const std::uint32_t mbegin = plan.offsets[cls[k]];
+        const std::uint32_t mend = plan.offsets[cls[k] + 1];
+        for (std::uint32_t mi = mbegin; mi < mend; ++mi) {
+          const Fault& f = faults[plan.members[mi]];
+          const NetId site_net = f.pin == Fault::kOutputPin
+                                     ? f.gate
+                                     : nl.gate(f.gate).fanin[f.pin];
+          const std::uint64_t stuck = f.sa1 ? ~0ull : 0ull;
+          const std::uint64_t act = (good[site_net] ^ stuck) & valid;
+          for (std::uint64_t bits = act; bits != 0; bits &= bits - 1) {
+            result.activates_per_pattern[base + static_cast<std::size_t>(
+                                                    LowestSetBit(bits))]++;
+          }
+          if (mi == mbegin) leader_act[k] = act;
+        }
+        any_act |= leader_act[k];
+      }
+      if (any_act == 0) return;  // nothing can reach the stem this block
+
+      // 2. Backward critical-path trace. Members are visited in descending
+      // id order; an internal net's unique consumer has a larger id in the
+      // same region, so obs[member] is final before it is read.
+      const std::span<const NetId> members = nl.ffr_members(fw.ffr);
+      obs[fw.stem] = ~0ull;
+      for (std::size_t r = members.size(); r-- > 0;) {
+        const NetId m = members[r];
+        const Gate& g = nl.gate(m);
+        const int fc = g.fanin_count();
+        if (fc == 0) continue;
+        std::uint64_t in[kMaxFanin];
+        for (int i = 0; i < fc; ++i) in[i] = good[g.fanin[i]];
+        const std::uint64_t obs_m = obs[m];
+        for (int p = 0; p < fc; ++p) {
+          const NetId src = g.fanin[p];
+          if (src == fw.stem || nl.stem_of(src) != fw.stem) continue;
+          // Lane-wise Boolean difference of the cell wrt pin p.
+          const std::uint64_t saved = in[p];
+          in[p] = ~saved;
+          const std::uint64_t sens = netlist::EvalCell(g.type, in) ^ good[m];
+          in[p] = saved;
+          obs[src] = obs_m & sens;
+        }
+      }
+
+      // 3. Site-to-stem words per class, from the leader (one faulty
+      // function per class, so one word serves every member).
+      stem_local.assign(cls.size(), 0);
+      std::uint64_t any_local = 0;
+      for (std::size_t k = 0; k < cls.size(); ++k) {
+        if (leader_act[k] == 0) continue;
+        const Fault& f = faults[plan.members[plan.offsets[cls[k]]]];
+        std::uint64_t site_obs;
+        if (f.pin == Fault::kOutputPin) {
+          site_obs = obs[f.gate];
+        } else {
+          // Pin fault: the effect enters at the gate output on the lanes
+          // where the forced pin flips it.
+          const Gate& g = nl.gate(f.gate);
+          std::uint64_t in[kMaxFanin];
+          for (int i = 0; i < g.fanin_count(); ++i) in[i] = good[g.fanin[i]];
+          in[f.pin] = ~in[f.pin];
+          site_obs =
+              (netlist::EvalCell(g.type, in) ^ good[f.gate]) & obs[f.gate];
+        }
+        stem_local[k] = leader_act[k] & site_obs;
+        any_local |= stem_local[k];
+      }
+      if (any_local == 0) return;  // every effect died inside the region
+
+      // 4. One stem propagation for the whole region.
+      internal::PropagationScratch& prop = scratch.prop;
+      prop.NewFault();
+      prop.SetFaulty(fw.stem, ~good[fw.stem]);
+      for (NetId fo : nl.fanout(fw.stem)) {
+        if (!cone_on || nl.ReachesOutput(fo)) prop.Enqueue(fo);
+      }
+      prop.Drain([&](NetId id) {
+        const Gate& gg = nl.gate(id);
+        std::uint64_t in[kMaxFanin];
+        for (int i = 0; i < gg.fanin_count(); ++i) {
+          in[i] = prop.FaultyValue(good, gg.fanin[i]);
+        }
+        const std::uint64_t out = netlist::EvalCell(gg.type, in);
+        if (out != good[id]) {
+          prop.SetFaulty(id, out);
+          for (NetId fo : nl.fanout(id)) {
+            if (!cone_on || nl.ReachesOutput(fo)) prop.Enqueue(fo);
+          }
+        }
+      });
+
+      std::uint64_t stem_obs = 0;
+      if (cone_on) {
+        const std::uint64_t* cone = nl.OutputCone(fw.stem);
+        for (std::size_t cw = 0; cw < cone_words; ++cw) {
+          for (std::uint64_t bits = cone[cw]; bits != 0; bits &= bits - 1) {
+            const NetId o =
+                outputs[cw * 64 + static_cast<std::size_t>(LowestSetBit(bits))];
+            if (prop.touched_epoch[o] == prop.epoch) {
+              stem_obs |= (prop.fval[o] ^ good[o]);
+            }
+          }
+        }
+      } else {
+        for (NetId o : outputs) {
+          if (prop.touched_epoch[o] == prop.epoch) {
+            stem_obs |= (prop.fval[o] ^ good[o]);
+          }
+        }
+      }
+      if (stem_obs == 0) return;
+
+      // 5. Per-class expansion with the classic accounting.
+      std::size_t w = 0;
+      for (std::size_t k = 0; k < cls.size(); ++k) {
+        const std::uint32_t ci = cls[k];
+        const std::uint64_t diff = stem_local[k] & stem_obs;
+        if (diff == 0) {
+          cls[w++] = ci;
+          continue;
+        }
+        const std::uint32_t mbegin = plan.offsets[ci];
+        const std::uint32_t mend = plan.offsets[ci + 1];
+        const auto first_pattern =
+            base + static_cast<std::size_t>(LowestSetBit(diff));
+        for (std::uint32_t mi = mbegin; mi < mend; ++mi) {
+          const std::uint32_t fi = plan.members[mi];
+          if (result.first_detect[fi] == FaultSimResult::kNotDetected) {
+            result.first_detect[fi] =
+                static_cast<std::uint32_t>(first_pattern);
+            result.detected_mask.Set(fi, true);
+            ++result.num_detected;
+          }
+        }
+        if (options.drop_detected) {
+          result.detects_per_pattern[first_pattern] += mend - mbegin;
+          // dropped: do not keep in the class list.
+        } else {
+          for (std::uint64_t bits = diff; bits != 0; bits &= bits - 1) {
+            result.detects_per_pattern[base + static_cast<std::size_t>(
+                                                  LowestSetBit(bits))] +=
+                mend - mbegin;
+          }
+          cls[w++] = ci;
+        }
+      }
+      cls.resize(w);
+    };
+
+    std::size_t gw = 0;  // compaction write index over `work`
+    for (std::size_t gr = 0; gr < work.size(); ++gr) {
+      process(work[gr]);
+      if (work[gr].classes.empty()) continue;  // region fully dropped
+      if (gw != gr) work[gw] = std::move(work[gr]);
+      ++gw;
+    }
+    work.resize(gw);
+  }
+}
+
 }  // namespace
 
 FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
@@ -247,14 +476,45 @@ FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
   }
   const SimPlan plan = BuildSimPlan(collapse, skip, faults.size());
 
+  // Good-machine blocks are simulated once and shared read-only by every
+  // shard (and trivially by the serial loop).
+  GoodBlockCache good_blocks(nl, patterns);
+
+  if (options.ffr_trace) {
+    // FFR-clustered engine: the work (and sharding) unit is a fanout-free
+    // region, since its single stem propagation serves every class inside.
+    const FfrClassGroups groups =
+        GroupClassesByFfr(nl, faults, plan.offsets, plan.members);
+    std::vector<std::uint32_t> live(groups.num_groups());
+    std::iota(live.begin(), live.end(), 0u);
+
+    const int threads = ResolveNumThreads(options.num_threads, live.size());
+    if (threads <= 1) {
+      SimulateFfrShard(nl, patterns, faults, plan, groups, live, good_blocks,
+                       options, result);
+      return result;
+    }
+
+    const std::vector<std::vector<std::uint32_t>> shards =
+        StrideShards(live, threads);
+    std::vector<FaultSimResult> partial(
+        threads, InitFaultSimResult(faults.size(), patterns.size()));
+    RunOnShards(threads, [&](int t) {
+      SimulateFfrShard(nl, patterns, faults, plan, groups, shards[t],
+                       good_blocks, options, partial[t]);
+    });
+    MergeShardResults(partial, result);
+    return result;
+  }
+
   // `live` = class indices still needing simulation.
   std::vector<std::uint32_t> live(plan.num_classes());
   std::iota(live.begin(), live.end(), 0u);
 
   const int threads = ResolveNumThreads(options.num_threads, live.size());
   if (threads <= 1) {
-    SimulateShard(nl, patterns, faults, plan, std::move(live), options,
-                  result);
+    SimulateShard(nl, patterns, faults, plan, std::move(live), good_blocks,
+                  options, result);
     return result;
   }
 
@@ -262,8 +522,8 @@ FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
   std::vector<FaultSimResult> partial(
       threads, InitFaultSimResult(faults.size(), patterns.size()));
   RunOnShards(threads, [&](int t) {
-    SimulateShard(nl, patterns, faults, plan, std::move(shards[t]), options,
-                  partial[t]);
+    SimulateShard(nl, patterns, faults, plan, std::move(shards[t]),
+                  good_blocks, options, partial[t]);
   });
   MergeShardResults(partial, result);
   return result;

@@ -9,10 +9,12 @@
 // dropping both within a run and across runs (cross-PTP dropping via the
 // persistent fault-list mask).
 //
-// The simulator is fault-parallel: with num_threads > 1 the collapsed fault
-// list is sharded across a worker pool (each worker owns its good-machine
-// state) and the shard reports are merged deterministically, producing a
-// report bit-identical to the serial loop (see fault/parallel.h).
+// The simulator is fault-parallel: with num_threads > 1 the work list —
+// fault classes, or whole fanout-free regions under ffr_trace — is sharded
+// across a worker pool (good-machine blocks are simulated once and shared
+// read-only; propagation scratch stays private) and the shard reports are
+// merged deterministically, producing a report bit-identical to the serial
+// loop (see fault/parallel.h).
 #pragma once
 
 #include <cstdint>
@@ -48,6 +50,18 @@ struct FaultSimOptions {
   /// propagating events through nets that reach no primary output. Exact:
   /// a fault effect outside the site's cone can never be observed.
   bool cone_limit = true;
+
+  /// Cluster fault classes by fanout-free region: per 64-pattern block, one
+  /// backward critical-path-tracing pass over the region's good-machine
+  /// words yields every member site's observability at the region's stem,
+  /// and ONE event-driven stem propagation per region replaces one
+  /// propagation per fault class (detections expand as site activation &
+  /// stem-local observability & stem detect). Tracing is exact within an
+  /// FFR — no reconvergence — so the report is bit-identical to the
+  /// ffr_trace=false engine for every thread count; the result store keys
+  /// therefore ignore this toggle. Stuck-at only: the transition engine's
+  /// launch condition is per-fault history and keeps its per-fault loop.
+  bool ffr_trace = true;
 
   /// Optional precomputed collapse plan for this exact fault list (e.g.
   /// cached across PTP runs by the campaign driver). Ignored when

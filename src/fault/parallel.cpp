@@ -7,6 +7,24 @@
 
 namespace gpustl::fault {
 
+GoodBlockCache::GoodBlockCache(const netlist::Netlist& nl,
+                               const netlist::PatternSet& patterns)
+    : sim_(nl), patterns_(&patterns) {}
+
+const GoodBlockCache::Block& GoodBlockCache::Get(std::size_t index) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  while (blocks_.size() <= index) {
+    Block b;
+    b.count = sim_.LoadBlock(*patterns_, blocks_.size() * 64);
+    if (b.count > 0) {
+      sim_.Eval();
+      b.values = sim_.values();
+    }
+    blocks_.push_back(std::move(b));
+  }
+  return blocks_[index];
+}
+
 int ResolveNumThreads(int requested, std::size_t work_items) {
   GPUSTL_ASSERT(requested >= 0, "num_threads must be >= 0");
   std::size_t n = requested == 0

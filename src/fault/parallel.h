@@ -1,11 +1,14 @@
 // Fault-parallel execution support for the PPSFP simulators.
 //
 // Both RunFaultSim and RunTransitionFaultSim parallelize the same way: the
-// live (non-skipped) fault list is sharded across a small worker pool, each
-// worker runs the unmodified serial PPSFP loop over its shard with private
-// good-machine state, and a deterministic merge reconstructs the serial
-// report. The merge is exact — not approximately equal — because the serial
-// loop's accounting is per-fault independent:
+// live work list — fault classes, or whole fanout-free regions when the
+// FFR-clustered engine is on (a stem propagation is shared by every class
+// of a region, so the region is the indivisible unit) — is sharded across
+// a small worker pool, each worker runs the unmodified serial PPSFP loop
+// over its shard with private propagation scratch (good-machine blocks are
+// shared read-only through GoodBlockCache), and a deterministic merge
+// reconstructs the serial report. The merge is exact — not approximately
+// equal — because the serial loop's accounting is per-fault independent:
 //
 //  * `first_detect[f]` and `detected_mask[f]` depend only on fault f's own
 //    propagation history;
@@ -21,22 +24,58 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "fault/faultsim.h"
+#include "netlist/logicsim.h"
+#include "netlist/patterns.h"
 
 namespace gpustl::fault {
+
+/// Shared good-machine state for one fault-simulation run. The good values
+/// of each 64-pattern block are a pure function of (netlist, patterns), so
+/// they are simulated once — lazily, in block order — and shared read-only
+/// by every shard; before this cache each worker owned a BitSimulator and
+/// re-evaluated every block, an O(threads x) redundancy. Laziness matters:
+/// with fault dropping a run can finish before the pattern set is
+/// exhausted, and blocks nobody asks for are never simulated.
+class GoodBlockCache {
+ public:
+  GoodBlockCache(const netlist::Netlist& nl,
+                 const netlist::PatternSet& patterns);
+
+  struct Block {
+    int count = 0;  // patterns in this block (0 = past the end)
+    std::vector<std::uint64_t> values;  // good word per net
+  };
+
+  /// Block `index` (patterns [64*index, 64*index + count)). The first
+  /// caller simulates it; later callers get the cached block. Thread-safe:
+  /// the mutex hand-off orders every write before every cross-thread read,
+  /// and a returned block is immutable (the deque grows without moving
+  /// settled elements).
+  const Block& Get(std::size_t index);
+
+ private:
+  std::mutex mu_;
+  netlist::BitSimulator sim_;
+  const netlist::PatternSet* patterns_;
+  std::deque<Block> blocks_;
+};
 
 /// Resolves a FaultSimOptions::num_threads request against the amount of
 /// shardable work: 0 = std::thread::hardware_concurrency(), otherwise the
 /// requested count, clamped to [1, work_items].
 int ResolveNumThreads(int requested, std::size_t work_items);
 
-/// Partitions `live` (ascending fault ids) into `shards` strided sub-lists:
-/// shard t owns live[t], live[t + shards], ... Striding balances load when
-/// fault difficulty correlates with netlist position, and keeps every shard
-/// list in ascending fault-id order (the serial iteration order).
+/// Partitions `live` (ascending work-item ids: fault classes or FFR
+/// groups) into `shards` strided sub-lists: shard t owns live[t],
+/// live[t + shards], ... Striding balances load when item difficulty
+/// correlates with netlist position, and keeps every shard list in
+/// ascending id order (the serial iteration order).
 std::vector<std::vector<std::uint32_t>> StrideShards(
     const std::vector<std::uint32_t>& live, int shards);
 

@@ -77,4 +77,21 @@ struct PropagationScratch {
   }
 };
 
+/// Per-worker scratch of the FFR-clustered stuck-at engine: the stem
+/// propagation state plus the backward critical-path-tracing buffers. `obs`
+/// holds, per net, the word of patterns on which a value change at the net
+/// reaches its region's stem; only the members of the region currently
+/// being traced are valid at any moment (stale entries from other regions
+/// are never read — every member is rewritten before use). The per-class
+/// vectors are reused across regions to avoid reallocation.
+struct FfrScratch {
+  explicit FfrScratch(const netlist::Netlist& nl)
+      : prop(nl), obs(nl.gate_count(), 0) {}
+
+  PropagationScratch prop;
+  std::vector<std::uint64_t> obs;         // site-to-stem observability words
+  std::vector<std::uint64_t> leader_act;  // per live class of one region
+  std::vector<std::uint64_t> stem_local;  // leader activation & site obs
+};
+
 }  // namespace gpustl::fault::internal

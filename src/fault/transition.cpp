@@ -8,7 +8,6 @@
 
 namespace gpustl::fault {
 
-using netlist::BitSimulator;
 using netlist::Gate;
 using netlist::kMaxFanin;
 using netlist::NetId;
@@ -36,7 +35,8 @@ namespace {
 void SimulateShard(const Netlist& nl, const PatternSet& patterns,
                    const std::vector<TransitionFault>& faults,
                    std::vector<std::uint32_t> live,
-                   const FaultSimOptions& options, FaultSimResult& result) {
+                   GoodBlockCache& good_blocks, const FaultSimOptions& options,
+                   FaultSimResult& result) {
   // Launch-side history: the site value of the last pattern of the previous
   // block, per fault. Initialized to the FINAL value so pattern 0 (which
   // has no launch vector) can never activate.
@@ -45,18 +45,18 @@ void SimulateShard(const Netlist& nl, const PatternSet& patterns,
     prev_site_bit[i] = faults[i].sa1 ? 0 : 1;  // != init value
   }
 
-  BitSimulator sim(nl);
   internal::PropagationScratch scratch(nl);
   const auto& outputs = nl.outputs();
   const bool cone_on = options.cone_limit;
   const std::size_t cone_words = nl.cone_words();
 
   for (std::size_t base = 0; base < patterns.size(); base += 64) {
-    const int count = sim.LoadBlock(patterns, base);
-    if (count == 0) break;
+    if (live.empty()) break;
+    const GoodBlockCache::Block& block = good_blocks.Get(base / 64);
+    if (block.count == 0) break;
+    const int count = block.count;
     const std::uint64_t valid = count >= 64 ? ~0ull : ((1ull << count) - 1);
-    sim.Eval();
-    const std::vector<std::uint64_t>& good = sim.values();
+    const std::vector<std::uint64_t>& good = block.values;
 
     std::size_t w = 0;
     for (std::size_t r = 0; r < live.size(); ++r) {
@@ -193,9 +193,12 @@ FaultSimResult RunTransitionFaultSim(const Netlist& nl,
     if (skip == nullptr || !skip->Get(i)) live.push_back(i);
   }
 
+  GoodBlockCache good_blocks(nl, patterns);
+
   const int threads = ResolveNumThreads(options.num_threads, live.size());
   if (threads <= 1) {
-    SimulateShard(nl, patterns, faults, std::move(live), options, result);
+    SimulateShard(nl, patterns, faults, std::move(live), good_blocks, options,
+                  result);
     return result;
   }
 
@@ -203,8 +206,8 @@ FaultSimResult RunTransitionFaultSim(const Netlist& nl,
   std::vector<FaultSimResult> partial(
       threads, InitFaultSimResult(faults.size(), patterns.size()));
   RunOnShards(threads, [&](int t) {
-    SimulateShard(nl, patterns, faults, std::move(shards[t]), options,
-                  partial[t]);
+    SimulateShard(nl, patterns, faults, std::move(shards[t]), good_blocks,
+                  options, partial[t]);
   });
   MergeShardResults(partial, result);
   return result;

@@ -117,6 +117,43 @@ void Netlist::Freeze() {
     }
   }
 
+  // Fanout-free regions. Stem rule: fanout size != 1, primary output, or the
+  // single consumer is a DFF (a sequential boundary, like the cones above).
+  // Descending sweep: a non-stem net's owner is its unique consumer's owner,
+  // and that consumer has a larger id, so it is already resolved. Derived
+  // data only — the fingerprint below is deliberately unaffected.
+  std::vector<std::uint8_t> is_output(n, 0);
+  for (const NetId id : outputs_) is_output[id] = 1;
+  stem_of_.assign(n, 0);
+  for (NetId id = static_cast<NetId>(n); id-- > 0;) {
+    const std::span<const NetId> fo = fanout(id);
+    const bool stem = fo.size() != 1 || is_output[id] ||
+                      gates_[fo[0]].type == CellType::kDff;
+    stem_of_[id] = stem ? id : stem_of_[fo[0]];
+  }
+
+  // Region CSR: stems ascend by net id, members ascend within each region.
+  ffr_stems_.clear();
+  ffr_of_.assign(n, 0);
+  for (NetId id = 0; id < n; ++id) {
+    if (stem_of_[id] == id) {
+      ffr_of_[id] = static_cast<std::uint32_t>(ffr_stems_.size());
+      ffr_stems_.push_back(id);
+    }
+  }
+  for (NetId id = 0; id < n; ++id) ffr_of_[id] = ffr_of_[stem_of_[id]];
+  ffr_offset_.assign(ffr_stems_.size() + 1, 0);
+  for (NetId id = 0; id < n; ++id) ++ffr_offset_[ffr_of_[id] + 1];
+  for (std::size_t f = 1; f <= ffr_stems_.size(); ++f) {
+    ffr_offset_[f] += ffr_offset_[f - 1];
+  }
+  ffr_members_.assign(n, 0);
+  std::vector<std::uint32_t> ffr_cursor(ffr_offset_.begin(),
+                                        ffr_offset_.end() - 1);
+  for (NetId id = 0; id < n; ++id) {
+    ffr_members_[ffr_cursor[ffr_of_[id]]++] = id;
+  }
+
   // Content fingerprint: every bit of structure that determines simulation
   // behaviour, nothing that doesn't (names are skipped). The field order is
   // part of the store's key-derivation contract (docs/FORMATS.md).

@@ -107,6 +107,41 @@ class Netlist {
   /// True when at least one primary output is in `net`'s cone.
   bool ReachesOutput(NetId net) const { return reaches_output_[net] != 0; }
 
+  // --- fanout-free regions (computed at Freeze) ---
+  //
+  // A net is a *stem* when a fault effect on it can escape to more than one
+  // place or is directly observable: fanout size != 1, primary output, or
+  // its single consumer is sequential (DFF). Every other net funnels through
+  // exactly one gate pin, so following single-fanout edges forward reaches a
+  // unique stem; the fanout-free region (FFR) of a stem is the stem plus all
+  // nets that drain into it this way. FFRs partition the nets, internal
+  // members have no reconvergence (each feeds exactly one pin of one gate),
+  // and critical-path tracing from the stem backwards is therefore *exact*
+  // within a region — which is what the FFR-clustered fault simulator
+  // exploits. Derived data only: the content fingerprint is unaffected.
+
+  /// Number of fanout-free regions (== number of stems).
+  std::size_t num_ffrs() const { return ffr_stems_.size(); }
+
+  /// The stem net of region `f`. Stems are listed in ascending net id.
+  NetId ffr_stem(std::size_t f) const { return ffr_stems_[f]; }
+
+  /// The region index owning `net`.
+  std::uint32_t ffr_of(NetId net) const { return ffr_of_[net]; }
+
+  /// The stem net owning `net` (== `net` itself iff `net` is a stem).
+  NetId stem_of(NetId net) const { return stem_of_[net]; }
+
+  /// True when `net` is the stem of its own region.
+  bool IsStem(NetId net) const { return stem_of_[net] == net; }
+
+  /// Member nets of region `f`, ascending by id; the stem is the largest
+  /// member (every internal net's unique consumer has a larger id).
+  std::span<const NetId> ffr_members(std::size_t f) const {
+    return {ffr_members_.data() + ffr_offset_[f],
+            ffr_offset_[f + 1] - ffr_offset_[f]};
+  }
+
   /// Content fingerprint of the frozen netlist: topology + cell functions
   /// (gate types, fanin wiring, primary input/output lists). Pin names are
   /// excluded — they never affect simulation results. Computed once at
@@ -139,6 +174,11 @@ class Netlist {
   std::size_t cone_words_ = 0;
   std::vector<std::uint64_t> cone_;           // gate_count() * cone_words_
   std::vector<std::uint8_t> reaches_output_;  // cone mask nonzero
+  std::vector<NetId> stem_of_;                // owning stem per net
+  std::vector<std::uint32_t> ffr_of_;         // owning region index per net
+  std::vector<NetId> ffr_stems_;              // stem per region, ascending
+  std::vector<std::uint32_t> ffr_offset_;     // num_ffrs() + 1
+  std::vector<NetId> ffr_members_;            // CSR payload, ascending
   Hash128 fingerprint_;
 };
 

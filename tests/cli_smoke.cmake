@@ -44,6 +44,41 @@ run_cli(faultsim tiny.gptp --module DU --fault-model transition --threads 2)
 run_cli(compact tiny.gptp --module DU -o tiny.cptp.asm --report tiny)
 run_cli(disasm tiny.cptp.asm)
 
+# --no-ffr falls back to the per-class engine; the report is bit-identical,
+# so the printed summary must match the default run character for character.
+execute_process(COMMAND ${GPUSTLC} faultsim tiny.gptp --module DU
+                WORKING_DIRECTORY ${WORK}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out_ffr ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gpustlc faultsim (ffr) failed (${rc}):\n${out_ffr}\n${err}")
+endif()
+execute_process(COMMAND ${GPUSTLC} faultsim tiny.gptp --module DU --no-ffr
+                WORKING_DIRECTORY ${WORK}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out_noffr ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gpustlc faultsim --no-ffr failed (${rc}):\n${out_noffr}\n${err}")
+endif()
+if(NOT out_ffr STREQUAL out_noffr)
+  message(FATAL_ERROR "--no-ffr changed the faultsim summary:\n${out_ffr}\nvs\n${out_noffr}")
+endif()
+message(STATUS "gpustlc faultsim --no-ffr: OK (summary identical)")
+
+# GPUSTL_NO_FFR is the env spelling of the same switch.
+execute_process(COMMAND ${CMAKE_COMMAND} -E env GPUSTL_NO_FFR=1
+                        ${GPUSTLC} faultsim tiny.gptp --module DU
+                WORKING_DIRECTORY ${WORK}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out_env ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gpustlc faultsim (GPUSTL_NO_FFR=1) failed (${rc}):\n${out_env}\n${err}")
+endif()
+if(NOT out_ffr STREQUAL out_env)
+  message(FATAL_ERROR "GPUSTL_NO_FFR=1 changed the faultsim summary:\n${out_ffr}\nvs\n${out_env}")
+endif()
+message(STATUS "gpustlc faultsim GPUSTL_NO_FFR=1: OK (summary identical)")
+
+run_cli(faultsim tiny.gptp --module DU --no-ffr --threads 2)
+run_cli(compact tiny.gptp --module DU --no-ffr -o tiny.noffr.asm)
+
 file(WRITE ${WORK}/fpu.asm "
 .entry fpu_tiny
 .blocks 1
@@ -67,6 +102,7 @@ fpu.asm FP32 compact
 ")
 run_cli(campaign manifest.txt --state stl --threads 2)
 run_cli(campaign manifest.txt --state stl --threads 2)  # resumed second run
+run_cli(campaign manifest.txt --no-ffr --threads 2)
 
 # Like run_cli, but additionally requires `pattern` in the combined output.
 function(run_cli_match pattern)

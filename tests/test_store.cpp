@@ -319,6 +319,30 @@ TEST(SimulateWithStoreTest, WarmRunIsBitIdenticalAndCounted) {
   EXPECT_EQ(store.stats().hits, 2u);
 }
 
+TEST(SimulateWithStoreTest, FfrToggleSharesTheCacheEntry) {
+  // The FFR-clustered engine is bit-identical to the per-class engine, so
+  // ffr_trace must not enter the store key: a result computed with the
+  // default engine serves --no-ffr runs (and vice versa) from the cache.
+  const Netlist nl = SmallNetlist();
+  const PatternSet ps = SmallPatterns();
+  const auto faults = fault::CollapsedFaultList(nl);
+
+  ResultStore store(ScratchDir("ffr_key"));
+  fault::FaultSimOptions with_ffr;
+  with_ffr.ffr_trace = true;
+  const FaultSimResult cold = SimulateWithStore(
+      &store, nl, ps, faults, nullptr, with_ffr, SimModel::kStuckAt);
+  EXPECT_EQ(store.stats().misses, 1u);
+
+  fault::FaultSimOptions without_ffr;
+  without_ffr.ffr_trace = false;
+  const FaultSimResult warm = SimulateWithStore(
+      &store, nl, ps, faults, nullptr, without_ffr, SimModel::kStuckAt);
+  ExpectSameResult(cold, warm);
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(store.stats().misses, 1u);
+}
+
 TEST(SimulateWithStoreTest, CorruptedEntryFallsBackToRecompute) {
   const Netlist nl = SmallNetlist();
   const PatternSet ps = SmallPatterns();

@@ -87,8 +87,10 @@ int Usage() {
       "\n"
       "faultsim/compact/campaign also accept --no-collapse (simulate every\n"
       "fault instead of one representative per structural equivalence\n"
-      "class) and --no-cone (disable output-cone pruning). Both switches\n"
-      "only trade speed; reports are bit-identical either way.\n"
+      "class), --no-cone (disable output-cone pruning) and --no-ffr (or\n"
+      "GPUSTL_NO_FFR=1: fall back from FFR-clustered critical-path tracing\n"
+      "to one propagation per fault class). All three only trade speed;\n"
+      "reports are bit-identical either way.\n"
       "\n"
       "caching: --cache-dir <dir> (or GPUSTL_CACHE_DIR) enables the\n"
       "content-addressed result store: fault simulations whose inputs are\n"
@@ -103,6 +105,12 @@ int Usage() {
 [[noreturn]] void Die(const std::string& msg) {
   std::fprintf(stderr, "gpustlc: %s\n", msg.c_str());
   std::exit(1);
+}
+
+/// Boolean env toggle: set and neither empty nor "0".
+bool EnvTruthy(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && std::string(v) != "0";
 }
 
 std::string ReadFile(const std::string& path) {
@@ -167,6 +175,9 @@ struct Args {
   bool no_drop = false;
   bool no_collapse = false;
   bool no_cone = false;
+  // GPUSTL_NO_FFR mirrors the flag for wrappers that cannot edit argv
+  // (same precedent as GPUSTL_CACHE_DIR); "0"/empty mean unset.
+  bool no_ffr = EnvTruthy("GPUSTL_NO_FFR");
   bool no_cache = false;
   bool vcd = false;
   std::uint32_t dump_addr = 0;
@@ -189,6 +200,7 @@ struct Args {
       else if (arg == "--no-drop") no_drop = true;
       else if (arg == "--no-collapse") no_collapse = true;
       else if (arg == "--no-cone") no_cone = true;
+      else if (arg == "--no-ffr") no_ffr = true;
       else if (arg == "--cache-dir") cache_dir = next();
       else if (arg == "--no-cache") no_cache = true;
       else if (arg == "--resume") resume = next();
@@ -352,7 +364,8 @@ int CmdFaultsim(const Args& args) {
   const fault::FaultSimOptions sim_options{.drop_detected = !args.no_drop,
                                            .num_threads = args.threads,
                                            .collapse = !args.no_collapse,
-                                           .cone_limit = !args.no_cone};
+                                           .cone_limit = !args.no_cone,
+                                           .ffr_trace = !args.no_ffr};
   std::optional<store::ResultStore> cache = MakeStore(args);
   const store::SimModel model = args.fault_model == "transition"
                                     ? store::SimModel::kTransition
@@ -391,6 +404,7 @@ int CmdCompact(const Args& args) {
   options.num_threads = args.threads;
   options.collapse_faults = !args.no_collapse;
   options.cone_limit = !args.no_cone;
+  options.ffr_trace = !args.no_ffr;
   if (args.fault_model == "transition") {
     options.fault_model = compact::FaultModel::kTransition;
   } else if (args.fault_model != "stuck-at") {
@@ -451,6 +465,7 @@ int CmdCampaign(const Args& args) {
   base.num_threads = args.threads;
   base.collapse_faults = !args.no_collapse;
   base.cone_limit = !args.no_cone;
+  base.ffr_trace = !args.no_ffr;
   std::optional<store::ResultStore> cache = MakeStore(args);
   base.result_store = cache ? &*cache : nullptr;
   compact::StlCampaign campaign(du, sp, sfu, base, &fp32);
