@@ -1,0 +1,179 @@
+#include "common/chaos.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+
+#include "common/error.h"
+#include "common/strutil.h"
+
+namespace gpustl::chaos {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::optional<Site> SiteFromName(std::string_view name) {
+  for (int s = 0; s < kNumSites; ++s) {
+    if (SiteName(static_cast<Site>(s)) == name) return static_cast<Site>(s);
+  }
+  return std::nullopt;
+}
+
+// The engine is replaced only at configuration time (process start, test
+// setup) — never concurrently with armed injection sites — so a plain
+// atomic pointer with a leaked-on-replace previous engine is enough. The
+// leak is bounded by the number of Install calls and keeps Fail() safe
+// even if a stale pointer were still being read.
+std::atomic<ChaosEngine*> g_engine{nullptr};
+
+}  // namespace
+
+std::string_view SiteName(Site site) {
+  switch (site) {
+    case Site::kStoreReadShort:
+      return "store-read-short";
+    case Site::kStoreReadCorrupt:
+      return "store-read-corrupt";
+    case Site::kStoreWriteFail:
+      return "store-write";
+    case Site::kCheckpointWriteFail:
+      return "ckpt-write";
+    case Site::kCheckpointTruncate:
+      return "ckpt-truncate";
+    case Site::kWorkerThrow:
+      return "worker-throw";
+    case Site::kStageDeadline:
+      return "deadline";
+  }
+  return "?";
+}
+
+ChaosEngine::ChaosEngine(std::string_view spec, std::uint64_t seed)
+    : seed_(seed) {
+  for (const std::string_view raw : Split(spec, ',')) {
+    const std::string_view entry = Trim(raw);
+    if (entry.empty()) continue;
+    Rule rule;
+    std::string_view head;
+    const auto eq = entry.find('=');
+    const auto hash = entry.find('#');
+    if (eq != std::string_view::npos &&
+        (hash == std::string_view::npos || eq < hash)) {
+      head = Trim(entry.substr(0, eq));
+      const auto p = ParseFloat(Trim(entry.substr(eq + 1)));
+      if (!p || *p < 0.0 || *p > 1.0) {
+        throw Error("chaos: bad probability in rule '" + std::string(entry) +
+                    "' (want [0,1])");
+      }
+      rule.probability = *p;
+    } else if (hash != std::string_view::npos) {
+      head = Trim(entry.substr(0, hash));
+      const auto n = ParseInt(Trim(entry.substr(hash + 1)));
+      if (!n || *n < 1) {
+        throw Error("chaos: bad ordinal in rule '" + std::string(entry) +
+                    "' (want #n with n >= 1)");
+      }
+      rule.nth = static_cast<std::uint64_t>(*n);
+    } else {
+      throw Error("chaos: rule '" + std::string(entry) +
+                  "' needs '=probability' or '#nth'");
+    }
+    if (const auto at = head.find('@'); at != std::string_view::npos) {
+      rule.qualifier = std::string(Trim(head.substr(at + 1)));
+      head = Trim(head.substr(0, at));
+    }
+    const auto site = SiteFromName(head);
+    if (!site) {
+      throw Error("chaos: unknown site '" + std::string(head) +
+                  "' in rule '" + std::string(entry) + "'");
+    }
+    rule.site = *site;
+    rules_.push_back(rule);
+  }
+  if (rules_.empty()) throw Error("chaos: empty spec");
+}
+
+bool ChaosEngine::ShouldFail(Site site, std::string_view qualifier) {
+  // The per-site arrival ordinal advances on every call, matched or not,
+  // so one rule's schedule does not shift when another rule is added for a
+  // different qualifier of the same site.
+  const std::uint64_t ordinal =
+      draws_[static_cast<int>(site)].fetch_add(1, std::memory_order_relaxed);
+
+  Rule* rule = nullptr;
+  for (Rule& r : rules_) {
+    if (r.site != site) continue;
+    if (!r.qualifier.empty() && r.qualifier != qualifier) continue;
+    rule = &r;
+    break;
+  }
+  if (rule == nullptr) return false;
+
+  bool fail;
+  if (rule->nth != 0) {
+    const std::uint64_t match =
+        rule->matched.fetch_add(1, std::memory_order_relaxed) + 1;
+    fail = match == rule->nth;
+  } else if (rule->probability >= 1.0) {
+    fail = true;
+  } else if (rule->probability <= 0.0) {
+    fail = false;
+  } else {
+    std::uint64_t x = seed_;
+    x = SplitMix64(x ^ (static_cast<std::uint64_t>(site) + 1));
+    x = SplitMix64(x ^ (ordinal + 1));
+    // Top 53 bits against the probability threshold: exact for any double
+    // in [0,1].
+    const double draw = static_cast<double>(x >> 11) / 9007199254740992.0;
+    fail = draw < rule->probability;
+  }
+  if (fail) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "gpustl-chaos: injecting %s%s%s failure (arrival %llu)\n",
+                 std::string(SiteName(site)).c_str(),
+                 qualifier.empty() ? "" : "@",
+                 std::string(qualifier).c_str(),
+                 static_cast<unsigned long long>(ordinal + 1));
+  }
+  return fail;
+}
+
+void Install(std::string_view spec, std::uint64_t seed) {
+  auto engine = std::make_unique<ChaosEngine>(spec, seed);
+  g_engine.store(engine.release(), std::memory_order_release);
+}
+
+void Uninstall() {
+  ChaosEngine* old = g_engine.exchange(nullptr, std::memory_order_acq_rel);
+  delete old;
+}
+
+ChaosEngine* Engine() { return g_engine.load(std::memory_order_acquire); }
+
+bool Fail(Site site, std::string_view qualifier) {
+  ChaosEngine* engine = Engine();
+  return engine != nullptr && engine->ShouldFail(site, qualifier);
+}
+
+void ConfigureFromEnv() {
+  const char* spec = std::getenv("GPUSTL_CHAOS");
+  if (spec == nullptr || spec[0] == '\0') return;
+  std::uint64_t seed = 1;
+  if (const char* s = std::getenv("GPUSTL_CHAOS_SEED")) {
+    if (const auto v = ParseInt(s); v && *v >= 0) {
+      seed = static_cast<std::uint64_t>(*v);
+    } else {
+      throw Error("chaos: bad GPUSTL_CHAOS_SEED '" + std::string(s) + "'");
+    }
+  }
+  Install(spec, seed);
+}
+
+}  // namespace gpustl::chaos

@@ -1,0 +1,171 @@
+// Failure taxonomy and cooperative cancellation for the campaign runtime.
+//
+// Every failure that crosses a campaign stage boundary is classified into
+// one of four classes (the names appear verbatim in degraded campaign
+// reports and checkpoints, so they are stable tokens):
+//
+//   input-error  — the user's artifact is at fault (malformed assembly,
+//                  bad netlist, unreadable report, a PTP the GPU model
+//                  rejects). Retrying cannot help; fix the input.
+//   io-error     — the filesystem misbehaved (cache writes, checkpoint
+//                  replacement). Retried with capped backoff before being
+//                  surfaced; transient by nature.
+//   deadline     — a stage exceeded its wall-clock budget or the run was
+//                  cancelled. The partial work is discarded wholesale — a
+//                  deadline can make a campaign slower or smaller, never
+//                  silently wrong.
+//   internal     — everything else: assertion failures, std exceptions,
+//                  injected worker crashes. A bug report, not a user error.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+
+namespace gpustl {
+
+enum class ErrorClass { kInput, kIo, kDeadline, kInternal };
+
+/// Stable token for an error class ("input-error", "io-error", "deadline",
+/// "internal") — used in reports and checkpoint records.
+constexpr std::string_view ErrorClassName(ErrorClass c) {
+  switch (c) {
+    case ErrorClass::kInput:
+      return "input-error";
+    case ErrorClass::kIo:
+      return "io-error";
+    case ErrorClass::kDeadline:
+      return "deadline";
+    case ErrorClass::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+/// Inverse of ErrorClassName (for checkpoint decoding).
+inline std::optional<ErrorClass> ErrorClassFromName(std::string_view name) {
+  if (name == "input-error") return ErrorClass::kInput;
+  if (name == "io-error") return ErrorClass::kIo;
+  if (name == "deadline") return ErrorClass::kDeadline;
+  if (name == "internal") return ErrorClass::kInternal;
+  return std::nullopt;
+}
+
+/// Thrown when filesystem I/O keeps failing after the retry policy is
+/// exhausted (result store, checkpoint replacement).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io: " + what) {}
+};
+
+/// Thrown when a stage exceeds its wall-clock deadline or the run is
+/// cancelled. Engines throw it AFTER their workers join, so partial
+/// fault-sim results never escape.
+class DeadlineError : public Error {
+ public:
+  explicit DeadlineError(const std::string& what)
+      : Error("deadline: " + what) {}
+};
+
+/// Maps an exception to its error class. StageError (below) carries its
+/// class explicitly; other gpustl exceptions classify by type; anything
+/// unrecognized is internal.
+ErrorClass ClassifyError(const std::exception& e);
+
+/// A stage failure annotated with the stage name and error class — what a
+/// failure domain (compact/run_guard.h) throws and StlCampaign catches to
+/// record a degraded module.
+class StageError : public Error {
+ public:
+  StageError(std::string_view stage, ErrorClass error_class,
+             std::string_view what)
+      : Error("stage " + std::string(stage) + " [" +
+              std::string(ErrorClassName(error_class)) + "]: " +
+              std::string(what)),
+        stage_(stage),
+        class_(error_class) {}
+
+  const std::string& stage() const { return stage_; }
+  ErrorClass error_class() const { return class_; }
+
+ private:
+  std::string stage_;
+  ErrorClass class_;
+};
+
+inline ErrorClass ClassifyError(const std::exception& e) {
+  if (const auto* s = dynamic_cast<const StageError*>(&e)) {
+    return s->error_class();
+  }
+  if (dynamic_cast<const DeadlineError*>(&e) != nullptr) {
+    return ErrorClass::kDeadline;
+  }
+  if (dynamic_cast<const IoError*>(&e) != nullptr) return ErrorClass::kIo;
+  if (dynamic_cast<const AsmError*>(&e) != nullptr ||
+      dynamic_cast<const NetlistError*>(&e) != nullptr ||
+      dynamic_cast<const ReportError*>(&e) != nullptr ||
+      dynamic_cast<const SimError*>(&e) != nullptr) {
+    return ErrorClass::kInput;
+  }
+  return ErrorClass::kInternal;
+}
+
+/// Cooperative cancellation + deadline token. One writer side (the stage
+/// guard arms a deadline; any thread may request cancellation) and many
+/// reader sides: fault-sim workers poll Expired() once per 64-pattern
+/// block and return early with their partial shard discarded by the
+/// engine, which throws DeadlineError after the join. All accesses are
+/// relaxed — the poll is a pure go/no-go flag, and the join that follows
+/// an abort provides the ordering the results need.
+class CancelToken {
+ public:
+  /// Permanently cancels the token (e.g. service shutdown). Every armed or
+  /// future stage observing this token fails with class `deadline`.
+  void RequestCancel() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms a deadline `seconds` from now. A non-positive budget disarms.
+  void ArmDeadline(double seconds) noexcept {
+    if (seconds <= 0) {
+      DisarmDeadline();
+      return;
+    }
+    deadline_ns_.store(
+        NowNs() + static_cast<std::int64_t>(seconds * 1e9),
+        std::memory_order_relaxed);
+  }
+
+  void DisarmDeadline() noexcept {
+    deadline_ns_.store(0, std::memory_order_relaxed);
+  }
+
+  /// True once cancelled or past an armed deadline. Cheap enough to poll
+  /// per pattern block (one relaxed load on the common path).
+  bool Expired() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    return d != 0 && NowNs() >= d;
+  }
+
+ private:
+  static std::int64_t NowNs() noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};
+};
+
+}  // namespace gpustl

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/timer.h"
+#include "compact/run_guard.h"
 #include "isa/cfg.h"
 #include "store/result_store.h"
 
@@ -141,7 +142,8 @@ fault::FaultSimResult Compactor::SimulateFaults(
       .collapse = options_.collapse_faults,
       .cone_limit = options_.cone_limit,
       .ffr_trace = options_.ffr_trace,
-      .collapse_plan = options_.collapse_faults ? &collapse_ : nullptr};
+      .collapse_plan = options_.collapse_faults ? &collapse_ : nullptr,
+      .cancel = ActiveToken()};
   const store::SimModel model = options_.fault_model == FaultModel::kTransition
                                     ? store::SimModel::kTransition
                                     : store::SimModel::kStuckAt;
@@ -153,64 +155,78 @@ fault::FaultSimResult Compactor::SimulateFaults(
 CompactionResult Compactor::CompactPtp(const Program& ptp) {
   Timer timer;
   CompactionResult res;
+  RunGuard guard(options_.stage_deadline_seconds, ActiveToken());
 
-  // Stage 1: partitioning.
-  const isa::Cfg cfg(ptp);
-  const std::vector<bool> admissible = cfg.AdmissibleMask();
-  const std::vector<SmallBlock> sbs = SegmentSmallBlocks(ptp, admissible);
+  // Stages 1+2 share one failure domain: partitioning is pure CFG analysis
+  // feeding straight into the single traced logic simulation.
+  std::vector<SmallBlock> sbs;
+  TraceRun original_run;
+  PatternSet patterns;
+  double arc_fraction = 0.0;
+  guard.Run(kStageLogicTrace, [&] {
+    const isa::Cfg cfg(ptp);
+    const std::vector<bool> admissible = cfg.AdmissibleMask();
+    sbs = SegmentSmallBlocks(ptp, admissible);
+    arc_fraction = cfg.ArcFraction();
+    original_run = RunLogicTrace(ptp);
+    patterns = options_.reverse_patterns ? original_run.patterns.Reversed()
+                                         : original_run.patterns;
+  });
 
-  // Stage 2: one logic simulation (tracing + pattern capture).
-  const TraceRun original_run = RunLogicTrace(ptp);
-  const PatternSet patterns = options_.reverse_patterns
-                                  ? original_run.patterns.Reversed()
-                                  : original_run.patterns;
-
-  // Stage 3: one optimized fault simulation + labeling.
-  res.fault_report =
-      SimulateFaults(patterns, &detected_, options_.drop_within_ptp);
-  res.labels =
-      LabelInstructions(ptp, original_run.tracing, patterns, res.fault_report);
+  // Stage 3: one optimized fault simulation, then labeling.
+  guard.Run(kStageFaultSim, [&] {
+    res.fault_report =
+        SimulateFaults(patterns, &detected_, options_.drop_within_ptp);
+  });
+  guard.Run(kStageLabel, [&] {
+    res.labels = LabelInstructions(ptp, original_run.tracing, patterns,
+                                   res.fault_report);
+  });
 
   // Stage 4: reduction.
-  const std::vector<std::size_t> removals = SelectRemovals(sbs, res.labels);
-  res.compacted = ptp.RemoveInstructions(removals);
-  RelocateData(res.compacted);
+  guard.Run(kStageReduce, [&] {
+    const std::vector<std::size_t> removals = SelectRemovals(sbs, res.labels);
+    res.compacted = ptp.RemoveInstructions(removals);
+    RelocateData(res.compacted);
+  });
 
   // Stage 5: reassembly + validation (logic + fault sim of the CPTP,
   // against the same fault-list state, for the FC difference).
-  const TraceRun compacted_run = RunLogicTrace(res.compacted);
-  const PatternSet compacted_patterns =
-      options_.reverse_patterns ? compacted_run.patterns.Reversed()
-                                : compacted_run.patterns;
-  const FaultSimResult validation =
-      SimulateFaults(compacted_patterns, &detected_, true);
+  guard.Run(kStageValidate, [&] {
+    const TraceRun compacted_run = RunLogicTrace(res.compacted);
+    const PatternSet compacted_patterns =
+        options_.reverse_patterns ? compacted_run.patterns.Reversed()
+                                  : compacted_run.patterns;
+    const FaultSimResult validation =
+        SimulateFaults(compacted_patterns, &detected_, true);
 
-  res.compaction_seconds = timer.Seconds();
+    res.compaction_seconds = timer.Seconds();
 
-  // FC bookkeeping follows the paper's tables: the FC of a PTP (and hence
-  // the "Diff FC" column) is its STANDALONE coverage of the module's full
-  // fault list. This is what makes RAND lose coverage after TPGEN: the
-  // instructions removed as unessential (because TPGEN already detected
-  // their faults in the dropped flow) did detect faults standalone.
-  const fault::FaultSimResult standalone_before =
-      SimulateFaults(patterns, nullptr, true);
-  const fault::FaultSimResult standalone_after =
-      SimulateFaults(compacted_patterns, nullptr, true);
-  res.validation_detections = validation.num_detected;
+    // FC bookkeeping follows the paper's tables: the FC of a PTP (and hence
+    // the "Diff FC" column) is its STANDALONE coverage of the module's full
+    // fault list. This is what makes RAND lose coverage after TPGEN: the
+    // instructions removed as unessential (because TPGEN already detected
+    // their faults in the dropped flow) did detect faults standalone.
+    const fault::FaultSimResult standalone_before =
+        SimulateFaults(patterns, nullptr, true);
+    const fault::FaultSimResult standalone_after =
+        SimulateFaults(compacted_patterns, nullptr, true);
+    res.validation_detections = validation.num_detected;
 
-  res.original.size_instr = ptp.size();
-  res.original.duration_cc = original_run.run.total_cycles;
-  res.original.arc_percent = cfg.ArcFraction() * 100.0;
-  res.original.fc_percent = fault::CoveragePercent(
-      standalone_before.num_detected, faults_.size());
+    res.original.size_instr = ptp.size();
+    res.original.duration_cc = original_run.run.total_cycles;
+    res.original.arc_percent = arc_fraction * 100.0;
+    res.original.fc_percent = fault::CoveragePercent(
+        standalone_before.num_detected, faults_.size());
 
-  res.result.size_instr = res.compacted.size();
-  res.result.duration_cc = compacted_run.run.total_cycles;
-  res.result.arc_percent = isa::Cfg(res.compacted).ArcFraction() * 100.0;
-  res.result.fc_percent = fault::CoveragePercent(
-      standalone_after.num_detected, faults_.size());
+    res.result.size_instr = res.compacted.size();
+    res.result.duration_cc = compacted_run.run.total_cycles;
+    res.result.arc_percent = isa::Cfg(res.compacted).ArcFraction() * 100.0;
+    res.result.fc_percent = fault::CoveragePercent(
+        standalone_after.num_detected, faults_.size());
 
-  res.diff_fc = res.result.fc_percent - res.original.fc_percent;
+    res.diff_fc = res.result.fc_percent - res.original.fc_percent;
+  });
 
   res.num_sbs = 0;
   res.removed_sbs = 0;
@@ -239,16 +255,19 @@ CompactionResult Compactor::CompactPtp(const Program& ptp) {
 }
 
 PtpStats Compactor::MeasureStandalone(const Program& ptp) const {
-  PtpStats stats;
-  const TraceRun run = RunLogicTrace(ptp);
-  const FaultSimResult report =
-      SimulateFaults(run.patterns, nullptr, true);
-  stats.size_instr = ptp.size();
-  stats.duration_cc = run.run.total_cycles;
-  stats.fc_percent =
-      fault::CoveragePercent(report.num_detected, faults_.size());
-  stats.arc_percent = isa::Cfg(ptp).ArcFraction() * 100.0;
-  return stats;
+  RunGuard guard(options_.stage_deadline_seconds, ActiveToken());
+  return guard.Run(kStageMeasure, [&] {
+    PtpStats stats;
+    const TraceRun run = RunLogicTrace(ptp);
+    const FaultSimResult report =
+        SimulateFaults(run.patterns, nullptr, true);
+    stats.size_instr = ptp.size();
+    stats.duration_cc = run.run.total_cycles;
+    stats.fc_percent =
+        fault::CoveragePercent(report.num_detected, faults_.size());
+    stats.arc_percent = isa::Cfg(ptp).ArcFraction() * 100.0;
+    return stats;
+  });
 }
 
 double Compactor::AbsorbCoverage(const isa::Program& ptp) {
@@ -264,6 +283,12 @@ double Compactor::AbsorbCoverage(const isa::Program& ptp) {
 
 double Compactor::CumulativeFcPercent() const {
   return fault::CoveragePercent(detected_.Count(), faults_.size());
+}
+
+CancelToken* Compactor::ActiveToken() const {
+  if (options_.cancel != nullptr) return options_.cancel;
+  if (options_.stage_deadline_seconds > 0) return own_token_.get();
+  return nullptr;
 }
 
 }  // namespace gpustl::compact

@@ -28,9 +28,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/bitops.h"
+#include "common/status.h"
 #include "fault/collapse.h"
 #include "fault/faultsim.h"
 #include "gpu/sm.h"
@@ -164,6 +166,19 @@ struct CompactorOptions {
   /// from the store without perturbing any table.
   store::ResultStore* result_store = nullptr;
 
+  /// Wall-clock budget per pipeline stage (logic trace, fault sim, label,
+  /// reduce, validate, measure), in seconds; <= 0 = unlimited. A blown
+  /// budget aborts the stage cleanly (cooperatively inside the fault
+  /// simulators, post hoc elsewhere) and surfaces as a StageError with
+  /// class `deadline` — in a campaign the module degrades, the rest of
+  /// the STL continues.
+  double stage_deadline_seconds = 0.0;
+
+  /// External cancellation token (not owned; null = none). Sharing one
+  /// token across a campaign's compactors cancels the whole run at the
+  /// next stage boundary or fault-sim pattern block.
+  CancelToken* cancel = nullptr;
+
   gpu::SmConfig sm;
 };
 
@@ -219,6 +234,11 @@ class Compactor {
                                        const BitVec* skip,
                                        bool drop_detected) const;
 
+  /// The token fault simulations poll and stage guards arm: the external
+  /// one when provided, else the compactor's own when a stage deadline is
+  /// configured, else null (no polling overhead at all).
+  CancelToken* ActiveToken() const;
+
   const netlist::Netlist* module_;
   trace::TargetModule target_;
   CompactorOptions options_;
@@ -226,6 +246,10 @@ class Compactor {
   fault::FaultCollapse collapse_;  // built once, shared by every fault sim
   Hash128 faults_fp_;              // fault-list digest, for store keys
   BitVec detected_;
+  // Deadline token owned by this compactor (used when no external token
+  // is configured). Heap-held because the atomics inside a CancelToken
+  // would otherwise pin the Compactor (campaigns move them into a map).
+  std::unique_ptr<CancelToken> own_token_ = std::make_unique<CancelToken>();
 };
 
 }  // namespace gpustl::compact

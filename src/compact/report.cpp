@@ -91,7 +91,7 @@ std::string RenderCampaignReport(const std::deque<CampaignRecord>& records,
     table.AddRow(
         {rec.name.empty() ? "<anon>" : rec.name,
          std::string(trace::TargetModuleName(rec.target)),
-         rec.compacted ? "compacted" : "carried",
+         rec.degraded ? "degraded" : rec.compacted ? "compacted" : "carried",
          std::to_string(rec.original_size), std::to_string(rec.final_size),
          std::to_string(rec.original_duration),
          std::to_string(rec.final_duration),
@@ -99,6 +99,24 @@ std::string RenderCampaignReport(const std::deque<CampaignRecord>& records,
   }
   out += table.Render();
   out += "\n";
+
+  // Degraded entries, by stage and error class. Only the canonical
+  // stage/class tokens appear — free-text messages (which may embed
+  // paths or attempt counts) stay out so the report remains diffable.
+  bool any_degraded = false;
+  for (const CampaignRecord& rec : records) {
+    if (!rec.degraded) continue;
+    if (!any_degraded) {
+      out += "Degraded entries (carried through uncompacted):\n";
+      any_degraded = true;
+    }
+    out += Format("  %s [%s] failed at stage %s: %s\n",
+                  rec.name.empty() ? "<anon>" : rec.name.c_str(),
+                  std::string(trace::TargetModuleName(rec.target)).c_str(),
+                  rec.error_stage.c_str(),
+                  std::string(ErrorClassName(rec.error_class)).c_str());
+  }
+  if (any_degraded) out += "\n";
 
   out += Format("size      %zu -> %zu instructions (-%.2f%%)\n",
                 summary.original_size, summary.final_size,
@@ -110,6 +128,10 @@ std::string RenderCampaignReport(const std::deque<CampaignRecord>& records,
   out += Format("faults    %zu classes simulated for %zu faults (-%.1f%%)\n",
                 summary.simulated_classes, summary.total_faults,
                 summary.fault_collapse_percent());
+  out += summary.degraded_records == 0
+             ? "status    complete\n"
+             : Format("status    DEGRADED (%zu of %zu entries failed)\n",
+                      summary.degraded_records, records.size());
   return out;
 }
 

@@ -1,0 +1,46 @@
+#include "compact/run_guard.h"
+
+#include <string>
+
+#include "common/chaos.h"
+#include "common/strutil.h"
+
+namespace gpustl::compact {
+
+void RunGuard::Begin(std::string_view stage) {
+  if (chaos::Fail(chaos::Site::kStageDeadline, stage)) {
+    Fail(stage, ErrorClass::kDeadline,
+         "chaos: injected stage-deadline exhaustion");
+  }
+  if (token_ != nullptr) {
+    if (token_->cancel_requested()) {
+      Fail(stage, ErrorClass::kDeadline, "run cancelled before stage start");
+    }
+    token_->ArmDeadline(deadline_seconds_);
+  }
+}
+
+void RunGuard::End(std::string_view stage, double elapsed_seconds) {
+  if (token_ != nullptr) {
+    token_->DisarmDeadline();
+    if (token_->cancel_requested()) {
+      Fail(stage, ErrorClass::kDeadline, "run cancelled");
+    }
+  }
+  // Post-hoc budget check for stages without a cooperative poll (logic
+  // trace, labeling, reduction): the bound is enforced consistently even
+  // when the stage only overruns instead of aborting mid-flight.
+  if (deadline_seconds_ > 0 && elapsed_seconds > deadline_seconds_) {
+    Fail(stage, ErrorClass::kDeadline,
+         Format("stage exceeded its %.3fs deadline (took %.3fs)",
+                deadline_seconds_, elapsed_seconds));
+  }
+}
+
+void RunGuard::Fail(std::string_view stage, ErrorClass error_class,
+                    std::string_view what) {
+  if (token_ != nullptr) token_->DisarmDeadline();
+  throw StageError(stage, error_class, what);
+}
+
+}  // namespace gpustl::compact

@@ -1,0 +1,94 @@
+// Per-stage failure domains for the compaction pipeline.
+//
+// Each of the five CompactPtp stages (plus the standalone measurement the
+// campaign uses for carried PTPs) runs inside a RunGuard domain:
+//
+//  * entering a domain arms the compactor's CancelToken with the stage
+//    deadline (CompactorOptions::stage_deadline_seconds) — fault-sim
+//    workers poll the token per 64-pattern block and abort cooperatively,
+//    so a blown deadline is a clean partial-result discard, never a
+//    detached thread;
+//  * leaving a domain disarms the token and applies a post-hoc wall-clock
+//    check, which also covers stages that have no cooperative poll (logic
+//    trace, labeling, reduction);
+//  * any exception escaping the stage is classified (common/status.h) and
+//    rethrown as a StageError carrying the stage name + error class —
+//    exactly what StlCampaign needs to record a degraded module and keep
+//    the campaign going.
+//
+// The chaos site `deadline` (qualified by stage name) injects a
+// deterministic deadline exhaustion at domain entry, making every
+// degraded-mode path reachable from a test without real timeouts.
+#pragma once
+
+#include <string_view>
+#include <type_traits>
+#include <utility>
+
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace gpustl::compact {
+
+// Canonical stage names — they appear in StageError messages, degraded
+// campaign reports and checkpoints, and are the `deadline@<stage>` chaos
+// qualifiers.
+inline constexpr std::string_view kStageLogicTrace = "logic-trace";
+inline constexpr std::string_view kStageFaultSim = "fault-sim";
+inline constexpr std::string_view kStageLabel = "label";
+inline constexpr std::string_view kStageReduce = "reduce";
+inline constexpr std::string_view kStageValidate = "validate";
+inline constexpr std::string_view kStageMeasure = "measure";
+
+class RunGuard {
+ public:
+  /// `stage_deadline_seconds` <= 0 disables the wall-clock budget;
+  /// `token` (not owned, may be null) is armed/disarmed around each
+  /// stage and checked for external cancellation.
+  RunGuard(double stage_deadline_seconds, CancelToken* token)
+      : deadline_seconds_(stage_deadline_seconds), token_(token) {}
+
+  ~RunGuard() {
+    if (token_ != nullptr) token_->DisarmDeadline();
+  }
+
+  RunGuard(const RunGuard&) = delete;
+  RunGuard& operator=(const RunGuard&) = delete;
+
+  /// Runs `fn` inside the `stage` failure domain and returns its result.
+  /// Throws StageError (stage + class + message) on any failure,
+  /// including deadline exhaustion and external cancellation.
+  template <typename Fn>
+  auto Run(std::string_view stage, Fn&& fn) {
+    Begin(stage);
+    Timer timer;
+    try {
+      if constexpr (std::is_void_v<decltype(fn())>) {
+        std::forward<Fn>(fn)();
+        End(stage, timer.Seconds());
+      } else {
+        auto result = std::forward<Fn>(fn)();
+        End(stage, timer.Seconds());
+        return result;
+      }
+    } catch (const StageError&) {
+      if (token_ != nullptr) token_->DisarmDeadline();
+      throw;
+    } catch (const Error& e) {
+      Fail(stage, ClassifyError(e), e.what());
+    } catch (const std::exception& e) {
+      Fail(stage, ErrorClass::kInternal, e.what());
+    }
+  }
+
+ private:
+  void Begin(std::string_view stage);
+  void End(std::string_view stage, double elapsed_seconds);
+  [[noreturn]] void Fail(std::string_view stage, ErrorClass error_class,
+                         std::string_view what);
+
+  double deadline_seconds_;
+  CancelToken* token_;
+};
+
+}  // namespace gpustl::compact

@@ -49,40 +49,74 @@ Compactor& StlCampaign::compactor(trace::TargetModule target) {
   return it->second;
 }
 
+namespace {
+/// Converts a mid-pipeline failure into a degraded record: the original
+/// PTP is carried through unchanged (a compaction campaign must never
+/// lose test content), compaction artifacts are dropped, and the failure
+/// taxonomy is recorded for the report/checkpoint. The per-module fault
+/// list was never updated for this entry (CompactPtp merges detections
+/// only after every stage succeeds), so later entries compact against the
+/// exact pre-failure dropping state.
+void MarkDegraded(CampaignRecord& rec, const StlEntry& entry,
+                  std::string_view stage, ErrorClass error_class,
+                  std::string_view what) {
+  rec.compacted = false;
+  rec.degraded = true;
+  rec.error_stage = std::string(stage);
+  rec.error_class = error_class;
+  rec.error_message = std::string(what);
+  rec.result = CompactionResult{};
+  rec.original_size = entry.ptp.size();
+  rec.original_duration = 0;  // the traced run did not complete
+  rec.final_size = entry.ptp.size();
+  rec.final_duration = 0;
+}
+}  // namespace
+
 const CampaignRecord& StlCampaign::Process(const StlEntry& entry) {
   CampaignRecord rec;
   rec.name = entry.ptp.name();
   rec.target = entry.target;
 
-  if (!entry.compactable) {
-    // Carried through unchanged: measure size/duration only.
-    Compactor& c = compactor(entry.target);
-    const PtpStats stats = c.MeasureStandalone(entry.ptp);
-    rec.compacted = false;
-    rec.original_size = stats.size_instr;
-    rec.original_duration = stats.duration_cc;
-    rec.final_size = stats.size_instr;
-    rec.final_duration = stats.duration_cc;
-  } else {
-    Compactor& c = compactor(entry.target);
-    rec.compacted = true;
-    if (entry.reverse_patterns != base_.reverse_patterns) {
-      // Per-PTP pattern-order override (the SFU_IMM reverse trick): run a
-      // compactor with the adjusted options and transplant the persistent
-      // fault-list state so inter-PTP dropping is preserved.
-      CompactorOptions adjusted = base_;
-      adjusted.reverse_patterns = entry.reverse_patterns;
-      Compactor tmp(c.module(), entry.target, adjusted);
-      tmp.MutableDetected() = c.detected();
-      rec.result = tmp.CompactPtp(entry.ptp);
-      c.MutableDetected() = tmp.detected();
+  try {
+    if (!entry.compactable) {
+      // Carried through unchanged: measure size/duration only.
+      Compactor& c = compactor(entry.target);
+      const PtpStats stats = c.MeasureStandalone(entry.ptp);
+      rec.compacted = false;
+      rec.original_size = stats.size_instr;
+      rec.original_duration = stats.duration_cc;
+      rec.final_size = stats.size_instr;
+      rec.final_duration = stats.duration_cc;
     } else {
-      rec.result = c.CompactPtp(entry.ptp);
+      Compactor& c = compactor(entry.target);
+      rec.compacted = true;
+      if (entry.reverse_patterns != base_.reverse_patterns) {
+        // Per-PTP pattern-order override (the SFU_IMM reverse trick): run a
+        // compactor with the adjusted options and transplant the persistent
+        // fault-list state so inter-PTP dropping is preserved. On failure
+        // the transplant back never happens — the module keeps its
+        // pre-entry state.
+        CompactorOptions adjusted = base_;
+        adjusted.reverse_patterns = entry.reverse_patterns;
+        Compactor tmp(c.module(), entry.target, adjusted);
+        tmp.MutableDetected() = c.detected();
+        rec.result = tmp.CompactPtp(entry.ptp);
+        c.MutableDetected() = tmp.detected();
+      } else {
+        rec.result = c.CompactPtp(entry.ptp);
+      }
+      rec.original_size = rec.result.original.size_instr;
+      rec.original_duration = rec.result.original.duration_cc;
+      rec.final_size = rec.result.result.size_instr;
+      rec.final_duration = rec.result.result.duration_cc;
     }
-    rec.original_size = rec.result.original.size_instr;
-    rec.original_duration = rec.result.original.duration_cc;
-    rec.final_size = rec.result.result.size_instr;
-    rec.final_duration = rec.result.result.duration_cc;
+  } catch (const StageError& e) {
+    MarkDegraded(rec, entry, e.stage(), e.error_class(), e.what());
+  } catch (const Error& e) {
+    MarkDegraded(rec, entry, "process", ClassifyError(e), e.what());
+  } catch (const std::exception& e) {
+    MarkDegraded(rec, entry, "process", ErrorClass::kInternal, e.what());
   }
 
   records_.push_back(std::move(rec));
@@ -102,6 +136,7 @@ CampaignSummary StlCampaign::Summary() const {
     s.final_size += rec.final_size;
     s.final_duration += rec.final_duration;
     if (rec.compacted) s.compaction_seconds += rec.result.compaction_seconds;
+    if (rec.degraded) ++s.degraded_records;
   }
   for (const auto& [target, c] : compactors_) {
     (void)target;

@@ -36,6 +36,17 @@ struct CampaignRecord {
   std::uint64_t original_duration = 0;
   std::size_t final_size = 0;
   std::uint64_t final_duration = 0;
+
+  /// Degraded mode: the entry failed mid-pipeline (deadline blown, I/O
+  /// gone, chaos injection, ...). The record carries the failure taxonomy
+  /// instead of a result, the original PTP is carried through unchanged
+  /// (size' = size, a compaction campaign must never lose test content),
+  /// and the per-module fault list keeps its pre-entry state — a degraded
+  /// module can never contribute silently wrong coverage.
+  bool degraded = false;
+  std::string error_stage;  // canonical stage name (run_guard.h)
+  ErrorClass error_class = ErrorClass::kInternal;
+  std::string error_message;
 };
 
 /// Whole-STL totals.
@@ -45,6 +56,12 @@ struct CampaignSummary {
   std::size_t final_size = 0;
   std::uint64_t final_duration = 0;
   double compaction_seconds = 0.0;
+
+  /// Entries that failed and were carried through unchanged (degraded
+  /// mode). Non-zero = the campaign completed degraded: sizes/durations
+  /// above still cover every entry, but the degraded ones contributed no
+  /// compaction and no coverage.
+  std::size_t degraded_records = 0;
 
   /// Fault-list sizes summed over the campaign's modules: every fault the
   /// reports cover vs the equivalence-class representatives the simulator
@@ -78,6 +95,12 @@ class StlCampaign {
   /// order. The returned reference stays valid for the campaign's lifetime:
   /// records are stored in a deque precisely so that later Process calls
   /// never invalidate earlier references (a vector would reallocate).
+  ///
+  /// Failure domain: a failing entry (deadline, I/O, bad input, chaos)
+  /// does NOT throw — it is recorded as degraded (original PTP carried
+  /// through unchanged, no fault-list update) and the campaign continues
+  /// with the next entry. Only construction-level errors (unknown target
+  /// module) still propagate.
   const CampaignRecord& Process(const StlEntry& entry);
 
   /// Appends a record restored from a campaign checkpoint WITHOUT any

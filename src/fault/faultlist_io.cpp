@@ -34,6 +34,11 @@ BitVec ReadFaultList(std::istream& is, const std::string& module,
                       std::string(head[1]) + "', expected '" + module + "'");
   }
   const auto count = ParseInt(head[3]);
+  // Bound before comparing: a corrupt header should produce a clean
+  // format error rather than look like an implausibly large stale file.
+  if (count && (*count < 0 || *count > (std::int64_t{1} << 26))) {
+    throw ReportError("faultlist: fault count out of range");
+  }
   if (!count || static_cast<std::size_t>(*count) != faults.size()) {
     throw ReportError("faultlist: fault count mismatch (stale state file?)");
   }

@@ -83,6 +83,10 @@ void SimulateShard(const Netlist& nl, const PatternSet& patterns,
 
   for (std::size_t base = 0; base < patterns.size(); base += 64) {
     if (live.empty()) break;
+    // Cooperative cancellation: one relaxed poll per pattern block. An
+    // expired token abandons this shard's remaining work; the engine
+    // discards the partial result by throwing after the join.
+    if (options.cancel != nullptr && options.cancel->Expired()) return;
     const GoodBlockCache::Block& block = good_blocks.Get(base / 64);
     if (block.count == 0) break;
     const std::uint64_t valid =
@@ -275,6 +279,7 @@ void SimulateFfrShard(const Netlist& nl, const PatternSet& patterns,
 
   for (std::size_t base = 0; base < patterns.size(); base += 64) {
     if (work.empty()) break;
+    if (options.cancel != nullptr && options.cancel->Expired()) return;
     const GoodBlockCache::Block& block = good_blocks.Get(base / 64);
     if (block.count == 0) break;
     const std::uint64_t valid =
@@ -492,6 +497,7 @@ FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
     if (threads <= 1) {
       SimulateFfrShard(nl, patterns, faults, plan, groups, live, good_blocks,
                        options, result);
+      AbortIfCancelled(options);
       return result;
     }
 
@@ -503,6 +509,7 @@ FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
       SimulateFfrShard(nl, patterns, faults, plan, groups, shards[t],
                        good_blocks, options, partial[t]);
     });
+    AbortIfCancelled(options);
     MergeShardResults(partial, result);
     return result;
   }
@@ -515,6 +522,7 @@ FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
   if (threads <= 1) {
     SimulateShard(nl, patterns, faults, plan, std::move(live), good_blocks,
                   options, result);
+    AbortIfCancelled(options);
     return result;
   }
 
@@ -525,6 +533,7 @@ FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
     SimulateShard(nl, patterns, faults, plan, std::move(shards[t]),
                   good_blocks, options, partial[t]);
   });
+  AbortIfCancelled(options);
   MergeShardResults(partial, result);
   return result;
 }

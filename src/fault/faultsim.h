@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/bitops.h"
+#include "common/status.h"
 #include "fault/fault.h"
 #include "netlist/logicsim.h"
 #include "netlist/patterns.h"
@@ -67,6 +68,13 @@ struct FaultSimOptions {
   /// cached across PTP runs by the campaign driver). Ignored when
   /// `collapse` is false; when null the plan is built per run.
   const FaultCollapse* collapse_plan = nullptr;
+
+  /// Cooperative cancellation / deadline token (not owned). Workers poll
+  /// it once per 64-pattern block; when it expires they return early and
+  /// the engine throws DeadlineError AFTER all shards join — a partial
+  /// result is discarded wholesale, never returned, so an aborted run can
+  /// never produce silently wrong coverage numbers. Null = never aborts.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Per-run result: the paper's Fault Sim Report.

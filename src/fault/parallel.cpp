@@ -1,8 +1,10 @@
 #include "fault/parallel.h"
 
 #include <exception>
+#include <string>
 #include <thread>
 
+#include "common/chaos.h"
 #include "common/error.h"
 
 namespace gpustl::fault {
@@ -47,9 +49,24 @@ std::vector<std::vector<std::uint32_t>> StrideShards(
 }
 
 void RunOnShards(int shards, const std::function<void(int)>& kernel) {
+  // Chaos worker-throw decisions are drawn HERE, on the calling thread,
+  // one per shard, before any worker spawns: drawing inside the workers
+  // would make the injection schedule depend on thread interleaving and
+  // break same-seed reproducibility.
+  std::vector<char> inject(shards, 0);
+  if (chaos::Armed()) {
+    for (int t = 0; t < shards; ++t) {
+      inject[t] = chaos::Fail(chaos::Site::kWorkerThrow) ? 1 : 0;
+    }
+  }
+
   std::vector<std::exception_ptr> errors(shards);
   auto guarded = [&](int t) {
     try {
+      if (inject[t] != 0) {
+        throw Error("chaos: injected worker failure in shard " +
+                    std::to_string(t));
+      }
       kernel(t);
     } catch (...) {
       errors[t] = std::current_exception();
@@ -62,9 +79,30 @@ void RunOnShards(int shards, const std::function<void(int)>& kernel) {
   guarded(0);
   for (std::thread& w : workers) w.join();
 
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
+  // Aggregate after the join: one failed shard rethrows its original
+  // exception (the type carries the error classification); several are
+  // folded into one Error naming every failed shard — previously only the
+  // first was reported and the rest vanished.
+  std::vector<int> failed;
+  for (int t = 0; t < shards; ++t) {
+    if (errors[t]) failed.push_back(t);
   }
+  if (failed.empty()) return;
+  if (failed.size() == 1) std::rethrow_exception(errors[failed[0]]);
+
+  std::string msg = "parallel: " + std::to_string(failed.size()) + " of " +
+                    std::to_string(shards) + " shards failed:";
+  for (const int t : failed) {
+    msg += "\n  shard " + std::to_string(t) + ": ";
+    try {
+      std::rethrow_exception(errors[t]);
+    } catch (const std::exception& e) {
+      msg += e.what();
+    } catch (...) {
+      msg += "unknown exception";
+    }
+  }
+  throw Error(msg);
 }
 
 FaultSimResult InitFaultSimResult(std::size_t num_faults,

@@ -80,9 +80,27 @@ std::vector<std::vector<std::uint32_t>> StrideShards(
     const std::vector<std::uint32_t>& live, int shards);
 
 /// Runs `kernel(shard_index)` once per shard on `shards` worker threads
-/// (shard 0 runs on the calling thread). The first worker exception, by
-/// shard index, is rethrown on the calling thread after all workers join.
+/// (shard 0 runs on the calling thread). After all workers join, a single
+/// failed shard rethrows its original exception (type intact, so the
+/// campaign's error classification still sees it); multiple failures are
+/// aggregated into one Error listing every failed shard index and message
+/// — no shard's failure is ever silently dropped. The chaos site
+/// `worker-throw` (common/chaos.h) is pre-drawn per shard on the calling
+/// thread before workers spawn, keeping the injection schedule independent
+/// of thread interleaving.
 void RunOnShards(int shards, const std::function<void(int)>& kernel);
+
+/// Throws DeadlineError when `options.cancel` is armed and expired. The
+/// engines call this after their workers join (and after the serial loop):
+/// workers return early with partial shards on expiry, and this turns the
+/// partial state into a clean abort instead of a wrong report.
+inline void AbortIfCancelled(const FaultSimOptions& options) {
+  if (options.cancel != nullptr && options.cancel->Expired()) {
+    throw DeadlineError(options.cancel->cancel_requested()
+                            ? "fault sim cancelled"
+                            : "fault sim aborted: stage deadline exceeded");
+  }
+}
 
 /// An empty report with first_detect / per-pattern histograms / mask sized
 /// for `num_faults` x `num_patterns`.

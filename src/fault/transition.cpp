@@ -52,6 +52,8 @@ void SimulateShard(const Netlist& nl, const PatternSet& patterns,
 
   for (std::size_t base = 0; base < patterns.size(); base += 64) {
     if (live.empty()) break;
+    // Cooperative cancellation, same contract as the stuck-at shards.
+    if (options.cancel != nullptr && options.cancel->Expired()) return;
     const GoodBlockCache::Block& block = good_blocks.Get(base / 64);
     if (block.count == 0) break;
     const int count = block.count;
@@ -199,6 +201,7 @@ FaultSimResult RunTransitionFaultSim(const Netlist& nl,
   if (threads <= 1) {
     SimulateShard(nl, patterns, faults, std::move(live), good_blocks, options,
                   result);
+    AbortIfCancelled(options);
     return result;
   }
 
@@ -209,6 +212,7 @@ FaultSimResult RunTransitionFaultSim(const Netlist& nl,
     SimulateShard(nl, patterns, faults, std::move(shards[t]), good_blocks,
                   options, partial[t]);
   });
+  AbortIfCancelled(options);
   MergeShardResults(partial, result);
   return result;
 }

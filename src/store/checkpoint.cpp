@@ -7,13 +7,26 @@
 #include <sstream>
 #include <system_error>
 
+#include <atomic>
+
+#include "common/chaos.h"
 #include "common/error.h"
+#include "common/status.h"
 #include "common/strutil.h"
+#include "store/io_retry.h"
 
 namespace gpustl::store {
 namespace fs = std::filesystem;
 
 namespace {
+
+/// Sane ceiling on the checkpointed record count: well beyond any real
+/// STL, small enough that a corrupt header can never trigger a huge
+/// reserve before the per-line validation notices the damage.
+constexpr std::uint64_t kMaxCheckpointEntries = 1u << 20;
+
+std::atomic<std::uint64_t> g_ckpt_retries{0};
+std::atomic<std::uint64_t> g_ckpt_failures{0};
 
 std::string HexU64(std::uint64_t v) {
   char buf[17];
@@ -61,22 +74,48 @@ std::string CheckpointPath(const std::string& dir) {
 
 void AtomicWriteFile(const std::string& path, std::string_view content) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw Error("store: cannot write " + tmp);
-    out.write(content.data(), static_cast<std::streamsize>(content.size()));
-    if (!out) {
-      std::error_code ec;
-      fs::remove(tmp, ec);
-      throw Error("store: short write to " + tmp);
+  std::string why;
+  const auto attempt = [&]() -> bool {
+    if (chaos::Fail(chaos::Site::kCheckpointWriteFail)) {
+      why = "chaos: injected checkpoint write failure";
+      return false;
     }
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        why = "cannot write " + tmp;
+        return false;
+      }
+      out.write(content.data(), static_cast<std::streamsize>(content.size()));
+      if (!out) {
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        why = "short write to " + tmp;
+        return false;
+      }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+      fs::remove(tmp, ec);
+      why = "cannot replace " + path + ": " + ec.message();
+      return false;
+    }
+    return true;
+  };
+  std::uint64_t retries = 0;
+  const bool ok = RetryIo(RetryPolicy{}, attempt, &retries);
+  g_ckpt_retries.fetch_add(retries, std::memory_order_relaxed);
+  if (!ok) {
+    g_ckpt_failures.fetch_add(1, std::memory_order_relaxed);
+    throw IoError("store: " + why);
   }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    throw Error("store: cannot replace " + path + ": " + ec.message());
-  }
+}
+
+CheckpointIoCounters GetCheckpointIoCounters() {
+  return CheckpointIoCounters{
+      g_ckpt_retries.load(std::memory_order_relaxed),
+      g_ckpt_failures.load(std::memory_order_relaxed)};
 }
 
 void WriteCheckpoint(const std::string& dir, const CampaignCheckpoint& ckpt) {
@@ -87,18 +126,28 @@ void WriteCheckpoint(const std::string& dir, const CampaignCheckpoint& ckpt) {
                 "': " + ec.message());
   }
   std::ostringstream out;
-  out << "$campaign v1 entries " << ckpt.entries.size() << "\n";
+  out << "$campaign v2 entries " << ckpt.entries.size() << "\n";
   for (const CheckpointEntry& e : ckpt.entries) {
     out << e.entry_fp.ToHex() << " " << e.target << " "
         << (e.compacted ? 1 : 0) << " " << e.original_size << " "
         << e.original_duration << " " << e.final_size << " "
         << e.final_duration << " "
         << HexU64(std::bit_cast<std::uint64_t>(e.compaction_seconds)) << " "
-        << HexU64(std::bit_cast<std::uint64_t>(e.diff_fc)) << " " << e.name
+        << HexU64(std::bit_cast<std::uint64_t>(e.diff_fc)) << " "
+        << (e.degraded ? 1 : 0) << " "
+        << (e.error_class.empty() ? "-" : e.error_class) << " "
+        << (e.error_stage.empty() ? "-" : e.error_stage) << " " << e.name
         << "\n";
   }
   out << "$end\n";
-  AtomicWriteFile(CheckpointPath(dir), out.str());
+  std::string content = out.str();
+  // Chaos: a crash mid-replace. The atomic temp+rename makes a real torn
+  // file impossible, so the injected damage is a truncated (but renamed)
+  // checkpoint — ReadCheckpoint must classify it as damaged, never crash.
+  if (chaos::Fail(chaos::Site::kCheckpointTruncate)) {
+    content.resize(content.size() / 2);
+  }
+  AtomicWriteFile(CheckpointPath(dir), content);
 }
 
 std::optional<CampaignCheckpoint> ReadCheckpoint(const std::string& dir) {
@@ -116,12 +165,15 @@ std::optional<CampaignCheckpoint> ReadCheckpoint(const std::string& dir) {
   std::string line;
   if (!std::getline(in, line)) return damaged("empty file");
   const auto head = SplitWs(line);
-  if (head.size() != 4 || head[0] != "$campaign" || head[1] != "v1" ||
+  if (head.size() != 4 || head[0] != "$campaign" || head[1] != "v2" ||
       head[2] != "entries") {
     return damaged("bad header");
   }
   const auto count = ParseU64(head[3]);
   if (!count) return damaged("bad entry count");
+  if (*count > kMaxCheckpointEntries) {
+    return damaged("entry count exceeds sane limit");
+  }
 
   CampaignCheckpoint ckpt;
   ckpt.entries.reserve(*count);
@@ -129,8 +181,8 @@ std::optional<CampaignCheckpoint> ReadCheckpoint(const std::string& dir) {
     if (!std::getline(in, line)) return damaged("truncated");
     const std::string_view trimmed = Trim(line);
     const auto toks = SplitWs(trimmed);
-    // The name is the line's tail and may be empty; 9 leading fields.
-    if (toks.size() < 9) return damaged("short record line");
+    // The name is the line's tail and may be empty; 12 leading fields.
+    if (toks.size() < 12) return damaged("short record line");
     CheckpointEntry e;
     if (!Hash128::FromHex(toks[0], &e.entry_fp)) return damaged("bad fp");
     e.target = std::string(toks[1]);
@@ -141,8 +193,9 @@ std::optional<CampaignCheckpoint> ReadCheckpoint(const std::string& dir) {
     const auto fdur = ParseU64(toks[6]);
     const auto secbits = ParseHexU64(toks[7]);
     const auto fcbits = ParseHexU64(toks[8]);
+    const auto degraded = ParseU64(toks[9]);
     if (!compacted || *compacted > 1 || !osize || !odur || !fsize || !fdur ||
-        !secbits || !fcbits) {
+        !secbits || !fcbits || !degraded || *degraded > 1) {
       return damaged("bad record field");
     }
     e.compacted = *compacted == 1;
@@ -152,8 +205,17 @@ std::optional<CampaignCheckpoint> ReadCheckpoint(const std::string& dir) {
     e.final_duration = *fdur;
     e.compaction_seconds = std::bit_cast<double>(*secbits);
     e.diff_fc = std::bit_cast<double>(*fcbits);
-    if (toks.size() > 9) {
-      e.name = std::string(trimmed.substr(toks[9].data() - trimmed.data()));
+    e.degraded = *degraded == 1;
+    if (toks[10] != "-") {
+      if (!ErrorClassFromName(toks[10])) return damaged("bad error class");
+      e.error_class = std::string(toks[10]);
+    }
+    if (toks[11] != "-") e.error_stage = std::string(toks[11]);
+    if (e.degraded == e.error_class.empty()) {
+      return damaged("degradation fields inconsistent");
+    }
+    if (toks.size() > 12) {
+      e.name = std::string(trimmed.substr(toks[12].data() - trimmed.data()));
     }
     ckpt.entries.push_back(std::move(e));
   }

@@ -20,15 +20,25 @@
 //   <dir>/state.SP.flist      ...
 //
 // campaign.ckpt, line-oriented text:
-//   $campaign v1 entries <N>
+//   $campaign v2 entries <N>
 //   <fp> <target> <c> <osize> <odur> <fsize> <fdur> <secbits> <fcbits>
-//     <name>                                    (one line per record)
+//     <deg> <class> <stage> <name>              (one line per record)
 //   $end
 // where <fp> is the 32-hex-char manifest-entry fingerprint, <c> is 0/1
 // (carried/compacted) and <secbits>/<fcbits> are the IEEE-754 bit
 // patterns of the record's compaction seconds and diff-FC in hex —
 // doubles round-trip bit-exactly, which is what makes a resumed
-// campaign's report byte-identical to the uninterrupted one.
+// campaign's report byte-identical to the uninterrupted one. <deg> is 0/1
+// (degraded record) and <class>/<stage> are the error-class token
+// (common/status.h) and failed stage name, '-' for healthy records —
+// degraded runs stay resumable, and a resumed degraded record renders
+// exactly as the interrupted run reported it. v1 files (no degradation
+// fields) are treated as damaged and ignored: a fresh start, never a
+// misread.
+//
+// All checkpoint/state writes go through AtomicWriteFile, which retries
+// transient failures with capped backoff (store/io_retry.h) before
+// throwing gpustl::IoError.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +63,9 @@ struct CheckpointEntry {
   std::uint64_t final_duration = 0;
   double compaction_seconds = 0.0;
   double diff_fc = 0.0;  // FC difference of a compacted record, % points
+  bool degraded = false;
+  std::string error_class;  // ErrorClassName token, empty when healthy
+  std::string error_stage;  // failed stage name, empty when healthy
 
   bool operator==(const CheckpointEntry&) const = default;
 };
@@ -82,7 +95,17 @@ void WriteCheckpoint(const std::string& dir, const CampaignCheckpoint& ckpt);
 std::optional<CampaignCheckpoint> ReadCheckpoint(const std::string& dir);
 
 /// Atomic file replacement used for checkpoint state (temp file + rename).
-/// Throws gpustl::Error on I/O failure.
+/// Transient failures retry with capped backoff; throws gpustl::IoError
+/// once the policy is exhausted.
 void AtomicWriteFile(const std::string& path, std::string_view content);
+
+/// Process-wide checkpoint I/O counters (observability for tests and the
+/// degraded-run report): write attempts that were retried, and writes
+/// abandoned after the whole retry budget.
+struct CheckpointIoCounters {
+  std::uint64_t retries = 0;
+  std::uint64_t failures = 0;
+};
+CheckpointIoCounters GetCheckpointIoCounters();
 
 }  // namespace gpustl::store

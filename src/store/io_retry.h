@@ -1,0 +1,45 @@
+// Retry-with-capped-backoff for store and checkpoint filesystem I/O.
+//
+// Cache and checkpoint writes fail for transient reasons (ENOSPC races,
+// overlay filesystems, antivirus scans holding the temp file) far more
+// often than for permanent ones; before this policy each failure was a
+// one-shot "caching skipped" or a fatal Error. Every store/checkpoint
+// write now retries a bounded number of times with a short capped
+// exponential backoff, and the retries/failures are counted so campaigns
+// report flaky storage instead of hiding it.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace gpustl::store {
+
+struct RetryPolicy {
+  int max_attempts = 3;
+  double initial_backoff_ms = 0.5;
+  double backoff_multiplier = 4.0;
+  double max_backoff_ms = 8.0;
+};
+
+/// Runs `attempt` (true = success) up to policy.max_attempts times,
+/// sleeping the capped exponential backoff between failures. Returns
+/// whether any attempt succeeded; `retries`, when non-null, accumulates
+/// the number of re-attempts actually made.
+template <typename Fn>
+bool RetryIo(const RetryPolicy& policy, Fn&& attempt,
+             std::uint64_t* retries = nullptr) {
+  double backoff_ms = policy.initial_backoff_ms;
+  for (int a = 1;; ++a) {
+    if (attempt()) return true;
+    if (a >= policy.max_attempts) return false;
+    if (retries != nullptr) ++*retries;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+    backoff_ms = std::min(backoff_ms * policy.backoff_multiplier,
+                          policy.max_backoff_ms);
+  }
+}
+
+}  // namespace gpustl::store

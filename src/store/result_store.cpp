@@ -7,8 +7,11 @@
 #include <system_error>
 #include <vector>
 
+#include "common/chaos.h"
 #include "common/error.h"
+#include "common/status.h"
 #include "fault/transition.h"
+#include "store/io_retry.h"
 
 namespace gpustl::store {
 namespace fs = std::filesystem;
@@ -89,8 +92,8 @@ ResultStore::ResultStore(std::string dir, std::uint64_t max_bytes)
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec) {
-    throw Error("store: cannot create cache directory '" + dir_ +
-                "': " + ec.message());
+    throw IoError("store: cannot create cache directory '" + dir_ +
+                  "': " + ec.message());
   }
 }
 
@@ -158,6 +161,17 @@ std::optional<fault::FaultSimResult> ResultStore::Load(const StoreKey& key) {
                    std::istreambuf_iterator<char>());
   in.close();
 
+  // Chaos: damage the in-memory read buffer. The validation chain below
+  // must classify any damage as a bad entry and fall back to recompute.
+  if (chaos::Armed() && !data.empty()) {
+    if (chaos::Fail(chaos::Site::kStoreReadShort)) {
+      data.resize(data.size() / 2);
+    }
+    if (!data.empty() && chaos::Fail(chaos::Site::kStoreReadCorrupt)) {
+      data[data.size() / 2] = static_cast<char>(data[data.size() / 2] ^ 0x40);
+    }
+  }
+
   const char* why = nullptr;
   fault::FaultSimResult result;
   Reader r(data);
@@ -221,27 +235,31 @@ void ResultStore::Store(const StoreKey& key,
 
   const std::string path = EntryPath(key);
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      std::fprintf(stderr, "gpustl-store: cannot write %s (caching skipped)\n",
-                   tmp.c_str());
-      return;
+  const auto attempt = [&]() -> bool {
+    if (chaos::Fail(chaos::Site::kStoreWriteFail)) return false;
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) return false;
+      out.write(data.data(), static_cast<std::streamsize>(data.size()));
+      if (!out) {
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        return false;
+      }
     }
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
-    if (!out) {
-      std::error_code ec;
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
       fs::remove(tmp, ec);
-      std::fprintf(stderr, "gpustl-store: short write to %s (caching "
-                           "skipped)\n", tmp.c_str());
-      return;
+      return false;
     }
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    std::fprintf(stderr, "gpustl-store: cannot publish %s (caching skipped)\n",
+    return true;
+  };
+  if (!RetryIo(RetryPolicy{}, attempt, &stats_.io_retries)) {
+    ++stats_.write_failures;
+    std::fprintf(stderr,
+                 "gpustl-store: cannot write %s after retries "
+                 "(caching skipped)\n",
                  path.c_str());
     return;
   }

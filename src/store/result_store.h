@@ -47,6 +47,8 @@ struct StoreStats {
   std::uint64_t evictions = 0;    // entries removed by the size budget
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
+  std::uint64_t io_retries = 0;      // write attempts that were re-tried
+  std::uint64_t write_failures = 0;  // writes abandoned after all retries
 
   double hit_rate_percent() const {
     const std::uint64_t total = hits + misses;
@@ -71,6 +73,9 @@ class ResultStore {
   std::optional<fault::FaultSimResult> Load(const StoreKey& key);
 
   /// Serializes and atomically writes an entry, then applies the size cap.
+  /// Write failures are retried with capped backoff (store/io_retry.h);
+  /// a write that still fails is counted and skipped — caching is an
+  /// optimization, never a correctness dependency.
   void Store(const StoreKey& key, const fault::FaultSimResult& result);
 
   /// Removes an entry that decoded but failed a caller-side sanity check

@@ -51,6 +51,12 @@ TracingReport TracingReport::Read(std::istream& is) {
   }
   const auto count = ParseInt(head[2]);
   if (!count || *count < 0) throw ReportError("trace: bad entry count");
+  // Bound the declared count before trusting it: a corrupt header must
+  // fail with a clean error, not a multi-gigabyte allocation followed by
+  // a truncation error. 1<<26 entries is far beyond any real PTP trace.
+  if (*count > (std::int64_t{1} << 26)) {
+    throw ReportError("trace: entry count exceeds sane limit");
+  }
 
   TracingReport report;
   for (std::int64_t i = 0; i < *count; ++i) {

@@ -13,6 +13,7 @@
 #include "circuits/decoder_unit.h"
 #include "circuits/sfu.h"
 #include "circuits/sp_core.h"
+#include "common/chaos.h"
 #include "compact/compactor.h"
 #include "compact/report.h"
 #include "compact/stl_campaign.h"
@@ -543,6 +544,66 @@ TEST(CampaignResumeTest, InterruptedThenResumedMatchesUninterrupted) {
               full.records()[i].final_duration);
   }
   // The deterministic campaign report is byte-identical.
+  EXPECT_EQ(compact::RenderCampaignReport(resumed.records(), resumed.Summary()),
+            compact::RenderCampaignReport(full.records(), full.Summary()));
+}
+
+TEST(CampaignResumeTest, MidModuleKillAndResumeIsBitIdentical) {
+  // Satellite of the hardened-runtime PR: a campaign killed MID-MODULE —
+  // after a PTP's fault simulation was cached but before its labeling
+  // finished — resumes to a report byte-identical to an uninterrupted run,
+  // and the mid-module fault sim is served from the store, not recomputed.
+  const netlist::Netlist du = circuits::BuildDecoderUnit();
+  const netlist::Netlist sp = circuits::BuildSpCore();
+  const netlist::Netlist sfu = circuits::BuildSfu();
+  const auto stl = SmallStl();
+
+  // Uninterrupted reference (no cache).
+  auto full = MakeCampaign(du, sp, sfu, nullptr);
+  for (const auto& entry : stl) full.Process(entry);
+
+  // "Killed" run: entry 0 completes; entry 1 dies at its label stage via
+  // chaos — AFTER its stage-3 fault simulation went into the store. The
+  // degraded record is discarded (the kill happened before checkpointing),
+  // only entry 0's record and fault-list state survive.
+  ResultStore store(ScratchDir("mid_module_kill"));
+  auto killed = MakeCampaign(du, sp, sfu, &store);
+  const compact::CampaignRecord rec0 = killed.Process(stl[0]);
+  const BitVec du_state =
+      killed.compactor(trace::TargetModule::kDecoderUnit).detected();
+  {
+    chaos::ScopedChaos scoped("deadline@label#1", 1);
+    const compact::CampaignRecord& rec1 = killed.Process(stl[1]);
+    ASSERT_TRUE(rec1.degraded);
+    EXPECT_EQ(rec1.error_stage, "label");
+  }
+  const std::uint64_t stores_before_resume = store.stats().stores;
+  const std::uint64_t hits_before_resume = store.stats().hits;
+  ASSERT_GT(stores_before_resume, 0u);
+
+  // Resumed run: restore entry 0 + fault-list state, reprocess 1 and 2
+  // chaos-free against the same store.
+  auto resumed = MakeCampaign(du, sp, sfu, &store);
+  compact::CampaignRecord restored;
+  restored.name = rec0.name;
+  restored.target = rec0.target;
+  restored.compacted = rec0.compacted;
+  restored.original_size = rec0.original_size;
+  restored.original_duration = rec0.original_duration;
+  restored.final_size = rec0.final_size;
+  restored.final_duration = rec0.final_duration;
+  restored.result.compaction_seconds = rec0.result.compaction_seconds;
+  restored.result.diff_fc = rec0.result.diff_fc;
+  resumed.AppendRestoredRecord(restored);
+  resumed.compactor(trace::TargetModule::kDecoderUnit).MutableDetected() =
+      du_state;
+  for (std::size_t i = 1; i < stl.size(); ++i) resumed.Process(stl[i]);
+
+  // Entry 1's fault simulation (computed before the kill) is reused.
+  EXPECT_GT(store.stats().hits, hits_before_resume);
+  // The degraded attempt left no trace in the outcome: report byte-equal
+  // to the uninterrupted run.
+  ExpectSameSummary(full.Summary(), resumed.Summary());
   EXPECT_EQ(compact::RenderCampaignReport(resumed.records(), resumed.Summary()),
             compact::RenderCampaignReport(full.records(), full.Summary()));
 }

@@ -29,7 +29,9 @@
 #include "circuits/fp32.h"
 #include "circuits/sfu.h"
 #include "circuits/sp_core.h"
+#include "common/chaos.h"
 #include "common/error.h"
+#include "common/status.h"
 #include "common/strutil.h"
 #include "compact/compactor.h"
 #include "compact/report.h"
@@ -98,7 +100,19 @@ int Usage() {
       "re-runs and one-PTP edits only resimulate what changed. --no-cache\n"
       "overrides; --cache-limit-mb N evicts oldest entries over N MiB.\n"
       "Cached results are bit-identical to live runs; corrupt entries are\n"
-      "detected and recomputed.\n");
+      "detected and recomputed.\n"
+      "\n"
+      "robustness: --deadline S caps every pipeline stage at S wall-clock\n"
+      "seconds; a blown budget degrades that PTP (carried uncompacted, no\n"
+      "fault-list update) and the campaign continues. --chaos <spec> (or\n"
+      "GPUSTL_CHAOS) arms deterministic failure injection — spec is\n"
+      "comma-separated rules 'site[@qualifier](=prob|#nth)', sites:\n"
+      "store-read-short, store-read-corrupt, store-write, ckpt-write,\n"
+      "ckpt-truncate, worker-throw, deadline — with --chaos-seed N (or\n"
+      "GPUSTL_CHAOS_SEED, default 1) selecting the schedule.\n"
+      "\n"
+      "exit codes: 0 success, 1 fatal error, 2 usage, 3 campaign finished\n"
+      "DEGRADED (at least one entry failed and was carried uncompacted).\n");
   return 2;
 }
 
@@ -168,6 +182,9 @@ struct Args {
   std::string state;
   std::string cache_dir;
   std::string resume;
+  std::string chaos;
+  std::uint64_t chaos_seed = 1;
+  double deadline = 0.0;  // per-stage wall-clock budget; 0 = unlimited
   std::uint64_t cache_limit_mb = 0;
   int sp_cores = 8;
   int threads = 1;
@@ -204,6 +221,17 @@ struct Args {
       else if (arg == "--cache-dir") cache_dir = next();
       else if (arg == "--no-cache") no_cache = true;
       else if (arg == "--resume") resume = next();
+      else if (arg == "--chaos") chaos = next();
+      else if (arg == "--chaos-seed") {
+        const auto v = ParseInt(next());
+        if (!v || *v < 0) Die("--chaos-seed must be >= 0");
+        chaos_seed = static_cast<std::uint64_t>(*v);
+      }
+      else if (arg == "--deadline") {
+        const auto v = ParseFloat(next());
+        if (!v || *v < 0) Die("--deadline must be >= 0 seconds");
+        deadline = *v;
+      }
       else if (arg == "--cache-limit-mb") {
         const auto v = ParseInt(next());
         if (!v || *v < 0) Die("--cache-limit-mb must be >= 0");
@@ -361,11 +389,15 @@ int CmdFaultsim(const Args& args) {
   const auto faults = fault::CollapsedFaultList(nl);
   const auto patterns =
       args.reverse ? probe.patterns().Reversed() : probe.patterns();
-  const fault::FaultSimOptions sim_options{.drop_detected = !args.no_drop,
-                                           .num_threads = args.threads,
-                                           .collapse = !args.no_collapse,
-                                           .cone_limit = !args.no_cone,
-                                           .ffr_trace = !args.no_ffr};
+  CancelToken deadline_token;
+  if (args.deadline > 0) deadline_token.ArmDeadline(args.deadline);
+  const fault::FaultSimOptions sim_options{
+      .drop_detected = !args.no_drop,
+      .num_threads = args.threads,
+      .collapse = !args.no_collapse,
+      .cone_limit = !args.no_cone,
+      .ffr_trace = !args.no_ffr,
+      .cancel = args.deadline > 0 ? &deadline_token : nullptr};
   std::optional<store::ResultStore> cache = MakeStore(args);
   const store::SimModel model = args.fault_model == "transition"
                                     ? store::SimModel::kTransition
@@ -405,6 +437,7 @@ int CmdCompact(const Args& args) {
   options.collapse_faults = !args.no_collapse;
   options.cone_limit = !args.no_cone;
   options.ffr_trace = !args.no_ffr;
+  options.stage_deadline_seconds = args.deadline;
   if (args.fault_model == "transition") {
     options.fault_model = compact::FaultModel::kTransition;
   } else if (args.fault_model != "stuck-at") {
@@ -466,6 +499,7 @@ int CmdCampaign(const Args& args) {
   base.collapse_faults = !args.no_collapse;
   base.cone_limit = !args.no_cone;
   base.ffr_trace = !args.no_ffr;
+  base.stage_deadline_seconds = args.deadline;
   std::optional<store::ResultStore> cache = MakeStore(args);
   base.result_store = cache ? &*cache : nullptr;
   compact::StlCampaign campaign(du, sp, sfu, base, &fp32);
@@ -580,6 +614,15 @@ int CmdCampaign(const Args& args) {
           rec.final_duration = e.final_duration;
           rec.result.compaction_seconds = e.compaction_seconds;
           rec.result.diff_fc = e.diff_fc;
+          rec.degraded = e.degraded;
+          if (e.degraded) {
+            // Tokens were validated by ReadCheckpoint; a degraded record
+            // resumes as degraded — the resumed report must render exactly
+            // what the interrupted run reported, not silently retry.
+            rec.error_stage = e.error_stage;
+            rec.error_class =
+                ErrorClassFromName(e.error_class).value_or(ErrorClass::kInternal);
+          }
           campaign.AppendRestoredRecord(std::move(rec));
         }
         for (auto& [m, detected] : flists) {
@@ -616,19 +659,28 @@ int CmdCampaign(const Args& args) {
   if (restored == 0 && !args.resume.empty()) write_checkpoint();
 
   for (std::size_t i = 0; i < plan.size(); ++i) {
+    const auto mode = [](const compact::CampaignRecord& r) {
+      return r.degraded ? "DEGRADED" : r.compacted ? "compacted" : "carried";
+    };
     if (i < restored) {
       const auto& rec = campaign.records()[i];
       std::printf("  %-12s [%s] %s: %zu -> %zu instr (checkpointed)\n",
                   rec.name.c_str(), trace::TargetModuleName(rec.target).data(),
-                  rec.compacted ? "compacted" : "carried", rec.original_size,
-                  rec.final_size);
+                  mode(rec), rec.original_size, rec.final_size);
       continue;
     }
     const auto& rec = campaign.Process(plan[i].entry);
     std::printf("  %-12s [%s] %s: %zu -> %zu instr\n", rec.name.c_str(),
-                trace::TargetModuleName(rec.target).data(),
-                rec.compacted ? "compacted" : "carried", rec.original_size,
-                rec.final_size);
+                trace::TargetModuleName(rec.target).data(), mode(rec),
+                rec.original_size, rec.final_size);
+    if (rec.degraded) {
+      std::fprintf(stderr,
+                   "gpustlc: %s degraded at stage %s [%s]: %s\n",
+                   rec.name.empty() ? "<anon>" : rec.name.c_str(),
+                   rec.error_stage.c_str(),
+                   std::string(ErrorClassName(rec.error_class)).c_str(),
+                   rec.error_message.c_str());
+    }
     store::CheckpointEntry e;
     e.entry_fp = plan[i].fp;
     e.name = rec.name;
@@ -640,6 +692,11 @@ int CmdCampaign(const Args& args) {
     e.final_duration = rec.final_duration;
     e.compaction_seconds = rec.compacted ? rec.result.compaction_seconds : 0.0;
     e.diff_fc = rec.compacted ? rec.result.diff_fc : 0.0;
+    e.degraded = rec.degraded;
+    if (rec.degraded) {
+      e.error_class = std::string(ErrorClassName(rec.error_class));
+      e.error_stage = rec.error_stage;
+    }
     ckpt.entries.push_back(std::move(e));
     write_checkpoint();
   }
@@ -677,6 +734,12 @@ int CmdCampaign(const Args& args) {
       summary.simulated_classes, summary.total_faults,
       summary.fault_collapse_percent());
   if (summary.cache_enabled) PrintCacheStats(summary.cache);
+  if (summary.degraded_records > 0) {
+    std::printf("campaign DEGRADED: %zu of %zu entries carried uncompacted "
+                "after failures\n",
+                summary.degraded_records, campaign.records().size());
+    return 3;
+  }
   return 0;
 }
 
@@ -685,6 +748,13 @@ int Main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Args args(argc, argv, 2);
+    // Explicit --chaos wins over the environment; neither set = disarmed
+    // (the zero-overhead default).
+    if (!args.chaos.empty()) {
+      chaos::Install(args.chaos, args.chaos_seed);
+    } else {
+      chaos::ConfigureFromEnv();
+    }
     if (cmd == "assemble") return CmdAssemble(args);
     if (cmd == "disasm") return CmdDisasm(args);
     if (cmd == "lint") return CmdLint(args);
