@@ -126,7 +126,8 @@ void AppendBenchJson(const std::string& path, const BenchRecord& record) {
   entry += Format("\"faults_per_sec\": %.1f, ", record.faults_per_sec);
   entry += Format("\"patterns\": %zu, ", record.patterns);
   entry += Format("\"faults\": %zu, ", record.faults);
-  entry += Format("\"threads\": %d", record.threads);
+  entry += Format("\"threads\": %d, ", record.threads);
+  entry += "\"backend\": \"" + record.backend + "\"";
   for (const auto& [key, value] : record.extra) {
     entry += Format(", \"%s\": %.6f", key.c_str(), value);
   }

@@ -66,6 +66,8 @@ struct BenchRecord {
   std::size_t patterns = 0;
   std::size_t faults = 0;
   int threads = 1;
+  /// Resolved engine backend the row was measured on ("scalar", "avx2", ...).
+  std::string backend = "scalar";
   /// Additional numeric fields, appended verbatim (e.g. classes, speedup).
   std::vector<std::pair<std::string, double>> extra;
 };

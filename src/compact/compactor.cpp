@@ -142,6 +142,7 @@ fault::FaultSimResult Compactor::SimulateFaults(
       .collapse = options_.collapse_faults,
       .cone_limit = options_.cone_limit,
       .ffr_trace = options_.ffr_trace,
+      .backend = options_.backend,
       .collapse_plan = options_.collapse_faults ? &collapse_ : nullptr,
       .cancel = ActiveToken()};
   const store::SimModel model = options_.fault_model == FaultModel::kTransition

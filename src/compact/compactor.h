@@ -33,6 +33,7 @@
 
 #include "common/bitops.h"
 #include "common/status.h"
+#include "fault/backend.h"
 #include "fault/collapse.h"
 #include "fault/faultsim.h"
 #include "gpu/sm.h"
@@ -158,6 +159,13 @@ struct CompactorOptions {
   /// either way, so reports are bit-identical and cached results are
   /// shared across the toggle).
   bool ffr_trace = true;
+
+  /// Engine backend for every fault simulation this compactor runs (see
+  /// fault/backend.h): kAuto = runtime CPU dispatch ($GPUSTL_BACKEND
+  /// honoured), or an explicit width. Reports are bit-identical for every
+  /// backend — a pure cost knob like num_threads, excluded from result-store
+  /// keys, so cached results are shared across the toggle.
+  fault::Backend backend = fault::Backend::kAuto;
 
   /// Content-addressed result store consulted before every fault
   /// simulation (and written back after a miss). Null = caching off. Not

@@ -149,6 +149,8 @@ CampaignSummary StlCampaign::Summary() const {
     s.cache_enabled = true;
     s.cache = base_.result_store->stats();
   }
+  s.backend = std::string(
+      fault::BackendName(fault::ResolveBackend(base_.backend)));
   return s;
 }
 

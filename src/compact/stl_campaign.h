@@ -76,6 +76,13 @@ struct CampaignSummary {
   bool cache_enabled = false;
   store::StoreStats cache;
 
+  /// Resolved engine backend name ("scalar", "avx2", ...) of the
+  /// campaign's fault simulations. Observability only, like the cache
+  /// counters: every backend produces the same bytes, so the campaign
+  /// report excludes it — a report must not differ across machines that
+  /// dispatched to different CPU features.
+  std::string backend;
+
   double size_reduction_percent() const;
   double duration_reduction_percent() const;
   double fault_collapse_percent() const;

@@ -1,0 +1,23 @@
+// The AVX2 backend: the 4-lane engine compiled with -mavx2 (see
+// src/fault/CMakeLists.txt — the flag is per-source, so the rest of the
+// library stays portable). Every Wide<4> bundle op lowers to one 256-bit
+// vector instruction. The translation unit is only added to the build when
+// the toolchain accepts the flag; the guard keeps a stray unconditional
+// compile from emitting AVX2 code into a portable binary.
+#if defined(GPUSTL_HAVE_AVX2)
+
+#include "fault/engine_wide.h"
+
+namespace gpustl::fault::internal {
+
+FaultSimResult RunStuckAtAvx2(const StuckAtRun& run) {
+  return RunStuckAtWideT<4>(run);
+}
+
+FaultSimResult RunTransitionAvx2(const TransitionRun& run) {
+  return RunTransitionWideT<4>(run);
+}
+
+}  // namespace gpustl::fault::internal
+
+#endif  // GPUSTL_HAVE_AVX2

@@ -1,0 +1,21 @@
+// The AVX-512 backend: the 8-lane engine (512 patterns per block) compiled
+// with -mavx512f, build-gated exactly like the AVX2 translation unit.
+// Never selected by `auto` — wider blocks pay off only when enough faults
+// survive dropping to fill them, so opting in is an explicit decision.
+#if defined(GPUSTL_HAVE_AVX512)
+
+#include "fault/engine_wide.h"
+
+namespace gpustl::fault::internal {
+
+FaultSimResult RunStuckAtAvx512(const StuckAtRun& run) {
+  return RunStuckAtWideT<8>(run);
+}
+
+FaultSimResult RunTransitionAvx512(const TransitionRun& run) {
+  return RunTransitionWideT<8>(run);
+}
+
+}  // namespace gpustl::fault::internal
+
+#endif  // GPUSTL_HAVE_AVX512

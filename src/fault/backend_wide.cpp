@@ -1,0 +1,17 @@
+// The portable wide backend: the 4-lane engine compiled WITHOUT SIMD
+// codegen flags. Semantically identical to the avx2 backend (same header,
+// same lane count); it exists so the wide engine's lane bookkeeping is
+// exercised on every machine — including CI runners and CPUs without AVX2.
+#include "fault/engine_wide.h"
+
+namespace gpustl::fault::internal {
+
+FaultSimResult RunStuckAtWide(const StuckAtRun& run) {
+  return RunStuckAtWideT<4>(run);
+}
+
+FaultSimResult RunTransitionWide(const TransitionRun& run) {
+  return RunTransitionWideT<4>(run);
+}
+
+}  // namespace gpustl::fault::internal

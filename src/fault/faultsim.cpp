@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "fault/collapse.h"
+#include "fault/engine.h"
 #include "fault/parallel.h"
 #include "fault/scratch.h"
 
@@ -18,18 +19,7 @@ using netlist::NetId;
 using netlist::Netlist;
 using netlist::PatternSet;
 
-namespace {
-
-/// What one run actually simulates: the equivalence classes of the fault
-/// list with skipped faults removed (a fully skipped class disappears).
-/// Without collapsing this degenerates to one singleton class per
-/// non-skipped fault, which is exactly the legacy engine's `live` list.
-struct SimPlan {
-  std::vector<std::uint32_t> offsets;  // num_classes() + 1
-  std::vector<std::uint32_t> members;  // fault indices, grouped by class
-
-  std::size_t num_classes() const { return offsets.size() - 1; }
-};
+namespace internal {
 
 SimPlan BuildSimPlan(const FaultCollapse* collapse, const BitVec* skip,
                      std::size_t num_faults) {
@@ -57,6 +47,12 @@ SimPlan BuildSimPlan(const FaultCollapse* collapse, const BitVec* skip,
   }
   return plan;
 }
+
+}  // namespace internal
+
+namespace {
+
+using internal::SimPlan;
 
 /// The classic PPSFP loop over one shard of `live` class indices
 /// (ascending), accumulating into `result` (pre-sized by
@@ -465,6 +461,10 @@ FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
     GPUSTL_ASSERT(skip->size() == faults.size(), "skip mask size mismatch");
   }
 
+  // Resolve the backend before any heavy setup: an unknown or unsupported
+  // request must fail fast (SimError, input error class).
+  const Backend backend = ResolveBackend(options.backend);
+
   FaultSimResult result = InitFaultSimResult(faults.size(), patterns.size());
 
   FaultCollapse local;
@@ -479,11 +479,40 @@ FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
       collapse = &local;
     }
   }
-  const SimPlan plan = BuildSimPlan(collapse, skip, faults.size());
+  const SimPlan plan = internal::BuildSimPlan(collapse, skip, faults.size());
 
   // Good-machine blocks are simulated once and shared read-only by every
   // shard (and trivially by the serial loop).
   GoodBlockCache good_blocks(nl, patterns);
+
+  if (backend != Backend::kScalar) {
+    // Wide backends own their pattern-block loop; everything prepared so
+    // far (plan, groups, good blocks) is shared with them as-is.
+    const FfrClassGroups groups =
+        options.ffr_trace
+            ? GroupClassesByFfr(nl, faults, plan.offsets, plan.members)
+            : FfrClassGroups{};
+    const internal::StuckAtRun run{
+        nl,          patterns,
+        faults,      plan,
+        options.ffr_trace ? &groups : nullptr,
+        good_blocks, options};
+    switch (backend) {
+      case Backend::kWide:
+        return internal::RunStuckAtWide(run);
+#if defined(GPUSTL_HAVE_AVX2)
+      case Backend::kAvx2:
+        return internal::RunStuckAtAvx2(run);
+#endif
+#if defined(GPUSTL_HAVE_AVX512)
+      case Backend::kAvx512:
+        return internal::RunStuckAtAvx512(run);
+#endif
+      default:
+        throw SimError("backend '" + std::string(BackendName(backend)) +
+                       "' has no stuck-at engine in this binary");
+    }
+  }
 
   if (options.ffr_trace) {
     // FFR-clustered engine: the work (and sharding) unit is a fanout-free

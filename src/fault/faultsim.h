@@ -22,6 +22,7 @@
 
 #include "common/bitops.h"
 #include "common/status.h"
+#include "fault/backend.h"
 #include "fault/fault.h"
 #include "netlist/logicsim.h"
 #include "netlist/patterns.h"
@@ -63,6 +64,15 @@ struct FaultSimOptions {
   /// therefore ignore this toggle. Stuck-at only: the transition engine's
   /// launch condition is per-fault history and keeps its per-fault loop.
   bool ffr_trace = true;
+
+  /// Engine backend: how many patterns one propagation word carries and
+  /// how it is evaluated (see fault/backend.h). kAuto = runtime CPU
+  /// dispatch, honouring $GPUSTL_BACKEND. Every backend's report is
+  /// bit-identical — like num_threads, this is a pure cost knob, excluded
+  /// from result-store fingerprints. An explicitly requested backend the
+  /// binary/CPU cannot honour throws SimError (input error), never falls
+  /// back silently.
+  Backend backend = Backend::kAuto;
 
   /// Optional precomputed collapse plan for this exact fault list (e.g.
   /// cached across PTP runs by the campaign driver). Ignored when

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "fault/engine.h"
 #include "fault/parallel.h"
 #include "fault/scratch.h"
 
@@ -187,6 +188,8 @@ FaultSimResult RunTransitionFaultSim(const Netlist& nl,
     GPUSTL_ASSERT(skip->size() == faults.size(), "skip mask size mismatch");
   }
 
+  const Backend backend = ResolveBackend(options.backend);
+
   FaultSimResult result = InitFaultSimResult(faults.size(), patterns.size());
 
   std::vector<std::uint32_t> live;
@@ -196,6 +199,26 @@ FaultSimResult RunTransitionFaultSim(const Netlist& nl,
   }
 
   GoodBlockCache good_blocks(nl, patterns);
+
+  if (backend != Backend::kScalar) {
+    const internal::TransitionRun run{nl,   patterns,    faults,
+                                      live, good_blocks, options};
+    switch (backend) {
+      case Backend::kWide:
+        return internal::RunTransitionWide(run);
+#if defined(GPUSTL_HAVE_AVX2)
+      case Backend::kAvx2:
+        return internal::RunTransitionAvx2(run);
+#endif
+#if defined(GPUSTL_HAVE_AVX512)
+      case Backend::kAvx512:
+        return internal::RunTransitionAvx512(run);
+#endif
+      default:
+        throw SimError("backend '" + std::string(BackendName(backend)) +
+                       "' has no transition engine in this binary");
+    }
+  }
 
   const int threads = ResolveNumThreads(options.num_threads, live.size());
   if (threads <= 1) {

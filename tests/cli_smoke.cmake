@@ -79,6 +79,66 @@ message(STATUS "gpustlc faultsim GPUSTL_NO_FFR=1: OK (summary identical)")
 run_cli(faultsim tiny.gptp --module DU --no-ffr --threads 2)
 run_cli(compact tiny.gptp --module DU --no-ffr -o tiny.noffr.asm)
 
+# Backend selection: every backend produces a bit-identical report, so the
+# scalar and auto summaries must match once the (intentionally different)
+# "backend: <name>" observability line is stripped.
+execute_process(COMMAND ${GPUSTLC} faultsim tiny.gptp --module DU --backend scalar
+                WORKING_DIRECTORY ${WORK}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out_scalar ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gpustlc faultsim --backend scalar failed (${rc}):\n${out_scalar}\n${err}")
+endif()
+if(NOT out_scalar MATCHES "backend: scalar")
+  message(FATAL_ERROR "--backend scalar summary does not report the backend:\n${out_scalar}")
+endif()
+execute_process(COMMAND ${GPUSTLC} faultsim tiny.gptp --module DU --backend auto
+                WORKING_DIRECTORY ${WORK}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out_auto ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gpustlc faultsim --backend auto failed (${rc}):\n${out_auto}\n${err}")
+endif()
+string(REGEX REPLACE " *backend: [a-z0-9]+\n" "" stripped_scalar "${out_scalar}")
+string(REGEX REPLACE " *backend: [a-z0-9]+\n" "" stripped_auto "${out_auto}")
+if(NOT stripped_scalar STREQUAL stripped_auto)
+  message(FATAL_ERROR "--backend auto changed the faultsim report:\n${out_scalar}\nvs\n${out_auto}")
+endif()
+message(STATUS "gpustlc faultsim --backend scalar/auto: OK (report identical)")
+
+# GPUSTL_BACKEND is the env spelling of the same switch (flag-less wrappers).
+execute_process(COMMAND ${CMAKE_COMMAND} -E env GPUSTL_BACKEND=scalar
+                        ${GPUSTLC} faultsim tiny.gptp --module DU
+                WORKING_DIRECTORY ${WORK}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out_benv ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gpustlc faultsim (GPUSTL_BACKEND=scalar) failed (${rc}):\n${out_benv}\n${err}")
+endif()
+if(NOT out_scalar STREQUAL out_benv)
+  message(FATAL_ERROR "GPUSTL_BACKEND=scalar differs from --backend scalar:\n${out_scalar}\nvs\n${out_benv}")
+endif()
+message(STATUS "gpustlc faultsim GPUSTL_BACKEND=scalar: OK (summary identical)")
+
+# An unknown backend is an input error: fail loudly, never fall back.
+execute_process(COMMAND ${GPUSTLC} faultsim tiny.gptp --module DU --backend quantum
+                WORKING_DIRECTORY ${WORK}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "gpustlc accepted --backend quantum:\n${out}")
+endif()
+if(NOT err MATCHES "--backend must be auto, scalar, wide, avx2 or avx512")
+  message(FATAL_ERROR "--backend quantum died without the expected message:\n${err}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E env GPUSTL_BACKEND=quantum
+                        ${GPUSTLC} faultsim tiny.gptp --module DU
+                WORKING_DIRECTORY ${WORK}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "gpustlc accepted GPUSTL_BACKEND=quantum:\n${out}")
+endif()
+if(NOT err MATCHES "GPUSTL_BACKEND: unknown backend")
+  message(FATAL_ERROR "GPUSTL_BACKEND=quantum died without the expected message:\n${err}")
+endif()
+message(STATUS "gpustlc faultsim unknown backend: OK (input error)")
+
 file(WRITE ${WORK}/fpu.asm "
 .entry fpu_tiny
 .blocks 1

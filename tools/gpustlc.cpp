@@ -36,6 +36,7 @@
 #include "compact/compactor.h"
 #include "compact/report.h"
 #include "compact/stl_campaign.h"
+#include "fault/backend.h"
 #include "fault/collapse.h"
 #include "fault/faultsim.h"
 #include "gpu/sm.h"
@@ -93,6 +94,13 @@ int Usage() {
       "GPUSTL_NO_FFR=1: fall back from FFR-clustered critical-path tracing\n"
       "to one propagation per fault class). All three only trade speed;\n"
       "reports are bit-identical either way.\n"
+      "\n"
+      "faultsim/compact/campaign accept --backend B (or GPUSTL_BACKEND):\n"
+      "selects the fault-simulation engine backend. B is one of auto\n"
+      "(default: runtime CPU dispatch), scalar (the 64-pattern oracle),\n"
+      "wide (portable 256-bit bundles), avx2 or avx512. An explicit\n"
+      "backend the CPU or binary lacks is an input error — never a\n"
+      "silent fallback. Reports are bit-identical for every backend.\n"
       "\n"
       "caching: --cache-dir <dir> (or GPUSTL_CACHE_DIR) enables the\n"
       "content-addressed result store: fault simulations whose inputs are\n"
@@ -195,6 +203,9 @@ struct Args {
   // GPUSTL_NO_FFR mirrors the flag for wrappers that cannot edit argv
   // (same precedent as GPUSTL_CACHE_DIR); "0"/empty mean unset.
   bool no_ffr = EnvTruthy("GPUSTL_NO_FFR");
+  // kAuto defers to ResolveBackend, which honours $GPUSTL_BACKEND — the
+  // flag takes precedence by selecting a concrete backend here.
+  fault::Backend backend = fault::Backend::kAuto;
   bool no_cache = false;
   bool vcd = false;
   std::uint32_t dump_addr = 0;
@@ -218,6 +229,11 @@ struct Args {
       else if (arg == "--no-collapse") no_collapse = true;
       else if (arg == "--no-cone") no_cone = true;
       else if (arg == "--no-ffr") no_ffr = true;
+      else if (arg == "--backend") {
+        const auto b = fault::ParseBackend(next());
+        if (!b) Die("--backend must be auto, scalar, wide, avx2 or avx512");
+        backend = *b;
+      }
       else if (arg == "--cache-dir") cache_dir = next();
       else if (arg == "--no-cache") no_cache = true;
       else if (arg == "--resume") resume = next();
@@ -397,6 +413,7 @@ int CmdFaultsim(const Args& args) {
       .collapse = !args.no_collapse,
       .cone_limit = !args.no_cone,
       .ffr_trace = !args.no_ffr,
+      .backend = args.backend,
       .cancel = args.deadline > 0 ? &deadline_token : nullptr};
   std::optional<store::ResultStore> cache = MakeStore(args);
   const store::SimModel model = args.fault_model == "transition"
@@ -420,6 +437,8 @@ int CmdFaultsim(const Args& args) {
   std::size_t detecting = 0;
   for (const auto d : report.detects_per_pattern) detecting += d > 0 ? 1 : 0;
   std::printf("  %zu patterns contribute detections\n", detecting);
+  std::printf("  backend: %s\n",
+              fault::BackendName(fault::ResolveBackend(args.backend)).data());
   if (cache) PrintCacheStats(cache->stats());
   return 0;
 }
@@ -437,6 +456,7 @@ int CmdCompact(const Args& args) {
   options.collapse_faults = !args.no_collapse;
   options.cone_limit = !args.no_cone;
   options.ffr_trace = !args.no_ffr;
+  options.backend = args.backend;
   options.stage_deadline_seconds = args.deadline;
   if (args.fault_model == "transition") {
     options.fault_model = compact::FaultModel::kTransition;
@@ -499,6 +519,7 @@ int CmdCampaign(const Args& args) {
   base.collapse_faults = !args.no_collapse;
   base.cone_limit = !args.no_cone;
   base.ffr_trace = !args.no_ffr;
+  base.backend = args.backend;
   base.stage_deadline_seconds = args.deadline;
   std::optional<store::ResultStore> cache = MakeStore(args);
   base.result_store = cache ? &*cache : nullptr;
@@ -733,6 +754,7 @@ int CmdCampaign(const Args& args) {
       "fault lists: %zu classes simulated for %zu faults (-%.1f%%)\n",
       summary.simulated_classes, summary.total_faults,
       summary.fault_collapse_percent());
+  std::printf("backend: %s\n", summary.backend.c_str());
   if (summary.cache_enabled) PrintCacheStats(summary.cache);
   if (summary.degraded_records > 0) {
     std::printf("campaign DEGRADED: %zu of %zu entries carried uncompacted "
