@@ -9,6 +9,7 @@
 // the paper; see EXPERIMENTS.md.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "common/strutil.h"
@@ -68,6 +69,15 @@ struct BenchRecord {
   int threads = 1;
   /// Resolved engine backend the row was measured on ("scalar", "avx2", ...).
   std::string backend = "scalar";
+  /// Trim mode the row ran with ("off", "dedup", ...; fault/trim.h — the
+  /// engine default when the bench does not toggle it) and the trim
+  /// counters accumulated over the measured run(s): repeated pattern
+  /// blocks replayed from the dedup cache, faults retired by the
+  /// early-exit prepass, warm-start cache hits.
+  std::string trim = "dedup+early-exit+warm-start";
+  std::uint64_t trim_blocks_replayed = 0;
+  std::uint64_t trim_faults_early_exited = 0;
+  std::uint64_t trim_warm_hits = 0;
   /// Additional numeric fields, appended verbatim (e.g. classes, speedup).
   std::vector<std::pair<std::string, double>> extra;
 };

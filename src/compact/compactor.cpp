@@ -118,7 +118,10 @@ Compactor::Compactor(const netlist::Netlist& module,
       faults_(fault::CollapsedFaultList(module)),
       collapse_(fault::BuildFaultCollapse(module, faults_)),
       faults_fp_(store::FingerprintFaults(faults_)),
-      detected_(faults_.size(), false) {}
+      detected_(faults_.size(), false),
+      warm_cache_(options_.trim.warm_start
+                      ? std::make_shared<fault::WarmStartCache>()
+                      : nullptr) {}
 
 Compactor::TraceRun Compactor::RunLogicTrace(const Program& ptp) const {
   TraceRun out;
@@ -144,7 +147,10 @@ fault::FaultSimResult Compactor::SimulateFaults(
       .ffr_trace = options_.ffr_trace,
       .backend = options_.backend,
       .collapse_plan = options_.collapse_faults ? &collapse_ : nullptr,
-      .cancel = ActiveToken()};
+      .cancel = ActiveToken(),
+      .trim = options_.trim,
+      .warm_cache = warm_cache_.get(),
+      .trim_counters = trim_counters_.get()};
   const store::SimModel model = options_.fault_model == FaultModel::kTransition
                                     ? store::SimModel::kTransition
                                     : store::SimModel::kStuckAt;

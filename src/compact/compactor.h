@@ -36,6 +36,8 @@
 #include "fault/backend.h"
 #include "fault/collapse.h"
 #include "fault/faultsim.h"
+#include "fault/parallel.h"
+#include "fault/trim.h"
 #include "gpu/sm.h"
 #include "isa/program.h"
 #include "netlist/netlist.h"
@@ -167,6 +169,13 @@ struct CompactorOptions {
   /// keys, so cached results are shared across the toggle.
   fault::Backend backend = fault::Backend::kAuto;
 
+  /// Execution-redundancy trimming inside every fault simulation this
+  /// compactor runs (see fault/trim.h): pattern-block dedup, per-fault
+  /// early-exit, and cross-run warm-start of good-machine/observability
+  /// state. Exact — reports are bit-identical for every combination; pure
+  /// cost knobs, excluded from result-store keys like `backend`.
+  fault::TrimOptions trim;
+
   /// Content-addressed result store consulted before every fault
   /// simulation (and written back after a miss). Null = caching off. Not
   /// owned; must outlive every Compactor sharing it. A cached result is
@@ -228,6 +237,11 @@ class Compactor {
   /// engine propagates vs faults it reports on), for campaign stats.
   fault::CollapseStats collapse_stats() const { return collapse_.Stats(); }
 
+  /// Trim skip counters accumulated across every fault simulation of this
+  /// compactor (see fault/trim.h). Observability only — shard- and
+  /// cache-state-dependent, excluded from every deterministic report.
+  const fault::TrimCounters& trim_counters() const { return *trim_counters_; }
+
  private:
   /// Stage 2: one logic simulation with monitors attached.
   struct TraceRun {
@@ -254,6 +268,12 @@ class Compactor {
   fault::FaultCollapse collapse_;  // built once, shared by every fault sim
   Hash128 faults_fp_;              // fault-list digest, for store keys
   BitVec detected_;
+  // Cross-run warm-start state shared by every fault simulation of this
+  // compactor (null when TrimOptions::warm_start is off) and the
+  // observability counters. Heap-held to keep the Compactor movable.
+  std::shared_ptr<fault::WarmStartCache> warm_cache_;
+  std::shared_ptr<fault::TrimCounters> trim_counters_ =
+      std::make_shared<fault::TrimCounters>();
   // Deadline token owned by this compactor (used when no external token
   // is configured). Heap-held because the atomics inside a CancelToken
   // would otherwise pin the Compactor (campaigns move them into a map).

@@ -144,6 +144,10 @@ CampaignSummary StlCampaign::Summary() const {
     s.total_faults += cs.num_faults;
     s.simulated_classes +=
         base_.collapse_faults ? cs.num_classes : cs.num_faults;
+    const fault::TrimCounters& tc = c.trim_counters();
+    s.trim_blocks_replayed += tc.blocks_replayed.load();
+    s.trim_faults_early_exited += tc.faults_early_exited.load();
+    s.trim_warm_hits += tc.warm_good_hits.load() + tc.warm_stem_hits.load();
   }
   if (base_.result_store != nullptr) {
     s.cache_enabled = true;
@@ -151,6 +155,7 @@ CampaignSummary StlCampaign::Summary() const {
   }
   s.backend = std::string(
       fault::BackendName(fault::ResolveBackend(base_.backend)));
+  s.trim = fault::TrimModeName(base_.trim);
   return s;
 }
 

@@ -83,6 +83,16 @@ struct CampaignSummary {
   /// dispatched to different CPU features.
   std::string backend;
 
+  /// Trim mode of the campaign's fault simulations ("dedup+early-exit+
+  /// warm-start", ..., "off"; see fault/trim.h) and the skip counters
+  /// summed over the campaign's modules at Summary() time. Observability
+  /// only, excluded from the report exactly like `backend`: trimmed and
+  /// untrimmed campaigns must produce identical bytes.
+  std::string trim;
+  std::uint64_t trim_blocks_replayed = 0;
+  std::uint64_t trim_faults_early_exited = 0;
+  std::uint64_t trim_warm_hits = 0;
+
   double size_reduction_percent() const;
   double duration_reduction_percent() const;
   double fault_collapse_percent() const;

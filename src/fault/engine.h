@@ -40,6 +40,53 @@ struct SimPlan {
 SimPlan BuildSimPlan(const FaultCollapse* collapse, const BitVec* skip,
                      std::size_t num_faults);
 
+/// Per-run trim state (fault/trim.h), built once by the orchestration and
+/// shared read-only by every shard of every backend.
+struct TrimPlan {
+  bool dedup = false;       // effective dedup_blocks toggle
+  bool early_exit = false;  // effective early_exit toggle
+
+  /// Per 64-pattern block: the first block with an identical fingerprint
+  /// (self for a first occurrence). Fingerprints cover the block's pattern
+  /// count and its input bits restricted to the nets feeding the fault
+  /// sites and their output cones, so equal fingerprints imply equal
+  /// activation AND detection words for every fault of the run.
+  std::vector<std::uint32_t> repeat_of;
+  /// Per block: some later block replays it (worth caching its words).
+  std::vector<char> has_repeat;
+
+  /// Per fault class (stuck-at, SimPlan class indexing) or per fault
+  /// (transition, fault-list indexing): the last 64-pattern block that can
+  /// activate it, from the prepass; -1 = no block activates it. A class
+  /// past its last activating block contributes nothing to any later
+  /// block, so the engines compact it out of the live list.
+  std::vector<std::int64_t> last_act;
+};
+
+/// Builders. The prepasses read good blocks through `good_blocks` (shared
+/// with the engine run that follows, so nothing is evaluated twice). On
+/// cancellation the early-exit prepass disarms itself (the engine's own
+/// block-loop poll turns the run into a clean abort).
+TrimPlan BuildStuckAtTrimPlan(const netlist::Netlist& nl,
+                              const netlist::PatternSet& patterns,
+                              const std::vector<Fault>& faults,
+                              const SimPlan& plan, GoodBlockCache& good_blocks,
+                              const FaultSimOptions& options);
+TrimPlan BuildTransitionTrimPlan(const netlist::Netlist& nl,
+                                 const netlist::PatternSet& patterns,
+                                 const std::vector<TransitionFault>& faults,
+                                 const std::vector<std::uint32_t>& live,
+                                 GoodBlockCache& good_blocks,
+                                 const FaultSimOptions& options);
+
+/// Trim state handed to the shard loops. `plan` null = no dedup and no
+/// early-exit; `stem_obs` null = no cross-run stem-observability reuse.
+struct TrimContext {
+  const TrimPlan* plan = nullptr;
+  StemObsCache* stem_obs = nullptr;
+  TrimCounters* counters = nullptr;
+};
+
 /// Prepared state of one stuck-at run, shared by every backend. `groups`
 /// is non-null exactly when the FFR-clustered engine is on.
 struct StuckAtRun {
@@ -50,6 +97,7 @@ struct StuckAtRun {
   const FfrClassGroups* groups;
   GoodBlockCache& good_blocks;
   const FaultSimOptions& options;
+  TrimContext trim;
 };
 
 /// Prepared state of one transition run (no collapsing: the launch
@@ -61,6 +109,7 @@ struct TransitionRun {
   const std::vector<std::uint32_t>& live;
   GoodBlockCache& good_blocks;
   const FaultSimOptions& options;
+  TrimContext trim;
 };
 
 /// Wide-backend entry points. Each translation unit instantiates the

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
+#include <unordered_map>
 #include <utility>
 
 #include "common/error.h"
@@ -53,6 +55,73 @@ SimPlan BuildSimPlan(const FaultCollapse* collapse, const BitVec* skip,
 namespace {
 
 using internal::SimPlan;
+using internal::TrimContext;
+using internal::TrimPlan;
+
+/// Per-shard replay storage for one deduped source block: every live
+/// member's activation word and every live class's detection diff, captured
+/// when the block is computed so repeats skip evaluation entirely.
+/// Zero-filled on creation — a class whose leader never activates (or whose
+/// diff is never reached) correctly replays as "no detection".
+struct ReplayEntry {
+  std::vector<std::uint64_t> acts;   // per plan.members index
+  std::vector<std::uint64_t> diffs;  // per class index
+};
+
+/// Removes classes past their last activating block from `live`,
+/// accumulating the member-fault count into the early-exit counter. Exact:
+/// a class's diff is contained in its leader activation pointwise, so a
+/// class no later block can activate can never count or detect again.
+void EarlyExitFilter(const TrimPlan* tp, const SimPlan& plan, std::size_t bi,
+                     TrimCounters* counters, std::vector<std::uint32_t>& live) {
+  if (tp == nullptr || !tp->early_exit) return;
+  std::uint64_t exited = 0;
+  std::size_t w = 0;
+  for (const std::uint32_t ci : live) {
+    if (tp->last_act[ci] >= static_cast<std::int64_t>(bi)) {
+      live[w++] = ci;
+    } else {
+      exited += plan.offsets[ci + 1] - plan.offsets[ci];
+    }
+  }
+  if (exited == 0) return;
+  live.resize(w);
+  if (counters != nullptr) {
+    counters->faults_early_exited.fetch_add(exited, std::memory_order_relaxed);
+  }
+}
+
+/// Resolves one block of the dedup protocol: which block index to fetch
+/// good values from, whether to replay a cached entry, and whether to
+/// capture one for later repeats. Shards walk blocks in ascending order and
+/// only ever break forward, so a repeated block's source entry is always
+/// present by the time it is needed.
+struct BlockTrim {
+  std::uint32_t src;          // block whose good values to fetch
+  const ReplayEntry* load;    // non-null: replay, skip all evaluation
+  ReplayEntry* store;         // non-null: capture words while computing
+};
+
+BlockTrim ResolveBlockTrim(
+    const TrimPlan* tp, std::size_t bi, std::size_t num_members,
+    std::size_t num_classes, TrimCounters* counters,
+    std::unordered_map<std::uint32_t, ReplayEntry>& replay) {
+  BlockTrim bt{static_cast<std::uint32_t>(bi), nullptr, nullptr};
+  if (tp == nullptr || !tp->dedup) return bt;
+  bt.src = tp->repeat_of[bi];
+  if (bt.src != bi) {
+    bt.load = &replay.at(bt.src);
+    if (counters != nullptr) {
+      counters->blocks_replayed.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (tp->has_repeat[bi] != 0) {
+    ReplayEntry& e = replay[bt.src];
+    e.acts.assign(num_members, 0);
+    e.diffs.assign(num_classes, 0);
+    bt.store = &e;
+  }
+  return bt;
+}
 
 /// The classic PPSFP loop over one shard of `live` class indices
 /// (ascending), accumulating into `result` (pre-sized by
@@ -71,11 +140,13 @@ void SimulateShard(const Netlist& nl, const PatternSet& patterns,
                    const std::vector<Fault>& faults, const SimPlan& plan,
                    std::vector<std::uint32_t> live,
                    GoodBlockCache& good_blocks, const FaultSimOptions& options,
-                   FaultSimResult& result) {
+                   const TrimContext& trim, FaultSimResult& result) {
   internal::PropagationScratch scratch(nl);
   const auto& outputs = nl.outputs();
   const bool cone_on = options.cone_limit;
   const std::size_t cone_words = nl.cone_words();
+  const TrimPlan* tp = trim.plan;
+  std::unordered_map<std::uint32_t, ReplayEntry> replay;
 
   for (std::size_t base = 0; base < patterns.size(); base += 64) {
     if (live.empty()) break;
@@ -83,7 +154,16 @@ void SimulateShard(const Netlist& nl, const PatternSet& patterns,
     // expired token abandons this shard's remaining work; the engine
     // discards the partial result by throwing after the join.
     if (options.cancel != nullptr && options.cancel->Expired()) return;
-    const GoodBlockCache::Block& block = good_blocks.Get(base / 64);
+    const std::size_t bi = base / 64;
+    EarlyExitFilter(tp, plan, bi, trim.counters, live);
+    if (live.empty()) break;
+    const BlockTrim bt = ResolveBlockTrim(tp, bi, plan.members.size(),
+                                          plan.num_classes(), trim.counters,
+                                          replay);
+    // Under dedup a repeated block reads its source block's good values —
+    // bit-identical on every net that matters (that is what the
+    // fingerprint certifies), evaluated once.
+    const GoodBlockCache::Block& block = good_blocks.Get(bt.src);
     if (block.count == 0) break;
     const std::uint64_t valid =
         block.count >= 64 ? ~0ull : ((1ull << block.count) - 1);
@@ -95,97 +175,116 @@ void SimulateShard(const Netlist& nl, const PatternSet& patterns,
       const std::uint32_t mbegin = plan.offsets[ci];
       const std::uint32_t mend = plan.offsets[ci + 1];
 
-      std::uint64_t leader_act = 0;
-      for (std::uint32_t mi = mbegin; mi < mend; ++mi) {
-        const Fault& f = faults[plan.members[mi]];
-        const NetId site_net = f.pin == Fault::kOutputPin
-                                   ? f.gate
-                                   : nl.gate(f.gate).fanin[f.pin];
-        const std::uint64_t stuck = f.sa1 ? ~0ull : 0ull;
-        const std::uint64_t act = (good[site_net] ^ stuck) & valid;
-        for (std::uint64_t bits = act; bits != 0; bits &= bits - 1) {
-          result.activates_per_pattern[base + static_cast<std::size_t>(
-                                                  LowestSetBit(bits))]++;
+      std::uint64_t diff = 0;
+      if (bt.load != nullptr) {
+        // Replay: activation words and the class diff captured at the
+        // source block are exact here — count them, skip all evaluation.
+        for (std::uint32_t mi = mbegin; mi < mend; ++mi) {
+          for (std::uint64_t bits = bt.load->acts[mi]; bits != 0;
+               bits &= bits - 1) {
+            result.activates_per_pattern[base + static_cast<std::size_t>(
+                                                    LowestSetBit(bits))]++;
+          }
         }
-        if (mi == mbegin) leader_act = act;
-      }
-      // diff is contained in every member's activation word, the leader's
-      // included: an inactive leader means no detection this block.
-      if (leader_act == 0) {
-        live[w++] = ci;
-        continue;
-      }
-
-      // Single-fault propagation from the leader site, event-driven in
-      // level order. Events that leave the output cone are not enqueued:
-      // every frontier net is reachable from the site, so "reaches some
-      // output" is equivalent to "reaches an output of this fault's cone".
-      const Fault& f = faults[plan.members[mbegin]];
-      const Gate& g = nl.gate(f.gate);
-      const std::uint64_t stuck = f.sa1 ? ~0ull : 0ull;
-      scratch.NewFault();
-      if (f.pin == Fault::kOutputPin) {
-        scratch.SetFaulty(f.gate, stuck);
-        for (NetId fo : nl.fanout(f.gate)) {
-          if (!cone_on || nl.ReachesOutput(fo)) scratch.Enqueue(fo);
+        diff = bt.load->diffs[ci];
+        if (diff == 0) {
+          live[w++] = ci;
+          continue;
         }
       } else {
-        // Re-evaluate the faulted gate with the pin forced.
-        std::uint64_t in[kMaxFanin];
-        for (int i = 0; i < g.fanin_count(); ++i) {
-          in[i] = i == f.pin ? stuck : good[g.fanin[i]];
+        std::uint64_t leader_act = 0;
+        for (std::uint32_t mi = mbegin; mi < mend; ++mi) {
+          const Fault& f = faults[plan.members[mi]];
+          const NetId site_net = f.pin == Fault::kOutputPin
+                                     ? f.gate
+                                     : nl.gate(f.gate).fanin[f.pin];
+          const std::uint64_t stuck = f.sa1 ? ~0ull : 0ull;
+          const std::uint64_t act = (good[site_net] ^ stuck) & valid;
+          if (bt.store != nullptr) bt.store->acts[mi] = act;
+          for (std::uint64_t bits = act; bits != 0; bits &= bits - 1) {
+            result.activates_per_pattern[base + static_cast<std::size_t>(
+                                                    LowestSetBit(bits))]++;
+          }
+          if (mi == mbegin) leader_act = act;
         }
-        const std::uint64_t out = netlist::EvalCell(g.type, in);
-        if (out != good[f.gate]) {
-          scratch.SetFaulty(f.gate, out);
+        // diff is contained in every member's activation word, the leader's
+        // included: an inactive leader means no detection this block.
+        if (leader_act == 0) {
+          live[w++] = ci;
+          continue;
+        }
+
+        // Single-fault propagation from the leader site, event-driven in
+        // level order. Events that leave the output cone are not enqueued:
+        // every frontier net is reachable from the site, so "reaches some
+        // output" is equivalent to "reaches an output of this fault's cone".
+        const Fault& f = faults[plan.members[mbegin]];
+        const Gate& g = nl.gate(f.gate);
+        const std::uint64_t stuck = f.sa1 ? ~0ull : 0ull;
+        scratch.NewFault();
+        if (f.pin == Fault::kOutputPin) {
+          scratch.SetFaulty(f.gate, stuck);
           for (NetId fo : nl.fanout(f.gate)) {
             if (!cone_on || nl.ReachesOutput(fo)) scratch.Enqueue(fo);
           }
-        }
-      }
-
-      scratch.Drain([&](NetId id) {
-        const Gate& gg = nl.gate(id);
-        std::uint64_t in[kMaxFanin];
-        for (int i = 0; i < gg.fanin_count(); ++i) {
-          in[i] = scratch.FaultyValue(good, gg.fanin[i]);
-        }
-        const std::uint64_t out = netlist::EvalCell(gg.type, in);
-        if (out != good[id]) {
-          scratch.SetFaulty(id, out);
-          for (NetId fo : nl.fanout(id)) {
-            if (!cone_on || nl.ReachesOutput(fo)) scratch.Enqueue(fo);
+        } else {
+          // Re-evaluate the faulted gate with the pin forced.
+          std::uint64_t in[kMaxFanin];
+          for (int i = 0; i < g.fanin_count(); ++i) {
+            in[i] = i == f.pin ? stuck : good[g.fanin[i]];
+          }
+          const std::uint64_t out = netlist::EvalCell(g.type, in);
+          if (out != good[f.gate]) {
+            scratch.SetFaulty(f.gate, out);
+            for (NetId fo : nl.fanout(f.gate)) {
+              if (!cone_on || nl.ReachesOutput(fo)) scratch.Enqueue(fo);
+            }
           }
         }
-      });
 
-      // Detection: any touched primary output that differs from good. Only
-      // outputs inside the site's cone can be touched, so with the cone on
-      // the scan walks just those set bits.
-      std::uint64_t diff = 0;
-      if (cone_on) {
-        const std::uint64_t* cone = nl.OutputCone(f.gate);
-        for (std::size_t cw = 0; cw < cone_words; ++cw) {
-          for (std::uint64_t bits = cone[cw]; bits != 0; bits &= bits - 1) {
-            const NetId o =
-                outputs[cw * 64 + static_cast<std::size_t>(LowestSetBit(bits))];
+        scratch.Drain([&](NetId id) {
+          const Gate& gg = nl.gate(id);
+          std::uint64_t in[kMaxFanin];
+          for (int i = 0; i < gg.fanin_count(); ++i) {
+            in[i] = scratch.FaultyValue(good, gg.fanin[i]);
+          }
+          const std::uint64_t out = netlist::EvalCell(gg.type, in);
+          if (out != good[id]) {
+            scratch.SetFaulty(id, out);
+            for (NetId fo : nl.fanout(id)) {
+              if (!cone_on || nl.ReachesOutput(fo)) scratch.Enqueue(fo);
+            }
+          }
+        });
+
+        // Detection: any touched primary output that differs from good. Only
+        // outputs inside the site's cone can be touched, so with the cone on
+        // the scan walks just those set bits.
+        if (cone_on) {
+          const std::uint64_t* cone = nl.OutputCone(f.gate);
+          for (std::size_t cw = 0; cw < cone_words; ++cw) {
+            for (std::uint64_t bits = cone[cw]; bits != 0; bits &= bits - 1) {
+              const NetId o =
+                  outputs[cw * 64 + static_cast<std::size_t>(LowestSetBit(bits))];
+              if (scratch.touched_epoch[o] == scratch.epoch) {
+                diff |= (scratch.fval[o] ^ good[o]);
+              }
+            }
+          }
+        } else {
+          for (NetId o : outputs) {
             if (scratch.touched_epoch[o] == scratch.epoch) {
               diff |= (scratch.fval[o] ^ good[o]);
             }
           }
         }
-      } else {
-        for (NetId o : outputs) {
-          if (scratch.touched_epoch[o] == scratch.epoch) {
-            diff |= (scratch.fval[o] ^ good[o]);
-          }
-        }
-      }
-      diff &= valid;
+        diff &= valid;
+        if (bt.store != nullptr) bt.store->diffs[ci] = diff;
 
-      if (diff == 0) {
-        live[w++] = ci;
-        continue;
+        if (diff == 0) {
+          live[w++] = ci;
+          continue;
+        }
       }
 
       const auto first_pattern =
@@ -248,11 +347,14 @@ void SimulateFfrShard(const Netlist& nl, const PatternSet& patterns,
                       const FfrClassGroups& groups,
                       const std::vector<std::uint32_t>& shard_groups,
                       GoodBlockCache& good_blocks,
-                      const FaultSimOptions& options, FaultSimResult& result) {
+                      const FaultSimOptions& options, const TrimContext& trim,
+                      FaultSimResult& result) {
   internal::FfrScratch scratch(nl);
   const auto& outputs = nl.outputs();
   const bool cone_on = options.cone_limit;
   const std::size_t cone_words = nl.cone_words();
+  const TrimPlan* tp = trim.plan;
+  std::unordered_map<std::uint32_t, ReplayEntry> replay;
 
   // Live state: per owned region, the class indices still needing
   // simulation. Regions compact away once every class has dropped.
@@ -276,7 +378,11 @@ void SimulateFfrShard(const Netlist& nl, const PatternSet& patterns,
   for (std::size_t base = 0; base < patterns.size(); base += 64) {
     if (work.empty()) break;
     if (options.cancel != nullptr && options.cancel->Expired()) return;
-    const GoodBlockCache::Block& block = good_blocks.Get(base / 64);
+    const std::size_t bi = base / 64;
+    const BlockTrim bt = ResolveBlockTrim(tp, bi, plan.members.size(),
+                                          plan.num_classes(), trim.counters,
+                                          replay);
+    const GoodBlockCache::Block& block = good_blocks.Get(bt.src);
     if (block.count == 0) break;
     const std::uint64_t valid =
         block.count >= 64 ? ~0ull : ((1ull << block.count) - 1);
@@ -284,6 +390,56 @@ void SimulateFfrShard(const Netlist& nl, const PatternSet& patterns,
 
     const auto process = [&](FfrWork& fw) {
       std::vector<std::uint32_t>& cls = fw.classes;
+      EarlyExitFilter(tp, plan, bi, trim.counters, cls);
+      if (cls.empty()) return;
+
+      // Classic per-class accounting, shared by the replay and compute
+      // paths; returns whether the class stays live.
+      const auto account = [&](std::uint32_t ci, std::uint64_t diff) -> bool {
+        if (diff == 0) return true;
+        const std::uint32_t mbegin = plan.offsets[ci];
+        const std::uint32_t mend = plan.offsets[ci + 1];
+        const auto first_pattern =
+            base + static_cast<std::size_t>(LowestSetBit(diff));
+        for (std::uint32_t mi = mbegin; mi < mend; ++mi) {
+          const std::uint32_t fi = plan.members[mi];
+          if (result.first_detect[fi] == FaultSimResult::kNotDetected) {
+            result.first_detect[fi] = static_cast<std::uint32_t>(first_pattern);
+            result.detected_mask.Set(fi, true);
+            ++result.num_detected;
+          }
+        }
+        if (options.drop_detected) {
+          result.detects_per_pattern[first_pattern] += mend - mbegin;
+          return false;  // dropped
+        }
+        for (std::uint64_t bits = diff; bits != 0; bits &= bits - 1) {
+          result.detects_per_pattern[base + static_cast<std::size_t>(
+                                                LowestSetBit(bits))] +=
+              mend - mbegin;
+        }
+        return true;
+      };
+
+      if (bt.load != nullptr) {
+        // Replay: per-member activation words and per-class diffs captured
+        // at the source block; steps 1-4 are skipped entirely.
+        std::size_t w = 0;
+        for (std::size_t k = 0; k < cls.size(); ++k) {
+          const std::uint32_t ci = cls[k];
+          for (std::uint32_t mi = plan.offsets[ci]; mi < plan.offsets[ci + 1];
+               ++mi) {
+            for (std::uint64_t bits = bt.load->acts[mi]; bits != 0;
+                 bits &= bits - 1) {
+              result.activates_per_pattern[base + static_cast<std::size_t>(
+                                                      LowestSetBit(bits))]++;
+            }
+          }
+          if (account(ci, bt.load->diffs[ci])) cls[w++] = ci;
+        }
+        cls.resize(w);
+        return;
+      }
 
       // 1. Activation per member, leader activation per class.
       leader_act.assign(cls.size(), 0);
@@ -298,6 +454,7 @@ void SimulateFfrShard(const Netlist& nl, const PatternSet& patterns,
                                      : nl.gate(f.gate).fanin[f.pin];
           const std::uint64_t stuck = f.sa1 ? ~0ull : 0ull;
           const std::uint64_t act = (good[site_net] ^ stuck) & valid;
+          if (bt.store != nullptr) bt.store->acts[mi] = act;
           for (std::uint64_t bits = act; bits != 0; bits &= bits - 1) {
             result.activates_per_pattern[base + static_cast<std::size_t>(
                                                     LowestSetBit(bits))]++;
@@ -358,45 +515,60 @@ void SimulateFfrShard(const Netlist& nl, const PatternSet& patterns,
       }
       if (any_local == 0) return;  // every effect died inside the region
 
-      // 4. One stem propagation for the whole region.
-      internal::PropagationScratch& prop = scratch.prop;
-      prop.NewFault();
-      prop.SetFaulty(fw.stem, ~good[fw.stem]);
-      for (NetId fo : nl.fanout(fw.stem)) {
-        if (!cone_on || nl.ReachesOutput(fo)) prop.Enqueue(fo);
-      }
-      prop.Drain([&](NetId id) {
-        const Gate& gg = nl.gate(id);
-        std::uint64_t in[kMaxFanin];
-        for (int i = 0; i < gg.fanin_count(); ++i) {
-          in[i] = prop.FaultyValue(good, gg.fanin[i]);
-        }
-        const std::uint64_t out = netlist::EvalCell(gg.type, in);
-        if (out != good[id]) {
-          prop.SetFaulty(id, out);
-          for (NetId fo : nl.fanout(id)) {
-            if (!cone_on || nl.ReachesOutput(fo)) prop.Enqueue(fo);
-          }
-        }
-      });
-
+      // 4. One stem propagation for the whole region — unless a warm
+      // cross-run cache already holds this (block, stem) word. The word is
+      // a pure function of (netlist, patterns): fault-list, dropping and
+      // cone-toggle independent, so any earlier run's value is exact here.
       std::uint64_t stem_obs = 0;
-      if (cone_on) {
-        const std::uint64_t* cone = nl.OutputCone(fw.stem);
-        for (std::size_t cw = 0; cw < cone_words; ++cw) {
-          for (std::uint64_t bits = cone[cw]; bits != 0; bits &= bits - 1) {
-            const NetId o =
-                outputs[cw * 64 + static_cast<std::size_t>(LowestSetBit(bits))];
+      const bool warm_hit = trim.stem_obs != nullptr &&
+                            trim.stem_obs->Lookup(bi, fw.stem, &stem_obs);
+      if (warm_hit) {
+        if (trim.counters != nullptr) {
+          trim.counters->warm_stem_hits.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        }
+      } else {
+        internal::PropagationScratch& prop = scratch.prop;
+        prop.NewFault();
+        prop.SetFaulty(fw.stem, ~good[fw.stem]);
+        for (NetId fo : nl.fanout(fw.stem)) {
+          if (!cone_on || nl.ReachesOutput(fo)) prop.Enqueue(fo);
+        }
+        prop.Drain([&](NetId id) {
+          const Gate& gg = nl.gate(id);
+          std::uint64_t in[kMaxFanin];
+          for (int i = 0; i < gg.fanin_count(); ++i) {
+            in[i] = prop.FaultyValue(good, gg.fanin[i]);
+          }
+          const std::uint64_t out = netlist::EvalCell(gg.type, in);
+          if (out != good[id]) {
+            prop.SetFaulty(id, out);
+            for (NetId fo : nl.fanout(id)) {
+              if (!cone_on || nl.ReachesOutput(fo)) prop.Enqueue(fo);
+            }
+          }
+        });
+
+        if (cone_on) {
+          const std::uint64_t* cone = nl.OutputCone(fw.stem);
+          for (std::size_t cw = 0; cw < cone_words; ++cw) {
+            for (std::uint64_t bits = cone[cw]; bits != 0; bits &= bits - 1) {
+              const NetId o = outputs[cw * 64 + static_cast<std::size_t>(
+                                                    LowestSetBit(bits))];
+              if (prop.touched_epoch[o] == prop.epoch) {
+                stem_obs |= (prop.fval[o] ^ good[o]);
+              }
+            }
+          }
+        } else {
+          for (NetId o : outputs) {
             if (prop.touched_epoch[o] == prop.epoch) {
               stem_obs |= (prop.fval[o] ^ good[o]);
             }
           }
         }
-      } else {
-        for (NetId o : outputs) {
-          if (prop.touched_epoch[o] == prop.epoch) {
-            stem_obs |= (prop.fval[o] ^ good[o]);
-          }
+        if (trim.stem_obs != nullptr) {
+          trim.stem_obs->Store(bi, fw.stem, stem_obs);
         }
       }
       if (stem_obs == 0) return;
@@ -406,34 +578,8 @@ void SimulateFfrShard(const Netlist& nl, const PatternSet& patterns,
       for (std::size_t k = 0; k < cls.size(); ++k) {
         const std::uint32_t ci = cls[k];
         const std::uint64_t diff = stem_local[k] & stem_obs;
-        if (diff == 0) {
-          cls[w++] = ci;
-          continue;
-        }
-        const std::uint32_t mbegin = plan.offsets[ci];
-        const std::uint32_t mend = plan.offsets[ci + 1];
-        const auto first_pattern =
-            base + static_cast<std::size_t>(LowestSetBit(diff));
-        for (std::uint32_t mi = mbegin; mi < mend; ++mi) {
-          const std::uint32_t fi = plan.members[mi];
-          if (result.first_detect[fi] == FaultSimResult::kNotDetected) {
-            result.first_detect[fi] =
-                static_cast<std::uint32_t>(first_pattern);
-            result.detected_mask.Set(fi, true);
-            ++result.num_detected;
-          }
-        }
-        if (options.drop_detected) {
-          result.detects_per_pattern[first_pattern] += mend - mbegin;
-          // dropped: do not keep in the class list.
-        } else {
-          for (std::uint64_t bits = diff; bits != 0; bits &= bits - 1) {
-            result.detects_per_pattern[base + static_cast<std::size_t>(
-                                                  LowestSetBit(bits))] +=
-                mend - mbegin;
-          }
-          cls[w++] = ci;
-        }
+        if (bt.store != nullptr) bt.store->diffs[ci] = diff;
+        if (account(ci, diff)) cls[w++] = ci;
       }
       cls.resize(w);
     };
@@ -453,7 +599,12 @@ void SimulateFfrShard(const Netlist& nl, const PatternSet& patterns,
 
 FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
                            const std::vector<Fault>& faults, const BitVec* skip,
-                           const FaultSimOptions& options) {
+                           const FaultSimOptions& requested_options) {
+  // $GPUSTL_NO_TRIM pins the untrimmed engine regardless of the caller's
+  // toggles (fault/trim.h); everything below sees the effective options.
+  FaultSimOptions options = requested_options;
+  options.trim = EffectiveTrim(requested_options.trim);
+
   GPUSTL_ASSERT(nl.frozen(), "fault sim requires a frozen netlist");
   GPUSTL_ASSERT(nl.dffs().empty(),
                 "fault sim supports combinational modules only");
@@ -482,12 +633,31 @@ FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
   const SimPlan plan = internal::BuildSimPlan(collapse, skip, faults.size());
 
   // Good-machine blocks are simulated once and shared read-only by every
-  // shard (and trivially by the serial loop).
-  GoodBlockCache good_blocks(nl, patterns);
+  // shard (and trivially by the serial loop). Under warm-start they come
+  // from the cross-run cache instead — together with the FFR stem-
+  // observability words — so runs over the same (netlist, patterns) pair
+  // re-evaluate nothing.
+  WarmStartCache::Shared warm;
+  std::optional<GoodBlockCache> local_good;
+  if (options.trim.warm_start && options.warm_cache != nullptr) {
+    warm = options.warm_cache->Acquire(nl, patterns, options.trim_counters);
+  } else {
+    local_good.emplace(nl, patterns);
+  }
+  GoodBlockCache& good_blocks = warm.good != nullptr ? *warm.good : *local_good;
+
+  internal::TrimPlan trim_plan;
+  if (options.trim.dedup_blocks || options.trim.early_exit) {
+    trim_plan = internal::BuildStuckAtTrimPlan(nl, patterns, faults, plan,
+                                               good_blocks, options);
+  }
+  const internal::TrimContext trim{
+      trim_plan.dedup || trim_plan.early_exit ? &trim_plan : nullptr,
+      warm.stem_obs.get(), options.trim_counters};
 
   if (backend != Backend::kScalar) {
     // Wide backends own their pattern-block loop; everything prepared so
-    // far (plan, groups, good blocks) is shared with them as-is.
+    // far (plan, groups, good blocks, trim plan) is shared with them as-is.
     const FfrClassGroups groups =
         options.ffr_trace
             ? GroupClassesByFfr(nl, faults, plan.offsets, plan.members)
@@ -496,7 +666,8 @@ FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
         nl,          patterns,
         faults,      plan,
         options.ffr_trace ? &groups : nullptr,
-        good_blocks, options};
+        good_blocks, options,
+        trim};
     switch (backend) {
       case Backend::kWide:
         return internal::RunStuckAtWide(run);
@@ -525,7 +696,7 @@ FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
     const int threads = ResolveNumThreads(options.num_threads, live.size());
     if (threads <= 1) {
       SimulateFfrShard(nl, patterns, faults, plan, groups, live, good_blocks,
-                       options, result);
+                       options, trim, result);
       AbortIfCancelled(options);
       return result;
     }
@@ -536,7 +707,7 @@ FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
         threads, InitFaultSimResult(faults.size(), patterns.size()));
     RunOnShards(threads, [&](int t) {
       SimulateFfrShard(nl, patterns, faults, plan, groups, shards[t],
-                       good_blocks, options, partial[t]);
+                       good_blocks, options, trim, partial[t]);
     });
     AbortIfCancelled(options);
     MergeShardResults(partial, result);
@@ -550,7 +721,7 @@ FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
   const int threads = ResolveNumThreads(options.num_threads, live.size());
   if (threads <= 1) {
     SimulateShard(nl, patterns, faults, plan, std::move(live), good_blocks,
-                  options, result);
+                  options, trim, result);
     AbortIfCancelled(options);
     return result;
   }
@@ -560,7 +731,7 @@ FaultSimResult RunFaultSim(const Netlist& nl, const PatternSet& patterns,
       threads, InitFaultSimResult(faults.size(), patterns.size()));
   RunOnShards(threads, [&](int t) {
     SimulateShard(nl, patterns, faults, plan, std::move(shards[t]),
-                  good_blocks, options, partial[t]);
+                  good_blocks, options, trim, partial[t]);
   });
   AbortIfCancelled(options);
   MergeShardResults(partial, result);

@@ -24,12 +24,14 @@
 #include "common/status.h"
 #include "fault/backend.h"
 #include "fault/fault.h"
+#include "fault/trim.h"
 #include "netlist/logicsim.h"
 #include "netlist/patterns.h"
 
 namespace gpustl::fault {
 
-struct FaultCollapse;  // fault/collapse.h
+struct FaultCollapse;   // fault/collapse.h
+class WarmStartCache;   // fault/parallel.h
 
 struct FaultSimOptions {
   /// Stop simulating a fault after its first detection (fault dropping).
@@ -85,6 +87,24 @@ struct FaultSimOptions {
   /// result is discarded wholesale, never returned, so an aborted run can
   /// never produce silently wrong coverage numbers. Null = never aborts.
   const CancelToken* cancel = nullptr;
+
+  /// Redundancy trimming (fault/trim.h): pattern-block dedup, per-fault
+  /// early-exit and cross-run warm-start. Every mechanism is exact — the
+  /// report is bit-identical to an untrimmed run for every backend, thread
+  /// count and model — so, like num_threads and backend, these are pure
+  /// cost knobs excluded from result-store fingerprints.
+  TrimOptions trim;
+
+  /// Cross-run warm-start state (not owned; null = no warm-start even when
+  /// trim.warm_start is set). Good-machine blocks and stem-observability
+  /// words are reused across runs whose (netlist, patterns) fingerprints
+  /// match — the cross-PTP case, where a campaign re-simulates the same
+  /// captured pattern set against a shrinking fault list.
+  WarmStartCache* warm_cache = nullptr;
+
+  /// Observability counters bumped by the trim paths (not owned; null =
+  /// not counted). See fault/trim.h for their determinism caveats.
+  TrimCounters* trim_counters = nullptr;
 };
 
 /// Per-run result: the paper's Fault Sim Report.

@@ -23,25 +23,36 @@
 // tests/test_faultsim_parallel.cpp locks this equivalence down.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "fault/faultsim.h"
 #include "netlist/logicsim.h"
 #include "netlist/patterns.h"
 
 namespace gpustl::fault {
 
-/// Shared good-machine state for one fault-simulation run. The good values
-/// of each 64-pattern block are a pure function of (netlist, patterns), so
-/// they are simulated once — lazily, in block order — and shared read-only
-/// by every shard; before this cache each worker owned a BitSimulator and
-/// re-evaluated every block, an O(threads x) redundancy. Laziness matters:
-/// with fault dropping a run can finish before the pattern set is
-/// exhausted, and blocks nobody asks for are never simulated.
+/// Shared good-machine state for fault-simulation runs. The good values of
+/// each 64-pattern block are a pure function of (netlist, patterns), so
+/// they are simulated once — lazily, on first demand — and shared
+/// read-only by every shard (and, under warm-start, by every run of the
+/// same inputs through a WarmStartCache). Laziness matters: with fault
+/// dropping a run can finish before the pattern set is exhausted, and
+/// blocks nobody asks for are never simulated.
+///
+/// Population is contention-friendly: the block table is pre-sized (never
+/// reallocates), each block publishes through its own acquire/release flag,
+/// and building serializes only within one of kStripes lock stripes — wide
+/// backends warming the same cache from many shards no longer funnel
+/// through a single mutex. Block content stays deterministic regardless of
+/// arrival order: BitSimulator::LoadBlock is random-access by pattern
+/// index, so block i's values never depend on which blocks built first.
 class GoodBlockCache {
  public:
   GoodBlockCache(const netlist::Netlist& nl,
@@ -53,17 +64,89 @@ class GoodBlockCache {
   };
 
   /// Block `index` (patterns [64*index, 64*index + count)). The first
-  /// caller simulates it; later callers get the cached block. Thread-safe:
-  /// the mutex hand-off orders every write before every cross-thread read,
-  /// and a returned block is immutable (the deque grows without moving
-  /// settled elements).
+  /// caller simulates it; later callers get the cached block. Past the end
+  /// of the pattern set an empty block (count 0) is returned. Thread-safe;
+  /// a returned block is immutable.
   const Block& Get(std::size_t index);
 
+  /// ceil(patterns / 64): blocks with at least one pattern.
+  std::size_t num_blocks() const { return blocks_.size(); }
+
  private:
-  std::mutex mu_;
-  netlist::BitSimulator sim_;
+  static constexpr std::size_t kStripes = 8;
+  struct Stripe {
+    std::mutex mu;
+    // One lazily-built simulator per stripe: cheaper than per-block
+    // construction, no sharing across stripes.
+    std::unique_ptr<netlist::BitSimulator> sim;
+  };
+
+  const netlist::Netlist* nl_;
   const netlist::PatternSet* patterns_;
-  std::deque<Block> blocks_;
+  std::vector<Block> blocks_;  // pre-sized; elements never move
+  std::unique_ptr<std::atomic<char>[]> done_;  // per-block publication flag
+  Stripe stripes_[kStripes];
+};
+
+/// Cross-run cache of per-FFR stem-observability words, shared through a
+/// WarmStartCache entry (one instance per (netlist, patterns) pair). The
+/// word for (block, stem) — which patterns of the block observe a stem
+/// flip at the module outputs — is independent of the fault list, the skip
+/// mask, dropping and the cone toggle (a stem propagation touches exactly
+/// the stem's output cone), so it can be stored on first computation and
+/// reused by any later run over the same patterns. Striped like
+/// GoodBlockCache; values for one key are deterministic, so double-stores
+/// are idempotent.
+class StemObsCache {
+ public:
+  /// True and *out filled when (block, stem) is cached.
+  bool Lookup(std::size_t block, std::uint32_t stem, std::uint64_t* out);
+  void Store(std::size_t block, std::uint32_t stem, std::uint64_t word);
+
+ private:
+  static constexpr std::size_t kStripes = 8;
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, std::uint64_t> words;
+  };
+  static std::uint64_t Key(std::size_t block, std::uint32_t stem) {
+    return (static_cast<std::uint64_t>(block) << 32) | stem;
+  }
+  Stripe stripes_[kStripes];
+};
+
+/// Cross-run warm-start state (TrimOptions::warm_start): good-machine
+/// blocks and stem-observability words keyed by the (netlist, patterns)
+/// content fingerprint. A campaign's compactor owns one of these per
+/// module; the four fault simulations inside one CompactPtp (stage 3,
+/// validation, and the two standalone measurements) hit it pairwise, and
+/// runs across PTPs hit it whenever a pattern set recurs. Entries are a
+/// small LRU (a CompactPtp juggles two pattern sets; older PTPs' patterns
+/// rarely return). Thread-safe; the returned shared state does its own
+/// locking.
+class WarmStartCache {
+ public:
+  struct Shared {
+    std::shared_ptr<GoodBlockCache> good;
+    std::shared_ptr<StemObsCache> stem_obs;
+  };
+
+  /// The shared state for (nl, patterns), created on first sight. A
+  /// returned Shared keeps the entry alive independent of later eviction.
+  /// `counters` (nullable) gets warm_good_hits bumped on a hit.
+  Shared Acquire(const netlist::Netlist& nl,
+                 const netlist::PatternSet& patterns, TrimCounters* counters);
+
+ private:
+  static constexpr std::size_t kMaxEntries = 4;
+  struct Entry {
+    Hash128 key;
+    Shared shared;
+    std::uint64_t stamp = 0;  // LRU clock
+  };
+  std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::uint64_t next_stamp_ = 0;
 };
 
 /// Resolves a FaultSimOptions::num_threads request against the amount of

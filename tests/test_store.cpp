@@ -369,6 +369,31 @@ TEST(SimulateWithStoreTest, BackendToggleSharesTheCacheEntry) {
   EXPECT_EQ(store.stats().misses, 1u);
 }
 
+TEST(SimulateWithStoreTest, TrimToggleSharesTheCacheEntry) {
+  // Redundancy trimming is exact (tests/test_trim.cpp), so, like the
+  // backend, none of its toggles may enter the store key: an untrimmed
+  // run's entry serves trimmed runs (and vice versa) from the cache.
+  const Netlist nl = SmallNetlist();
+  const PatternSet ps = SmallPatterns();
+  const auto faults = fault::CollapsedFaultList(nl);
+
+  ResultStore store(ScratchDir("trim_key"));
+  fault::FaultSimOptions untrimmed;
+  untrimmed.trim = fault::NoTrim();
+  const FaultSimResult cold = SimulateWithStore(
+      &store, nl, ps, faults, nullptr, untrimmed, SimModel::kStuckAt);
+  EXPECT_EQ(store.stats().misses, 1u);
+
+  fault::WarmStartCache warm_cache;
+  fault::FaultSimOptions trimmed;  // trim defaults: everything on
+  trimmed.warm_cache = &warm_cache;
+  const FaultSimResult warm = SimulateWithStore(
+      &store, nl, ps, faults, nullptr, trimmed, SimModel::kStuckAt);
+  ExpectSameResult(cold, warm);
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(store.stats().misses, 1u);
+}
+
 TEST(SimulateWithStoreTest, CorruptedEntryFallsBackToRecompute) {
   const Netlist nl = SmallNetlist();
   const PatternSet ps = SmallPatterns();

@@ -102,6 +102,12 @@ int Usage() {
       "backend the CPU or binary lacks is an input error — never a\n"
       "silent fallback. Reports are bit-identical for every backend.\n"
       "\n"
+      "faultsim/compact/campaign accept --no-trim (or GPUSTL_NO_TRIM=1):\n"
+      "disables execution-redundancy trimming in the fault simulators\n"
+      "(pattern-block dedup, per-fault early-exit, cross-PTP warm-start).\n"
+      "Trimming is exact: reports are bit-identical on and off, so the\n"
+      "flag only trades speed (mainly for A/B measurement).\n"
+      "\n"
       "caching: --cache-dir <dir> (or GPUSTL_CACHE_DIR) enables the\n"
       "content-addressed result store: fault simulations whose inputs are\n"
       "unchanged are loaded from disk instead of recomputed, so warm\n"
@@ -203,6 +209,8 @@ struct Args {
   // GPUSTL_NO_FFR mirrors the flag for wrappers that cannot edit argv
   // (same precedent as GPUSTL_CACHE_DIR); "0"/empty mean unset.
   bool no_ffr = EnvTruthy("GPUSTL_NO_FFR");
+  // GPUSTL_NO_TRIM: same contract for the redundancy-trimming layer.
+  bool no_trim = EnvTruthy("GPUSTL_NO_TRIM");
   // kAuto defers to ResolveBackend, which honours $GPUSTL_BACKEND — the
   // flag takes precedence by selecting a concrete backend here.
   fault::Backend backend = fault::Backend::kAuto;
@@ -229,6 +237,7 @@ struct Args {
       else if (arg == "--no-collapse") no_collapse = true;
       else if (arg == "--no-cone") no_cone = true;
       else if (arg == "--no-ffr") no_ffr = true;
+      else if (arg == "--no-trim") no_trim = true;
       else if (arg == "--backend") {
         const auto b = fault::ParseBackend(next());
         if (!b) Die("--backend must be auto, scalar, wide, avx2 or avx512");
@@ -268,6 +277,10 @@ struct Args {
         positional.push_back(arg);
       }
     }
+  }
+
+  fault::TrimOptions Trim() const {
+    return no_trim ? fault::NoTrim() : fault::TrimOptions{};
   }
 
   trace::TargetModule RequireModule() const {
@@ -414,7 +427,8 @@ int CmdFaultsim(const Args& args) {
       .cone_limit = !args.no_cone,
       .ffr_trace = !args.no_ffr,
       .backend = args.backend,
-      .cancel = args.deadline > 0 ? &deadline_token : nullptr};
+      .cancel = args.deadline > 0 ? &deadline_token : nullptr,
+      .trim = args.Trim()};
   std::optional<store::ResultStore> cache = MakeStore(args);
   const store::SimModel model = args.fault_model == "transition"
                                     ? store::SimModel::kTransition
@@ -439,6 +453,7 @@ int CmdFaultsim(const Args& args) {
   std::printf("  %zu patterns contribute detections\n", detecting);
   std::printf("  backend: %s\n",
               fault::BackendName(fault::ResolveBackend(args.backend)).data());
+  std::printf("  trim: %s\n", fault::TrimModeName(args.Trim()).c_str());
   if (cache) PrintCacheStats(cache->stats());
   return 0;
 }
@@ -457,6 +472,7 @@ int CmdCompact(const Args& args) {
   options.cone_limit = !args.no_cone;
   options.ffr_trace = !args.no_ffr;
   options.backend = args.backend;
+  options.trim = args.Trim();
   options.stage_deadline_seconds = args.deadline;
   if (args.fault_model == "transition") {
     options.fault_model = compact::FaultModel::kTransition;
@@ -520,6 +536,7 @@ int CmdCampaign(const Args& args) {
   base.cone_limit = !args.no_cone;
   base.ffr_trace = !args.no_ffr;
   base.backend = args.backend;
+  base.trim = args.Trim();
   base.stage_deadline_seconds = args.deadline;
   std::optional<store::ResultStore> cache = MakeStore(args);
   base.result_store = cache ? &*cache : nullptr;
@@ -755,6 +772,12 @@ int CmdCampaign(const Args& args) {
       summary.simulated_classes, summary.total_faults,
       summary.fault_collapse_percent());
   std::printf("backend: %s\n", summary.backend.c_str());
+  std::printf("trim: %s (%llu blocks replayed, %llu faults early-exited, "
+              "%llu warm hits)\n",
+              summary.trim.c_str(),
+              static_cast<unsigned long long>(summary.trim_blocks_replayed),
+              static_cast<unsigned long long>(summary.trim_faults_early_exited),
+              static_cast<unsigned long long>(summary.trim_warm_hits));
   if (summary.cache_enabled) PrintCacheStats(summary.cache);
   if (summary.degraded_records > 0) {
     std::printf("campaign DEGRADED: %zu of %zu entries carried uncompacted "
