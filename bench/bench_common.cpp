@@ -1,5 +1,9 @@
 #include "bench/bench_common.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -141,8 +145,15 @@ void AppendBenchJson(const std::string& path, const BenchRecord& record) {
   }
   entry += "}";
 
-  // Keep the file a valid JSON array after every append: rewrite it with
-  // the previous entries plus the new one.
+  // Keep the file a valid JSON array after every append, and make the
+  // append atomic against concurrent emitters (several benches writing one
+  // BENCH_*.json): the read-modify-write runs under an exclusive flock on
+  // a sidecar lock file, and the rewrite lands via temp + rename so a
+  // reader never sees a partially written array.
+  const std::string lock_path = path + ".lock";
+  const int lock_fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0644);
+  if (lock_fd >= 0) ::flock(lock_fd, LOCK_EX);
+
   std::string existing;
   {
     std::ifstream in(path);
@@ -160,10 +171,21 @@ void AppendBenchJson(const std::string& path, const BenchRecord& record) {
       body.pop_back();
     }
   }
-  std::ofstream out(path, std::ios::trunc);
-  out << "[\n" << body;
-  if (!body.empty()) out << ",\n";
-  out << entry << "\n]\n";
+  const std::string tmp =
+      path + "." + std::to_string(static_cast<unsigned long>(::getpid())) +
+      ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << "[\n" << body;
+    if (!body.empty()) out << ",\n";
+    out << entry << "\n]\n";
+  }
+  std::rename(tmp.c_str(), path.c_str());
+
+  if (lock_fd >= 0) {
+    ::flock(lock_fd, LOCK_UN);
+    ::close(lock_fd);
+  }
 }
 
 int BenchThreads() {

@@ -149,12 +149,33 @@ class CancelToken {
     deadline_ns_.store(0, std::memory_order_relaxed);
   }
 
-  /// True once cancelled or past an armed deadline. Cheap enough to poll
-  /// per pattern block (one relaxed load on the common path).
+  /// Arms a whole-run deadline `seconds` from now, on a slot independent
+  /// of the per-stage one: stage guards re-arm ArmDeadline around every
+  /// stage, which would clobber a job-level budget sharing the slot. A
+  /// service arms this once per job; a non-positive budget disarms.
+  void ArmRunDeadline(double seconds) noexcept {
+    if (seconds <= 0) {
+      DisarmRunDeadline();
+      return;
+    }
+    run_deadline_ns_.store(
+        NowNs() + static_cast<std::int64_t>(seconds * 1e9),
+        std::memory_order_relaxed);
+  }
+
+  void DisarmRunDeadline() noexcept {
+    run_deadline_ns_.store(0, std::memory_order_relaxed);
+  }
+
+  /// True once cancelled or past an armed deadline (stage or run). Cheap
+  /// enough to poll per pattern block (relaxed loads on the common path).
   bool Expired() const noexcept {
     if (cancelled_.load(std::memory_order_relaxed)) return true;
     const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
-    return d != 0 && NowNs() >= d;
+    const std::int64_t r = run_deadline_ns_.load(std::memory_order_relaxed);
+    if (d == 0 && r == 0) return false;
+    const std::int64_t now = NowNs();
+    return (d != 0 && now >= d) || (r != 0 && now >= r);
   }
 
  private:
@@ -166,6 +187,7 @@ class CancelToken {
 
   std::atomic<bool> cancelled_{false};
   std::atomic<std::int64_t> deadline_ns_{0};
+  std::atomic<std::int64_t> run_deadline_ns_{0};
 };
 
 }  // namespace gpustl

@@ -1,0 +1,87 @@
+// Shared campaign front end: manifest parsing and checkpoint persistence.
+//
+// `gpustlc campaign` and the gpustld service run the same campaigns from
+// the same manifest text; extracting the plan parser and the checkpoint
+// restore/record logic here makes "a job through the daemon is
+// byte-identical to the same inputs through the CLI" true by construction
+// — there is exactly one code path that turns a manifest into StlEntries
+// and one that persists/restores campaign state.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compact/stl_campaign.h"
+#include "store/checkpoint.h"
+
+namespace gpustl::compact {
+
+/// Parses a campaign target-module token ("DU", "SP", "SFU", "FP32",
+/// case-insensitive) — the inverse of trace::TargetModuleName.
+std::optional<trace::TargetModule> ParseTargetModule(std::string_view name);
+
+/// One planned campaign entry: the STL entry plus the identity material
+/// the checkpoint layer keys on (module token, content fingerprint of the
+/// canonical serialized PTP).
+struct PlanEntry {
+  StlEntry entry;
+  std::string target_token;
+  Hash128 fp;
+};
+
+/// Loads one PTP referenced by a manifest line. Path resolution policy
+/// belongs to the caller (the CLI resolves against its cwd, the daemon
+/// against the manifest's directory). Throws on failure.
+using PtpLoader = std::function<isa::Program(const std::string& path)>;
+
+/// Parses a campaign manifest — one `<file> <module> <compact|carry>
+/// [reverse]` per line, '#' comments — into a processing plan. Each
+/// entry's fingerprint covers the canonical serialized form of the PTP,
+/// not the source file, so a comment edit or an assemble round trip keeps
+/// the same checkpoint identity. Throws Error naming the offending
+/// manifest line on malformed input.
+std::vector<PlanEntry> ParseManifestPlan(const std::string& manifest,
+                                         const PtpLoader& load_ptp);
+
+/// Builds the StlEntry fingerprint the checkpoint layer keys on (the
+/// canonical serialized PTP + processing flags).
+Hash128 FingerprintPlanEntry(const StlEntry& entry,
+                             std::string_view target_token);
+
+/// Checkpoint persistence for a campaign run over a plan: restores the
+/// longest checkpointed prefix on startup, then records every processed
+/// entry (checkpoint file + per-module fault-list snapshots, both written
+/// atomically). One instance per campaign run.
+class CampaignCheckpointer {
+ public:
+  struct RestoreResult {
+    std::size_t restored = 0;  // prefix entries restored into the campaign
+    bool mismatch = false;     // a checkpoint existed but did not match
+  };
+
+  /// Restores from `dir` the longest checkpointed prefix that exactly
+  /// matches `plan` — records and per-module fault lists — into
+  /// `campaign`. Any divergence (edited PTP, reordered manifest,
+  /// unreadable fault-list snapshot) discards the checkpoint: restored ==
+  /// 0, mismatch == true.
+  RestoreResult TryRestore(StlCampaign& campaign,
+                           const std::vector<PlanEntry>& plan,
+                           const std::string& dir);
+
+  /// Appends the checkpoint entry for a just-processed plan entry and
+  /// rewrites `dir` (checkpoint + fault-list snapshots).
+  void Record(StlCampaign& campaign, const PlanEntry& plan_entry,
+              const CampaignRecord& rec, const std::string& dir);
+
+  /// Rewrites `dir` from the current state — the fresh-start initial
+  /// write that makes an empty checkpoint visible before entry 0 runs.
+  void Write(StlCampaign& campaign, const std::string& dir);
+
+ private:
+  store::CampaignCheckpoint ckpt_;
+};
+
+}  // namespace gpustl::compact

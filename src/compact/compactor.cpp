@@ -110,18 +110,27 @@ void RelocateData(Program& prog) {
   data = std::move(kept);
 }
 
+std::shared_ptr<const ModulePrep> BuildModulePrep(
+    const netlist::Netlist& module) {
+  auto prep = std::make_shared<ModulePrep>();
+  prep->faults = fault::CollapsedFaultList(module);
+  prep->collapse = fault::BuildFaultCollapse(module, prep->faults);
+  prep->faults_fp = store::FingerprintFaults(prep->faults);
+  return prep;
+}
+
 Compactor::Compactor(const netlist::Netlist& module,
-                     trace::TargetModule target, CompactorOptions options)
+                     trace::TargetModule target, CompactorOptions options,
+                     std::shared_ptr<const ModulePrep> prep)
     : module_(&module),
       target_(target),
       options_(std::move(options)),
-      faults_(fault::CollapsedFaultList(module)),
-      collapse_(fault::BuildFaultCollapse(module, faults_)),
-      faults_fp_(store::FingerprintFaults(faults_)),
-      detected_(faults_.size(), false),
-      warm_cache_(options_.trim.warm_start
-                      ? std::make_shared<fault::WarmStartCache>()
-                      : nullptr) {}
+      prep_(prep != nullptr ? std::move(prep) : BuildModulePrep(module)),
+      detected_(prep_->faults.size(), false),
+      warm_cache_(!options_.trim.warm_start ? nullptr
+                  : options_.warm_cache != nullptr
+                      ? options_.warm_cache
+                      : std::make_shared<fault::WarmStartCache>()) {}
 
 Compactor::TraceRun Compactor::RunLogicTrace(const Program& ptp) const {
   TraceRun out;
@@ -146,7 +155,7 @@ fault::FaultSimResult Compactor::SimulateFaults(
       .cone_limit = options_.cone_limit,
       .ffr_trace = options_.ffr_trace,
       .backend = options_.backend,
-      .collapse_plan = options_.collapse_faults ? &collapse_ : nullptr,
+      .collapse_plan = options_.collapse_faults ? &prep_->collapse : nullptr,
       .cancel = ActiveToken(),
       .trim = options_.trim,
       .warm_cache = warm_cache_.get(),
@@ -155,14 +164,15 @@ fault::FaultSimResult Compactor::SimulateFaults(
                                     ? store::SimModel::kTransition
                                     : store::SimModel::kStuckAt;
   return store::SimulateWithStore(options_.result_store, *module_, patterns,
-                                  faults_, skip, sim_options, model,
-                                  &faults_fp_);
+                                  prep_->faults, skip, sim_options, model,
+                                  &prep_->faults_fp);
 }
 
 CompactionResult Compactor::CompactPtp(const Program& ptp) {
   Timer timer;
   CompactionResult res;
-  RunGuard guard(options_.stage_deadline_seconds, ActiveToken());
+  RunGuard guard(options_.stage_deadline_seconds, ActiveToken(),
+                 options_.stage_observer);
 
   // Stages 1+2 share one failure domain: partitioning is pure CFG analysis
   // feeding straight into the single traced logic simulation.
@@ -224,13 +234,13 @@ CompactionResult Compactor::CompactPtp(const Program& ptp) {
     res.original.duration_cc = original_run.run.total_cycles;
     res.original.arc_percent = arc_fraction * 100.0;
     res.original.fc_percent = fault::CoveragePercent(
-        standalone_before.num_detected, faults_.size());
+        standalone_before.num_detected, prep_->faults.size());
 
     res.result.size_instr = res.compacted.size();
     res.result.duration_cc = compacted_run.run.total_cycles;
     res.result.arc_percent = isa::Cfg(res.compacted).ArcFraction() * 100.0;
     res.result.fc_percent = fault::CoveragePercent(
-        standalone_after.num_detected, faults_.size());
+        standalone_after.num_detected, prep_->faults.size());
 
     res.diff_fc = res.result.fc_percent - res.original.fc_percent;
   });
@@ -262,7 +272,8 @@ CompactionResult Compactor::CompactPtp(const Program& ptp) {
 }
 
 PtpStats Compactor::MeasureStandalone(const Program& ptp) const {
-  RunGuard guard(options_.stage_deadline_seconds, ActiveToken());
+  RunGuard guard(options_.stage_deadline_seconds, ActiveToken(),
+                 options_.stage_observer);
   return guard.Run(kStageMeasure, [&] {
     PtpStats stats;
     const TraceRun run = RunLogicTrace(ptp);
@@ -271,7 +282,7 @@ PtpStats Compactor::MeasureStandalone(const Program& ptp) const {
     stats.size_instr = ptp.size();
     stats.duration_cc = run.run.total_cycles;
     stats.fc_percent =
-        fault::CoveragePercent(report.num_detected, faults_.size());
+        fault::CoveragePercent(report.num_detected, prep_->faults.size());
     stats.arc_percent = isa::Cfg(ptp).ArcFraction() * 100.0;
     return stats;
   });
@@ -289,7 +300,7 @@ double Compactor::AbsorbCoverage(const isa::Program& ptp) {
 }
 
 double Compactor::CumulativeFcPercent() const {
-  return fault::CoveragePercent(detected_.Count(), faults_.size());
+  return fault::CoveragePercent(detected_.Count(), prep_->faults.size());
 }
 
 CancelToken* Compactor::ActiveToken() const {

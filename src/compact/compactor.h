@@ -33,6 +33,7 @@
 
 #include "common/bitops.h"
 #include "common/status.h"
+#include "compact/run_guard.h"
 #include "fault/backend.h"
 #include "fault/collapse.h"
 #include "fault/faultsim.h"
@@ -196,15 +197,44 @@ struct CompactorOptions {
   /// next stage boundary or fault-sim pattern block.
   CancelToken* cancel = nullptr;
 
+  /// Warm-start cache shared with other compactors (null = the compactor
+  /// builds a private one when `trim.warm_start` is on). The cache is
+  /// content-keyed by (netlist, patterns), so sharing it across campaigns
+  /// — the service worker pool does — only ever adds hits; reports stay
+  /// bit-identical because warm-start is exact (fault/parallel.h).
+  std::shared_ptr<fault::WarmStartCache> warm_cache;
+
+  /// Per-stage progress hook (see compact/run_guard.h); empty = none.
+  StageObserver stage_observer;
+
   gpu::SmConfig sm;
 };
+
+/// Immutable per-module fault data every Compactor needs: the collapsed
+/// fault list, the structural-equivalence plan, and the fault-list digest
+/// for store keys. Building it is the expensive part of constructing a
+/// Compactor, and it depends only on the netlist — a service constructing
+/// thousands of short-lived campaigns against the same four modules builds
+/// each prep once and shares it (read-only, thread-safe by immutability).
+struct ModulePrep {
+  std::vector<fault::Fault> faults;
+  fault::FaultCollapse collapse;
+  Hash128 faults_fp;
+};
+
+std::shared_ptr<const ModulePrep> BuildModulePrep(
+    const netlist::Netlist& module);
 
 /// Compacts PTPs targeting one gate-level module.
 class Compactor {
  public:
   /// `module` must outlive the Compactor. The fault list starts full.
+  /// `prep` (optional) supplies pre-built fault data for `module` —
+  /// callers constructing many compactors against one module share it;
+  /// when null the compactor builds its own.
   Compactor(const netlist::Netlist& module, trace::TargetModule target,
-            CompactorOptions options = {});
+            CompactorOptions options = {},
+            std::shared_ptr<const ModulePrep> prep = nullptr);
 
   /// Runs the five stages on one PTP.
   CompactionResult CompactPtp(const isa::Program& ptp);
@@ -230,12 +260,19 @@ class Compactor {
   /// Marginal coverage state in percent.
   double CumulativeFcPercent() const;
 
-  const std::vector<fault::Fault>& faults() const { return faults_; }
+  const std::vector<fault::Fault>& faults() const { return prep_->faults; }
   const netlist::Netlist& module() const { return *module_; }
+
+  /// The (possibly shared) per-module fault data; never null. Campaigns
+  /// hand it to sibling compactors of the same module instead of
+  /// rebuilding the collapse plan.
+  const std::shared_ptr<const ModulePrep>& prep() const { return prep_; }
 
   /// Collapsed-vs-total numbers of this module's fault list (classes the
   /// engine propagates vs faults it reports on), for campaign stats.
-  fault::CollapseStats collapse_stats() const { return collapse_.Stats(); }
+  fault::CollapseStats collapse_stats() const {
+    return prep_->collapse.Stats();
+  }
 
   /// Trim skip counters accumulated across every fault simulation of this
   /// compactor (see fault/trim.h). Observability only — shard- and
@@ -264,9 +301,9 @@ class Compactor {
   const netlist::Netlist* module_;
   trace::TargetModule target_;
   CompactorOptions options_;
-  std::vector<fault::Fault> faults_;
-  fault::FaultCollapse collapse_;  // built once, shared by every fault sim
-  Hash128 faults_fp_;              // fault-list digest, for store keys
+  // Fault list + collapse plan + digest: immutable, possibly shared with
+  // other compactors of the same module (never null).
+  std::shared_ptr<const ModulePrep> prep_;
   BitVec detected_;
   // Cross-run warm-start state shared by every fault simulation of this
   // compactor (null when TrimOptions::warm_start is off) and the

@@ -8,6 +8,7 @@
 namespace gpustl::compact {
 
 void RunGuard::Begin(std::string_view stage) {
+  if (observer_) observer_(stage);
   if (chaos::Fail(chaos::Site::kStageDeadline, stage)) {
     Fail(stage, ErrorClass::kDeadline,
          "chaos: injected stage-deadline exhaustion");
@@ -15,6 +16,10 @@ void RunGuard::Begin(std::string_view stage) {
   if (token_ != nullptr) {
     if (token_->cancel_requested()) {
       Fail(stage, ErrorClass::kDeadline, "run cancelled before stage start");
+    }
+    if (token_->Expired()) {
+      Fail(stage, ErrorClass::kDeadline,
+           "run deadline exceeded before stage start");
     }
     token_->ArmDeadline(deadline_seconds_);
   }
@@ -25,6 +30,12 @@ void RunGuard::End(std::string_view stage, double elapsed_seconds) {
     token_->DisarmDeadline();
     if (token_->cancel_requested()) {
       Fail(stage, ErrorClass::kDeadline, "run cancelled");
+    }
+    // With the stage slot disarmed, Expired() now reflects only the
+    // job-level run deadline — enforced post-hoc for stages without a
+    // cooperative poll, exactly like the stage budget below.
+    if (token_->Expired()) {
+      Fail(stage, ErrorClass::kDeadline, "run deadline exceeded");
     }
   }
   // Post-hoc budget check for stages without a cooperative poll (logic

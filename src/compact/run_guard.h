@@ -21,6 +21,7 @@
 // degraded-mode path reachable from a test without real timeouts.
 #pragma once
 
+#include <functional>
 #include <string_view>
 #include <type_traits>
 #include <utility>
@@ -40,13 +41,22 @@ inline constexpr std::string_view kStageReduce = "reduce";
 inline constexpr std::string_view kStageValidate = "validate";
 inline constexpr std::string_view kStageMeasure = "measure";
 
+/// Observability hook invoked at every stage-domain entry with the
+/// canonical stage name, on the thread running the stage. Must not throw.
+using StageObserver = std::function<void(std::string_view stage)>;
+
 class RunGuard {
  public:
   /// `stage_deadline_seconds` <= 0 disables the wall-clock budget;
   /// `token` (not owned, may be null) is armed/disarmed around each
-  /// stage and checked for external cancellation.
-  RunGuard(double stage_deadline_seconds, CancelToken* token)
-      : deadline_seconds_(stage_deadline_seconds), token_(token) {}
+  /// stage and checked for external cancellation. `observer` (may be
+  /// empty) is notified before each stage body runs — the service layer
+  /// streams it to clients as per-stage progress.
+  RunGuard(double stage_deadline_seconds, CancelToken* token,
+           StageObserver observer = {})
+      : deadline_seconds_(stage_deadline_seconds),
+        token_(token),
+        observer_(std::move(observer)) {}
 
   ~RunGuard() {
     if (token_ != nullptr) token_->DisarmDeadline();
@@ -89,6 +99,7 @@ class RunGuard {
 
   double deadline_seconds_;
   CancelToken* token_;
+  StageObserver observer_;
 };
 
 }  // namespace gpustl::compact

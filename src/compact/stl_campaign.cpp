@@ -25,17 +25,22 @@ double CampaignSummary::fault_collapse_percent() const {
 StlCampaign::StlCampaign(const netlist::Netlist& du, const netlist::Netlist& sp,
                          const netlist::Netlist& sfu,
                          const CompactorOptions& base,
-                         const netlist::Netlist* fp32)
+                         const netlist::Netlist* fp32,
+                         const ModulePrepSet* preps)
     : base_(base) {
-  compactors_.emplace(trace::TargetModule::kDecoderUnit,
-                      Compactor(du, trace::TargetModule::kDecoderUnit, base));
+  const ModulePrepSet none;
+  const ModulePrepSet& p = preps != nullptr ? *preps : none;
+  compactors_.emplace(
+      trace::TargetModule::kDecoderUnit,
+      Compactor(du, trace::TargetModule::kDecoderUnit, base, p.du));
   compactors_.emplace(trace::TargetModule::kSpCore,
-                      Compactor(sp, trace::TargetModule::kSpCore, base));
+                      Compactor(sp, trace::TargetModule::kSpCore, base, p.sp));
   compactors_.emplace(trace::TargetModule::kSfu,
-                      Compactor(sfu, trace::TargetModule::kSfu, base));
+                      Compactor(sfu, trace::TargetModule::kSfu, base, p.sfu));
   if (fp32 != nullptr) {
-    compactors_.emplace(trace::TargetModule::kFp32,
-                        Compactor(*fp32, trace::TargetModule::kFp32, base));
+    compactors_.emplace(
+        trace::TargetModule::kFp32,
+        Compactor(*fp32, trace::TargetModule::kFp32, base, p.fp32));
   }
 }
 
@@ -47,6 +52,16 @@ Compactor& StlCampaign::compactor(trace::TargetModule target) {
                 "' (FP32 requires passing its netlist at construction)");
   }
   return it->second;
+}
+
+std::vector<trace::TargetModule> StlCampaign::modules() const {
+  std::vector<trace::TargetModule> out;
+  out.reserve(compactors_.size());
+  for (const auto& [target, c] : compactors_) {
+    (void)c;
+    out.push_back(target);
+  }
+  return out;
 }
 
 namespace {
@@ -99,7 +114,7 @@ const CampaignRecord& StlCampaign::Process(const StlEntry& entry) {
         // pre-entry state.
         CompactorOptions adjusted = base_;
         adjusted.reverse_patterns = entry.reverse_patterns;
-        Compactor tmp(c.module(), entry.target, adjusted);
+        Compactor tmp(c.module(), entry.target, adjusted, c.prep());
         tmp.MutableDetected() = c.detected();
         rec.result = tmp.CompactPtp(entry.ptp);
         c.MutableDetected() = tmp.detected();

@@ -98,15 +98,27 @@ struct CampaignSummary {
   double fault_collapse_percent() const;
 };
 
+/// Pre-built ModulePrep per campaign module (see compact/compactor.h).
+/// Null members are built by the campaign itself; a service running many
+/// campaigns against the same netlists fills all of them once.
+struct ModulePrepSet {
+  std::shared_ptr<const ModulePrep> du;
+  std::shared_ptr<const ModulePrep> sp;
+  std::shared_ptr<const ModulePrep> sfu;
+  std::shared_ptr<const ModulePrep> fp32;
+};
+
 /// Runs the compaction method over an ordered STL.
 class StlCampaign {
  public:
   /// The module netlists must outlive the campaign. `fp32` is optional
   /// (the paper's STL has no FP32-targeted PTPs; pass the netlist to enable
-  /// the extension target).
+  /// the extension target). `preps` (optional, copied) shares pre-built
+  /// fault data across campaigns.
   StlCampaign(const netlist::Netlist& du, const netlist::Netlist& sp,
               const netlist::Netlist& sfu, const CompactorOptions& base = {},
-              const netlist::Netlist* fp32 = nullptr);
+              const netlist::Netlist* fp32 = nullptr,
+              const ModulePrepSet* preps = nullptr);
 
   /// Compacts (or carries through) one entry; records are appended in call
   /// order. The returned reference stays valid for the campaign's lifetime:
@@ -132,6 +144,11 @@ class StlCampaign {
   CampaignSummary Summary() const;
 
   Compactor& compactor(trace::TargetModule target);
+
+  /// The campaign's target modules in deterministic (enum) order — the
+  /// set checkpoint writers iterate when persisting per-module fault-list
+  /// state.
+  std::vector<trace::TargetModule> modules() const;
 
  private:
   CompactorOptions base_;

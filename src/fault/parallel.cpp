@@ -94,7 +94,7 @@ WarmStartCache::Shared WarmStartCache::Acquire(
       return e.shared;
     }
   }
-  if (entries_.size() >= kMaxEntries) {
+  if (entries_.size() >= max_entries_) {
     std::size_t oldest = 0;
     for (std::size_t i = 1; i < entries_.size(); ++i) {
       if (entries_[i].stamp < entries_[oldest].stamp) oldest = i;

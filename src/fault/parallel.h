@@ -126,6 +126,12 @@ class StemObsCache {
 /// locking.
 class WarmStartCache {
  public:
+  /// `max_entries` bounds the LRU. The default suits one campaign (a
+  /// CompactPtp juggles two live pattern sets); a multi-tenant service
+  /// sharing one cache across concurrent campaigns passes a larger bound.
+  explicit WarmStartCache(std::size_t max_entries = 4)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
   struct Shared {
     std::shared_ptr<GoodBlockCache> good;
     std::shared_ptr<StemObsCache> stem_obs;
@@ -138,12 +144,12 @@ class WarmStartCache {
                  const netlist::PatternSet& patterns, TrimCounters* counters);
 
  private:
-  static constexpr std::size_t kMaxEntries = 4;
   struct Entry {
     Hash128 key;
     Shared shared;
     std::uint64_t stamp = 0;  // LRU clock
   };
+  std::size_t max_entries_;
   std::mutex mu_;
   std::vector<Entry> entries_;
   std::uint64_t next_stamp_ = 0;

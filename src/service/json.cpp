@@ -1,0 +1,428 @@
+#include "service/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gpustl::service {
+
+namespace {
+
+// Deep enough for any protocol message (submit requests nest 3 levels);
+// shallow enough that a hostile client can't overflow the parser stack.
+constexpr int kMaxDepth = 64;
+
+void EscapeInto(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void NumberInto(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no Inf/NaN; null is the least-wrong encoding
+    return;
+  }
+  // 2^53 bound: beyond it a double no longer represents every integer, so
+  // the %.17g path is the honest one.
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void DumpInto(std::string& out, const Json& j);
+
+void DumpArray(std::string& out, const Json& j) {
+  out.push_back('[');
+  bool first = true;
+  for (const Json& item : j.items()) {
+    if (!first) out.push_back(',');
+    first = false;
+    DumpInto(out, item);
+  }
+  out.push_back(']');
+}
+
+void DumpObject(std::string& out, const Json& j) {
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : j.fields()) {
+    if (!first) out.push_back(',');
+    first = false;
+    EscapeInto(out, key);
+    out.push_back(':');
+    DumpInto(out, value);
+  }
+  out.push_back('}');
+}
+
+void DumpInto(std::string& out, const Json& j) {
+  switch (j.type()) {
+    case Json::Type::kNull:
+      out += "null";
+      break;
+    case Json::Type::kBool:
+      out += j.AsBool() ? "true" : "false";
+      break;
+    case Json::Type::kNumber:
+      NumberInto(out, j.AsDouble());
+      break;
+    case Json::Type::kString:
+      EscapeInto(out, j.AsString());
+      break;
+    case Json::Type::kArray:
+      DumpArray(out, j);
+      break;
+    case Json::Type::kObject:
+      DumpObject(out, j);
+      break;
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> Run(std::string* error) {
+    auto value = ParseValue(0);
+    if (value) {
+      SkipWs();
+      if (pos_ != text_.size()) {
+        value.reset();
+        err_ = "trailing characters after document";
+      }
+    }
+    if (!value && error != nullptr) {
+      *error = err_.empty() ? "invalid JSON" : err_;
+    }
+    return value;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<Json> Fail(std::string msg) {
+    err_ = std::move(msg) + " at offset " + std::to_string(pos_);
+    return std::nullopt;
+  }
+
+  std::optional<Json> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == 'n') {
+      if (Literal("null")) return Json();
+      return Fail("bad literal");
+    }
+    if (c == 't') {
+      if (Literal("true")) return Json(true);
+      return Fail("bad literal");
+    }
+    if (c == 'f') {
+      if (Literal("false")) return Json(false);
+      return Fail("bad literal");
+    }
+    if (c == '"') return ParseString();
+    if (c == '[') return ParseArray(depth);
+    if (c == '{') return ParseObject(depth);
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    return Fail("unexpected character");
+  }
+
+  std::optional<Json> ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || token.empty() ||
+        token == "-") {
+      return Fail("bad number");
+    }
+    return Json(v);
+  }
+
+  // Appends `cp` to out as UTF-8.
+  static void AppendUtf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool ParseHex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      unsigned digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = 10 + (c - 'a');
+      } else if (c >= 'A' && c <= 'F') {
+        digit = 10 + (c - 'A');
+      } else {
+        return false;
+      }
+      out = (out << 4) | digit;
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  std::optional<Json> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Json(std::move(out));
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return Fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          unsigned cp;
+          if (!ParseHex4(cp)) return Fail("bad \\u escape");
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must pair with \uDC00-\uDFFF.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Fail("unpaired surrogate");
+            }
+            pos_ += 2;
+            unsigned lo;
+            if (!ParseHex4(lo) || lo < 0xDC00 || lo > 0xDFFF) {
+              return Fail("unpaired surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Fail("unpaired surrogate");
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  std::optional<Json> ParseArray(int depth) {
+    ++pos_;  // '['
+    Json arr = Json::Array();
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      auto value = ParseValue(depth + 1);
+      if (!value) return std::nullopt;
+      arr.Append(std::move(*value));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      const char c = text_[pos_++];
+      if (c == ']') return arr;
+      if (c != ',') return Fail("expected ',' or ']'");
+    }
+  }
+
+  std::optional<Json> ParseObject(int depth) {
+    ++pos_;  // '{'
+    Json obj = Json::Object();
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      auto key = ParseString();
+      if (!key) return std::nullopt;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_++] != ':') {
+        return Fail("expected ':'");
+      }
+      auto value = ParseValue(depth + 1);
+      if (!value) return std::nullopt;
+      obj.Set(key->AsString(), std::move(*value));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      const char c = text_[pos_++];
+      if (c == '}') return obj;
+      if (c != ',') return Fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+}  // namespace
+
+Json& Json::Set(std::string key, Json value) {
+  type_ = Type::kObject;
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json& Json::Append(Json value) {
+  type_ = Type::kArray;
+  arr_.push_back(std::move(value));
+  return *this;
+}
+
+std::string Json::GetString(std::string_view key, std::string def) const {
+  const Json* f = Find(key);
+  return f != nullptr ? f->AsString(std::move(def)) : std::move(def);
+}
+
+double Json::GetDouble(std::string_view key, double def) const {
+  const Json* f = Find(key);
+  return f != nullptr ? f->AsDouble(def) : def;
+}
+
+std::int64_t Json::GetInt(std::string_view key, std::int64_t def) const {
+  const Json* f = Find(key);
+  return f != nullptr ? f->AsInt(def) : def;
+}
+
+bool Json::GetBool(std::string_view key, bool def) const {
+  const Json* f = Find(key);
+  return f != nullptr ? f->AsBool(def) : def;
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpInto(out, *this);
+  return out;
+}
+
+std::optional<Json> Json::Parse(std::string_view text, std::string* error) {
+  return Parser(text).Run(error);
+}
+
+}  // namespace gpustl::service

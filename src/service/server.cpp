@@ -1,0 +1,234 @@
+#include "service/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace gpustl::service {
+
+struct SocketServer::Connection {
+  // fd is guarded by write_mu (for close-vs-shutdown ordering: the reader
+  // thread closes under the lock and sets -1, so JoinConnections can never
+  // shut down a recycled descriptor number).
+  int fd = -1;
+  std::mutex write_mu;
+  bool broken = false;  // write failed; stop sending (guarded by write_mu)
+
+  // Jobs submitted on this connection that have not yet emitted their
+  // terminal event. The reader thread waits for zero before closing the
+  // fd, so a client that half-closes after submitting still receives the
+  // full event stream.
+  std::mutex jobs_mu;
+  std::condition_variable jobs_cv;
+  std::size_t outstanding = 0;
+
+  void WriteLine(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (broken || fd < 0) return;
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n =
+          ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        broken = true;  // client went away; its loss, not the daemon's
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+};
+
+SocketServer::SocketServer(CampaignService& service, std::string socket_path)
+    : service_(service), socket_path_(std::move(socket_path)) {}
+
+SocketServer::~SocketServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
+  if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
+  if (!socket_path_.empty()) ::unlink(socket_path_.c_str());
+}
+
+bool SocketServer::Start(std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    if (error) *error = "socket path too long: " + socket_path_;
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+
+  if (::pipe(stop_pipe_) != 0) {
+    if (error) *error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  // A stale socket file from a crashed daemon blocks bind; only remove it
+  // if nothing is listening there (connect refused = dead).
+  int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (probe >= 0) {
+    if (::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      ::close(probe);
+      if (error) *error = "another daemon is listening on " + socket_path_;
+      return false;
+    }
+    ::close(probe);
+  }
+  ::unlink(socket_path_.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error) {
+      *error = "bind " + socket_path_ + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    if (error) *error = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+void SocketServer::RequestStop() {
+  const char byte = 's';
+  // Best-effort, async-signal-safe; the pipe buffer cannot be full with
+  // one writer writing once.
+  [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+}
+
+void SocketServer::Serve() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {stop_pipe_[0], POLLIN, 0};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) {
+      stopping_.store(true, std::memory_order_relaxed);
+      break;
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(conn);
+    conn_threads_.emplace_back(
+        [this, conn] { HandleConnection(std::move(conn)); });
+  }
+}
+
+void SocketServer::JoinConnections() {
+  {
+    // Unblock readers parked in recv: half-close every connection. The
+    // service is drained by now, so outstanding job counts are zero (every
+    // job emitted its terminal event) and the reader threads fall through.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) {
+      std::lock_guard<std::mutex> fd_lock(conn->write_mu);
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void SocketServer::HandleConnection(std::shared_ptr<Connection> conn) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos && open;
+         start = nl + 1, nl = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, nl - start);
+      if (line.empty()) continue;
+
+      std::string parse_error;
+      const auto request = Json::Parse(line, &parse_error);
+      if (!request || !request->is_object()) {
+        conn->WriteLine(EventError("bad request: " + parse_error).Dump());
+        continue;
+      }
+      const std::string op = RequestOp(*request);
+      if (op == "ping") {
+        conn->WriteLine(EventPong().Dump());
+      } else if (op == "status") {
+        conn->WriteLine(service_.Status().Dump());
+      } else if (op == "shutdown") {
+        Json ok = Json::Object();
+        ok.Set("event", "ok");
+        conn->WriteLine(ok.Dump());
+        RequestStop();
+        open = false;  // the drain path owns this daemon's fate now
+      } else if (op == "submit") {
+        SubmitRequest req;
+        std::string error;
+        if (!ParseSubmitRequest(*request, &req, &error)) {
+          conn->WriteLine(EventRejected(0, "bad-request", error).Dump());
+          continue;
+        }
+        JobSpec spec;
+        try {
+          spec = MakeJobSpec(req);
+        } catch (const Error& e) {
+          conn->WriteLine(EventRejected(0, "bad-request", e.what()).Dump());
+          continue;
+        }
+        {
+          std::lock_guard<std::mutex> lock(conn->jobs_mu);
+          ++conn->outstanding;
+        }
+        const SubmitResult result =
+            service_.Submit(std::move(spec), [conn](const Json& event) {
+              conn->WriteLine(event.Dump());
+              const std::string kind = event.GetString("event");
+              if (kind == "rejected" || kind == "complete" ||
+                  kind == "failed") {
+                std::lock_guard<std::mutex> lock(conn->jobs_mu);
+                if (conn->outstanding > 0) --conn->outstanding;
+                conn->jobs_cv.notify_all();
+              }
+            });
+        (void)result;
+      } else {
+        conn->WriteLine(EventError("unknown op: " + op).Dump());
+      }
+    }
+    buffer.erase(0, start);
+  }
+  // EOF (or shutdown request): stop reading, but keep the write side up
+  // until every job submitted here has emitted its terminal event.
+  {
+    std::unique_lock<std::mutex> lock(conn->jobs_mu);
+    conn->jobs_cv.wait(lock, [&] { return conn->outstanding == 0; });
+  }
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  ::close(conn->fd);
+  conn->fd = -1;
+}
+
+}  // namespace gpustl::service

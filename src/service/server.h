@@ -1,0 +1,68 @@
+// SocketServer: the gpustld transport — an AF_UNIX stream listener
+// speaking the newline-delimited JSON protocol (service/protocol.h).
+//
+// Threading model: one accept loop (Serve) multiplexing the listen socket
+// and a self-pipe with poll(2); one thread per connection reading request
+// lines. Event sinks write back on the connection with a per-connection
+// mutex, so events from concurrent jobs interleave only at line
+// granularity. RequestStop is async-signal-safe (a single write to the
+// self-pipe) — it is exactly what a SIGTERM handler calls; Serve then
+// returns and the daemon runs its graceful drain.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.h"
+
+namespace gpustl::service {
+
+class SocketServer {
+ public:
+  SocketServer(CampaignService& service, std::string socket_path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds and listens. False (with a diagnostic) on failure — an
+  /// existing live socket file, an over-long path, ...
+  bool Start(std::string* error);
+
+  /// Accept loop; blocks until RequestStop. New connections stop being
+  /// accepted the moment the stop byte arrives.
+  void Serve();
+
+  /// Async-signal-safe stop: a single write(2) to the self-pipe.
+  void RequestStop();
+
+  /// After Serve returns and the service is drained: unblocks connection
+  /// readers and joins their threads. Every in-flight job has emitted its
+  /// terminal event by then (the drain guarantees it), so clients see a
+  /// complete stream before EOF.
+  void JoinConnections();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  struct Connection;
+  void HandleConnection(std::shared_ptr<Connection> conn);
+
+  CampaignService& service_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace gpustl::service

@@ -1,0 +1,335 @@
+#include "service/service.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "circuits/decoder_unit.h"
+#include "circuits/fp32.h"
+#include "circuits/sfu.h"
+#include "circuits/sp_core.h"
+#include "common/error.h"
+#include "compact/report.h"
+#include "fault/backend.h"
+#include "fault/trim.h"
+#include "isa/assembler.h"
+#include "isa/binary.h"
+
+namespace gpustl::service {
+
+namespace {
+
+std::string ReadFileOrThrow(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+isa::Program LoadPtpFile(const std::string& path) {
+  if (EndsWith(path, ".asm") || EndsWith(path, ".s")) {
+    return isa::Assemble(ReadFileOrThrow(path));
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path);
+  return isa::LoadBinary(in);
+}
+
+}  // namespace
+
+std::vector<compact::PlanEntry> BuildPlan(const SubmitRequest& request) {
+  if (!request.manifest.empty()) {
+    const std::string manifest = ReadFileOrThrow(request.manifest);
+    // PTP paths in a manifest are relative to the manifest, not to the
+    // daemon's working directory — a client submits the same manifest it
+    // would hand to `gpustlc campaign` from the manifest's own directory.
+    const std::filesystem::path base =
+        std::filesystem::path(request.manifest).parent_path();
+    return compact::ParseManifestPlan(manifest, [&](const std::string& p) {
+      const std::filesystem::path ptp(p);
+      return LoadPtpFile(
+          ptp.is_absolute() ? ptp.string() : (base / ptp).string());
+    });
+  }
+  std::vector<compact::PlanEntry> plan;
+  for (const SubmitEntry& e : request.entries) {
+    compact::PlanEntry pe;
+    pe.entry.ptp =
+        e.path.empty() ? isa::Assemble(e.asm_text) : LoadPtpFile(e.path);
+    const auto module = compact::ParseTargetModule(e.module);
+    if (!module) throw Error("bad module " + e.module);
+    pe.entry.target = *module;
+    pe.entry.compactable = e.compact;
+    pe.entry.reverse_patterns = e.reverse;
+    pe.target_token = std::string(trace::TargetModuleName(*module));
+    pe.fp = compact::FingerprintPlanEntry(pe.entry, pe.target_token);
+    plan.push_back(std::move(pe));
+  }
+  return plan;
+}
+
+JobSpec MakeJobSpec(const SubmitRequest& request) {
+  JobSpec spec;
+  spec.tenant = request.tenant;
+  spec.priority = ParsePriority(request.priority).value_or(Priority::kNormal);
+  spec.deadline_seconds = request.deadline_seconds;
+  spec.stage_deadline_seconds = request.stage_deadline_seconds;
+  spec.threads = request.threads;
+  if (!request.backend.empty()) {
+    const auto b = fault::ParseBackend(request.backend);
+    if (!b) throw Error("bad backend " + request.backend);
+    spec.backend = *b;
+  }
+  spec.no_collapse = request.no_collapse;
+  spec.no_cone = request.no_cone;
+  spec.no_ffr = request.no_ffr;
+  spec.no_trim = request.no_trim;
+  spec.checkpoint_dir = request.checkpoint_dir;
+  spec.plan = BuildPlan(request);
+  return spec;
+}
+
+CampaignService::CampaignService(ServiceOptions options)
+    : options_(std::move(options)),
+      du_(circuits::BuildDecoderUnit()),
+      sp_(circuits::BuildSpCore()),
+      sfu_(circuits::BuildSfu()),
+      fp32_(circuits::BuildFp32()),
+      warm_cache_(std::make_shared<fault::WarmStartCache>(
+          options_.warm_cache_entries)),
+      queue_(options_.admission) {
+  preps_.du = compact::BuildModulePrep(du_);
+  preps_.sp = compact::BuildModulePrep(sp_);
+  preps_.sfu = compact::BuildModulePrep(sfu_);
+  preps_.fp32 = compact::BuildModulePrep(fp32_);
+  if (!options_.cache_dir.empty()) {
+    store_.emplace(options_.cache_dir, options_.cache_limit_bytes);
+  }
+  const int workers = options_.workers > 0 ? options_.workers : 1;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+CampaignService::~CampaignService() { Drain(true); }
+
+SubmitResult CampaignService::Submit(JobSpec spec, EventSink sink) {
+  auto job = std::make_shared<Job>();
+  job->spec = std::move(spec);
+  job->sink = std::move(sink);
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    job->id = next_job_id_++;
+    jobs_[job->id] = job;
+  }
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.submitted;
+  }
+
+  SubmitResult result;
+  result.job_id = job->id;
+
+  Ticket ticket;
+  ticket.id = job->id;
+  ticket.tenant = job->spec.tenant;
+  ticket.priority = job->spec.priority;
+
+  // event_mu held across enqueue + `queued`: a worker that pops the
+  // ticket before we return blocks in Emit until `queued` is on the wire.
+  std::unique_lock<std::mutex> events(job->event_mu);
+  const AdmissionDecision decision = queue_.Enqueue(std::move(ticket));
+  if (!decision.admitted) {
+    if (job->sink) job->sink(EventRejected(job->id, decision.reason, ""));
+    events.unlock();
+    EraseJob(job->id);
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.rejected;
+    result.reason = decision.reason;
+    return result;
+  }
+  if (job->sink) job->sink(EventQueued(job->id, decision.position));
+  result.admitted = true;
+  return result;
+}
+
+void CampaignService::WorkerLoop(int worker_index) {
+  while (auto ticket = queue_.Pop()) {
+    if (auto job = FindJob(ticket->id)) {
+      RunJob(*job, worker_index);
+      EraseJob(job->id);
+    }
+    queue_.MarkDone(ticket->tenant);
+  }
+}
+
+void CampaignService::RunJob(Job& job, int worker_index) {
+  Emit(job, EventAdmitted(job.id, worker_index));
+
+  const JobSpec& spec = job.spec;
+  const double run_deadline = spec.deadline_seconds >= 0
+                                  ? spec.deadline_seconds
+                                  : options_.default_deadline_seconds;
+  if (run_deadline > 0) job.token.ArmRunDeadline(run_deadline);
+
+  try {
+    compact::CompactorOptions opt = options_.base;
+    if (spec.threads >= 0) opt.num_threads = spec.threads;
+    if (spec.backend) opt.backend = *spec.backend;
+    if (spec.no_collapse) opt.collapse_faults = false;
+    if (spec.no_cone) opt.cone_limit = false;
+    if (spec.no_ffr) opt.ffr_trace = false;
+    if (spec.no_trim) opt.trim = fault::NoTrim();
+    opt.stage_deadline_seconds = spec.stage_deadline_seconds >= 0
+                                     ? spec.stage_deadline_seconds
+                                     : options_.stage_deadline_seconds;
+    opt.cancel = &job.token;
+    opt.result_store = store_ ? &*store_ : nullptr;
+    opt.warm_cache = warm_cache_;
+
+    struct {
+      std::size_t index = 0;
+      std::string name;
+    } current;
+    opt.stage_observer = [this, &job, &current](std::string_view stage) {
+      Emit(job, EventStage(job.id, current.index, current.name, stage));
+    };
+
+    compact::StlCampaign campaign(du_, sp_, sfu_, opt, &fp32_, &preps_);
+
+    compact::CampaignCheckpointer ckpt;
+    std::size_t restored = 0;
+    if (!spec.checkpoint_dir.empty()) {
+      restored = ckpt.TryRestore(campaign, spec.plan, spec.checkpoint_dir)
+                     .restored;
+      if (restored == 0) ckpt.Write(campaign, spec.checkpoint_dir);
+    }
+
+    const auto mode = [](const compact::CampaignRecord& r) {
+      return std::string(r.degraded      ? "DEGRADED"
+                         : r.compacted   ? "compacted"
+                                         : "carried");
+    };
+    for (std::size_t i = 0; i < spec.plan.size(); ++i) {
+      const std::string name = spec.plan[i].entry.ptp.name();
+      if (i < restored) {
+        Emit(job, EventEntryDone(job.id, i, name, "checkpointed", "", ""));
+        continue;
+      }
+      current.index = i;
+      current.name = name;
+      const compact::CampaignRecord& rec = campaign.Process(spec.plan[i].entry);
+      Emit(job, EventEntryDone(
+                    job.id, i, name, mode(rec), rec.error_stage,
+                    rec.degraded ? std::string(ErrorClassName(rec.error_class))
+                                 : ""));
+      if (!spec.checkpoint_dir.empty()) {
+        ckpt.Record(campaign, spec.plan[i], rec, spec.checkpoint_dir);
+      }
+    }
+
+    const compact::CampaignSummary summary = campaign.Summary();
+    const std::string report =
+        compact::RenderCampaignReport(campaign.records(), summary);
+    const bool degraded = summary.degraded_records > 0;
+    const store::StoreStats cache = cache_stats();
+    Emit(job, EventComplete(job.id, degraded ? "degraded" : "complete",
+                            campaign.records().size(),
+                            summary.degraded_records, report, cache.hits,
+                            cache.misses));
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++(degraded ? counters_.degraded : counters_.completed);
+  } catch (const std::exception& e) {
+    Emit(job, EventFailed(job.id, std::string(ErrorClassName(ClassifyError(e))),
+                          e.what()));
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.failed;
+  }
+}
+
+void CampaignService::Emit(Job& job, const Json& event) {
+  std::lock_guard<std::mutex> lock(job.event_mu);
+  if (job.sink) job.sink(event);
+}
+
+std::shared_ptr<CampaignService::Job> CampaignService::FindJob(
+    std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  auto it = jobs_.find(id);
+  return it != jobs_.end() ? it->second : nullptr;
+}
+
+void CampaignService::EraseJob(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  jobs_.erase(id);
+}
+
+void CampaignService::Drain(bool cancel_inflight) {
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    if (drained_) return;
+    drained_ = true;
+  }
+  // Jobs still queued will never run: give each its terminal event.
+  for (const Ticket& t : queue_.CloseAndFlush()) {
+    if (auto job = FindJob(t.id)) {
+      Emit(*job, EventFailed(job->id,
+                             std::string(ErrorClassName(ErrorClass::kDeadline)),
+                             "cancelled: service draining"));
+      EraseJob(job->id);
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.failed;
+    }
+  }
+  if (cancel_inflight) {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    // In-flight jobs degrade at the next stage boundary / pattern block
+    // and complete (degraded) on their own workers.
+    for (auto& [id, job] : jobs_) job->token.RequestCancel();
+  }
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+Json CampaignService::Status() const {
+  const ServiceCounters c = counters();
+  Json status = Json::Object();
+  status.Set("event", "status");
+  status.Set("queue_depth", queue_.QueuedDepth());
+  status.Set("workers", static_cast<std::int64_t>(workers_.size()));
+  Json jobs = Json::Object();
+  jobs.Set("submitted", c.submitted);
+  jobs.Set("rejected", c.rejected);
+  jobs.Set("completed", c.completed);
+  jobs.Set("degraded", c.degraded);
+  jobs.Set("failed", c.failed);
+  status.Set("jobs", std::move(jobs));
+  const store::StoreStats s = cache_stats();
+  Json cache = Json::Object();
+  cache.Set("enabled", store_.has_value());
+  cache.Set("hits", s.hits);
+  cache.Set("misses", s.misses);
+  cache.Set("stores", s.stores);
+  cache.Set("evictions", s.evictions);
+  status.Set("cache", std::move(cache));
+  return status;
+}
+
+ServiceCounters CampaignService::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+store::StoreStats CampaignService::cache_stats() const {
+  return store_ ? store_->stats() : store::StoreStats{};
+}
+
+}  // namespace gpustl::service

@@ -1,9 +1,12 @@
 #include "store/result_store.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <system_error>
 #include <vector>
 
@@ -154,6 +157,9 @@ std::optional<fault::FaultSimResult> ResultStore::Load(const StoreKey& key) {
   const std::string path = EntryPath(key);
   std::ifstream in(path, std::ios::binary);
   if (!in) {
+    // Absent — or vanished between a concurrent user's eviction and this
+    // open. Either way a plain miss, never a failure.
+    std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.misses;
     return std::nullopt;
   }
@@ -205,15 +211,21 @@ std::optional<fault::FaultSimResult> ResultStore::Load(const StoreKey& key) {
 
   if (why != nullptr) {
     LogBadEntry(path, why);
-    ++stats_.bad_entries;
-    ++stats_.misses;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.bad_entries;
+      ++stats_.misses;
+    }
     std::error_code ec;
     fs::remove(path, ec);
     return std::nullopt;
   }
 
-  ++stats_.hits;
-  stats_.bytes_read += data.size();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.hits;
+    stats_.bytes_read += data.size();
+  }
   return result;
 }
 
@@ -234,7 +246,13 @@ void ResultStore::Store(const StoreKey& key,
   data += payload;
 
   const std::string path = EntryPath(key);
-  const std::string tmp = path + ".tmp";
+  // Unique temp name per write: two handles (threads or processes) storing
+  // the same key concurrently must never interleave into one temp file.
+  const std::string tmp =
+      path + "." + std::to_string(static_cast<unsigned long>(::getpid())) +
+      "." +
+      std::to_string(tmp_seq_.fetch_add(1, std::memory_order_relaxed)) +
+      ".tmp";
   const auto attempt = [&]() -> bool {
     if (chaos::Fail(chaos::Site::kStoreWriteFail)) return false;
     {
@@ -255,28 +273,43 @@ void ResultStore::Store(const StoreKey& key,
     }
     return true;
   };
-  if (!RetryIo(RetryPolicy{}, attempt, &stats_.io_retries)) {
-    ++stats_.write_failures;
+  std::uint64_t retries = 0;
+  const bool ok = RetryIo(RetryPolicy{}, attempt, &retries);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.io_retries += retries;
+    if (!ok) {
+      ++stats_.write_failures;
+    } else {
+      ++stats_.stores;
+      stats_.bytes_written += data.size();
+    }
+  }
+  if (!ok) {
     std::fprintf(stderr,
                  "gpustl-store: cannot write %s after retries "
                  "(caching skipped)\n",
                  path.c_str());
     return;
   }
-  ++stats_.stores;
-  stats_.bytes_written += data.size();
   if (max_bytes_ > 0) EnforceBudget();
 }
 
 void ResultStore::Discard(const StoreKey& key) {
   const std::string path = EntryPath(key);
   LogBadEntry(path, "query shape mismatch");
-  ++stats_.bad_entries;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.bad_entries;
+  }
   std::error_code ec;
   fs::remove(path, ec);
 }
 
 void ResultStore::EnforceBudget() {
+  std::unique_lock<std::mutex> single_flight(budget_mu_, std::try_to_lock);
+  if (!single_flight.owns_lock()) return;
+
   struct Entry {
     fs::path path;
     fs::file_time_type mtime;
@@ -285,16 +318,31 @@ void ResultStore::EnforceBudget() {
   std::vector<Entry> entries;
   std::uint64_t total = 0;
   std::error_code ec;
-  for (const auto& it : fs::directory_iterator(dir_, ec)) {
-    if (ec) return;
-    if (!it.is_regular_file(ec) || it.path().extension() != ".gsr") continue;
-    Entry e;
-    e.path = it.path();
-    e.mtime = fs::last_write_time(e.path, ec);
-    e.size = it.file_size(ec);
-    if (ec) continue;
-    total += e.size;
-    entries.push_back(std::move(e));
+  fs::directory_iterator it(dir_, ec);
+  if (ec) return;
+  const fs::directory_iterator end;
+  while (it != end) {
+    // Every stat below uses its own error code and skips the entry on
+    // failure: with several handles sharing the directory a file can
+    // vanish between listing and stat (a concurrent eviction), and that
+    // must never abort the scan — or worse, half-count the entry.
+    if (it->path().extension() == ".gsr") {
+      std::error_code type_ec;
+      if (it->is_regular_file(type_ec) && !type_ec) {
+        Entry e;
+        e.path = it->path();
+        std::error_code mtime_ec;
+        std::error_code size_ec;
+        e.mtime = fs::last_write_time(e.path, mtime_ec);
+        e.size = fs::file_size(e.path, size_ec);
+        if (!mtime_ec && !size_ec) {
+          total += e.size;
+          entries.push_back(std::move(e));
+        }
+      }
+    }
+    it.increment(ec);
+    if (ec) break;  // the iterator is end() after a failed increment
   }
   if (total <= max_bytes_) return;
   std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
@@ -302,10 +350,16 @@ void ResultStore::EnforceBudget() {
   });
   for (const Entry& e : entries) {
     if (total <= max_bytes_) break;
-    fs::remove(e.path, ec);
-    if (ec) continue;
+    std::error_code remove_ec;
+    const bool removed = fs::remove(e.path, remove_ec);
+    if (remove_ec) continue;  // unremovable; try the next oldest
+    // removed == false: already gone (the other handle evicted it) — its
+    // bytes are freed either way, but only count evictions we performed.
     total -= e.size;
-    ++stats_.evictions;
+    if (removed) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.evictions;
+    }
   }
 }
 

@@ -22,13 +22,17 @@
 // treated as a miss — the caller recomputes and overwrites. A cache can
 // therefore never make a run wrong, only slow.
 //
-// Writes go through a temp file + atomic rename, so a killed campaign
-// leaves either the old entry or the new one, never a torn file. The store
-// object itself is not synchronized: one store per thread of control
-// (campaigns are sequential above the fault-parallel engine).
+// Writes go through a unique temp file + atomic rename, so a killed
+// campaign leaves either the old entry or the new one, never a torn file.
+// The store object is thread-safe (the service worker pool shares one
+// instance), and a directory may be shared by several store handles — even
+// across processes (the daemon and a CLI run): entries vanishing mid-scan
+// or mid-read are treated as plain misses/skips, never as failures.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -82,7 +86,12 @@ class ResultStore {
   /// (e.g. shape mismatch against the query); counts it as bad.
   void Discard(const StoreKey& key);
 
-  const StoreStats& stats() const { return stats_; }
+  /// Snapshot of the counters (by value: the store is shared across
+  /// threads, so a reference would race with concurrent updates).
+  StoreStats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
 
   /// Payload codec, exposed for tests and bench tooling.
   static std::string EncodeResult(const fault::FaultSimResult& result);
@@ -94,7 +103,16 @@ class ResultStore {
 
   std::string dir_;
   std::uint64_t max_bytes_ = 0;
+  // Counter mutations only — file I/O deliberately runs outside any lock
+  // (reads race benignly with atomic renames; writes use unique temp
+  // names), so concurrent jobs never serialize on the cache.
+  mutable std::mutex stats_mu_;
   StoreStats stats_;
+  // Single-flight guard for the eviction scan: a Store that finds a scan
+  // already running skips its own (the budget is advisory, and the next
+  // over-budget Store re-triggers it).
+  std::mutex budget_mu_;
+  std::atomic<std::uint64_t> tmp_seq_{0};
 };
 
 /// The single choke point callers use: consult `store` (nullable = caching

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "circuits/decoder_unit.h"
 #include "circuits/sfu.h"
@@ -710,6 +711,84 @@ TEST(CampaignCacheTest, EditingOnePtpOnlyResimulatesAffectedEntries) {
   // The unchanged first entry alone contributes >= 4 cached simulations
   // (stage 3, validation, 2 standalone measurements).
   EXPECT_GE(hits, 4u);
+}
+
+// --- Shared-directory concurrency -------------------------------------------
+//
+// The gpustld service shares one store DIRECTORY across concurrent users:
+// several worker threads on one handle, and potentially a second handle in
+// another process (a CLI run against the same --cache-dir). Entries
+// vanishing mid-scan or mid-read must surface as plain misses/skips.
+
+TEST(ResultStoreSharedDirTest, TwoHandlesInterleavedNeverFatal) {
+  const Netlist nl = SmallNetlist();
+  const PatternSet ps = SmallPatterns();
+  const auto faults = fault::CollapsedFaultList(nl);
+  const FaultSimResult result = Simulate(nl, ps, faults);
+
+  const std::string dir = ScratchDir("two_handles");
+  // Tiny budget: every Store triggers an eviction scan, so the scans of
+  // one handle race the writes/renames/removals of the other.
+  ResultStore a(dir, 1);
+  ResultStore b(dir, 1);
+
+  const auto key_for = [&](int i) {
+    PatternSet variant = SmallPatterns(8 + i % 4);
+    return FaultSimKey(nl, variant, faults, nullptr, i % 2 == 0,
+                       SimModel::kStuckAt);
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    ResultStore* store = t % 2 == 0 ? &a : &b;
+    threads.emplace_back([&, store, t] {
+      for (int i = 0; i < 25; ++i) {
+        const StoreKey key = key_for((t * 25 + i) % 7);
+        store->Store(key, result);
+        const auto loaded = store->Load(key);  // may be evicted: miss, not
+        if (loaded) ExpectSameResult(result, *loaded);
+        // A third party (rm -rf of a cache dir, another handle's eviction)
+        // can remove entries at any time.
+        if (i % 5 == 0) fs::remove(store->EntryPath(key));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // No crash/throw above is the real assertion; the counters must also
+  // reconcile (every Load is a hit or a miss, nothing disappears).
+  const StoreStats sa = a.stats();
+  const StoreStats sb = b.stats();
+  EXPECT_EQ(sa.hits + sa.misses, 50u);
+  EXPECT_EQ(sb.hits + sb.misses, 50u);
+  EXPECT_EQ(sa.stores, 50u);
+  EXPECT_EQ(sb.stores, 50u);
+}
+
+TEST(ResultStoreSharedDirTest, EntryVanishingMidScanIsSkipped) {
+  const Netlist nl = SmallNetlist();
+  const PatternSet ps = SmallPatterns();
+  const auto faults = fault::CollapsedFaultList(nl);
+  const FaultSimResult result = Simulate(nl, ps, faults);
+
+  const std::string dir = ScratchDir("vanish");
+  ResultStore store(dir);
+  const StoreKey key =
+      FaultSimKey(nl, ps, faults, nullptr, true, SimModel::kStuckAt);
+  store.Store(key, result);
+
+  // Another handle (or process) removed the entry: Load is a miss.
+  fs::remove(store.EntryPath(key));
+  EXPECT_FALSE(store.Load(key).has_value());
+  EXPECT_EQ(store.stats().misses, 1u);
+  EXPECT_EQ(store.stats().bad_entries, 0u) << "absence is a miss, not damage";
+
+  // And a foreign non-entry file in the directory must not break the
+  // eviction scan of a budgeted store.
+  { std::ofstream(fs::path(dir) / "not-an-entry.gsr").put('x'); }
+  ResultStore budgeted(dir, 1);
+  budgeted.Store(key, result);  // triggers the scan; must not throw
+  EXPECT_EQ(budgeted.stats().stores, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,294 @@
+// gpustl-client — command-line client for the gpustld daemon.
+//
+// Speaks the newline-delimited JSON protocol (docs/FORMATS.md) over the
+// daemon's AF_UNIX socket:
+//
+//   gpustl-client --socket /run/gpustld.sock submit --manifest stl.txt
+//   gpustl-client --socket /run/gpustld.sock ping | status | shutdown
+//
+// `submit` streams the job's lifecycle events until the terminal one and
+// maps it to the exit code; --report writes the campaign report text (the
+// same bytes `gpustlc campaign --report` would produce) to a file.
+//
+// exit codes: 0 job complete (or ping/status/shutdown ok), 1 failed or
+// transport error, 2 usage, 3 job complete DEGRADED, 4 job rejected.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/strutil.h"
+#include "service/json.h"
+
+namespace gpustl::tools {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "gpustl-client — client for the gpustld campaign daemon\n"
+      "\n"
+      "usage: gpustl-client --socket <path> <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  submit --manifest <file> [options]   submit a campaign and stream\n"
+      "                                       its events until it finishes\n"
+      "  ping                                 liveness check\n"
+      "  status                               queue/counter/cache snapshot\n"
+      "  shutdown                             ask the daemon to drain\n"
+      "\n"
+      "submit options:\n"
+      "  --tenant <name>        tenant for quota accounting (default\n"
+      "                         \"default\")\n"
+      "  --priority P           high, normal or low (default normal)\n"
+      "  --deadline S           whole-job wall-clock budget in seconds\n"
+      "  --stage-deadline S     per-stage budget in seconds\n"
+      "  --threads N            fault-sim workers for this job\n"
+      "  --backend B            fault-sim backend for this job\n"
+      "  --checkpoint <dir>     checkpoint after every PTP; resume from a\n"
+      "                         matching checkpoint in <dir>\n"
+      "  --no-collapse / --no-cone / --no-ffr / --no-trim\n"
+      "  --report <file>        write the campaign report text\n"
+      "  --json                 print raw event lines instead of summaries\n"
+      "\n"
+      "exit codes: 0 complete, 1 failed or transport error, 2 usage,\n"
+      "3 complete DEGRADED, 4 rejected.\n");
+  return 2;
+}
+
+[[noreturn]] void Die(const std::string& msg) {
+  std::fprintf(stderr, "gpustl-client: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+int Connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty()) Die("--socket <path> required");
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    Die("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) Die(std::string("socket: ") + std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Die("connect " + socket_path + ": " + std::strerror(errno));
+  }
+  return fd;
+}
+
+void SendLine(int fd, const std::string& line) {
+  std::string out = line;
+  out.push_back('\n');
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + off, out.size() - off, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) Die("send: daemon went away");
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads one newline-terminated line; false on EOF.
+bool ReadLine(int fd, std::string* buffer, std::string* line) {
+  while (true) {
+    const auto nl = buffer->find('\n');
+    if (nl != std::string::npos) {
+      *line = buffer->substr(0, nl);
+      buffer->erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+struct SubmitArgs {
+  std::string manifest;
+  std::string tenant;
+  std::string priority;
+  std::string backend;
+  std::string checkpoint_dir;
+  std::string report_path;
+  double deadline = -1.0;
+  double stage_deadline = -1.0;
+  int threads = -1;
+  bool no_collapse = false;
+  bool no_cone = false;
+  bool no_ffr = false;
+  bool no_trim = false;
+  bool raw_json = false;
+};
+
+int RunSubmit(int fd, const SubmitArgs& args) {
+  if (args.manifest.empty()) Die("submit needs --manifest <file>");
+  service::Json req = service::Json::Object();
+  req.Set("op", "submit");
+  // The daemon resolves manifest-relative PTP paths, so the manifest path
+  // itself must survive the change of working directory.
+  req.Set("manifest", std::filesystem::absolute(args.manifest).string());
+  if (!args.tenant.empty()) req.Set("tenant", args.tenant);
+  if (!args.priority.empty()) req.Set("priority", args.priority);
+  if (args.deadline >= 0) req.Set("deadline", args.deadline);
+  if (args.stage_deadline >= 0) req.Set("stage_deadline", args.stage_deadline);
+  if (args.threads >= 0) req.Set("threads", args.threads);
+  if (!args.backend.empty()) req.Set("backend", args.backend);
+  if (args.no_collapse) req.Set("no_collapse", true);
+  if (args.no_cone) req.Set("no_cone", true);
+  if (args.no_ffr) req.Set("no_ffr", true);
+  if (args.no_trim) req.Set("no_trim", true);
+  if (!args.checkpoint_dir.empty()) {
+    req.Set("checkpoint_dir",
+            std::filesystem::absolute(args.checkpoint_dir).string());
+  }
+  SendLine(fd, req.Dump());
+
+  std::string buffer;
+  std::string line;
+  while (ReadLine(fd, &buffer, &line)) {
+    const auto event = service::Json::Parse(line);
+    if (!event) Die("bad event line from daemon: " + line);
+    if (args.raw_json) {
+      std::printf("%s\n", line.c_str());
+      std::fflush(stdout);
+    }
+    const std::string kind = event->GetString("event");
+    if (kind == "rejected") {
+      std::fprintf(stderr, "gpustl-client: rejected: %s%s%s\n",
+                   event->GetString("reason").c_str(),
+                   event->Find("detail") != nullptr ? " — " : "",
+                   event->GetString("detail").c_str());
+      return 4;
+    }
+    if (kind == "failed") {
+      std::fprintf(stderr, "gpustl-client: job failed [%s]: %s\n",
+                   event->GetString("class").c_str(),
+                   event->GetString("message").c_str());
+      return 1;
+    }
+    if (kind == "error") {
+      Die("daemon: " + event->GetString("message"));
+    }
+    if (!args.raw_json) {
+      if (kind == "queued") {
+        std::printf("queued: job %lld, %lld ahead\n",
+                    static_cast<long long>(event->GetInt("job")),
+                    static_cast<long long>(event->GetInt("position")));
+      } else if (kind == "admitted") {
+        std::printf("admitted: worker %lld\n",
+                    static_cast<long long>(event->GetInt("worker")));
+      } else if (kind == "entry-done") {
+        std::printf("  %-12s %s%s\n", event->GetString("name").c_str(),
+                    event->GetString("mode").c_str(),
+                    event->Find("error_class") != nullptr
+                        ? (" [" + event->GetString("error_class") + " at " +
+                           event->GetString("error_stage") + "]")
+                              .c_str()
+                        : "");
+      }
+      std::fflush(stdout);
+    }
+    if (kind == "complete") {
+      const std::string status = event->GetString("status");
+      if (!args.report_path.empty()) {
+        std::ofstream out(args.report_path);
+        if (!out) Die("cannot write " + args.report_path);
+        out << event->GetString("report");
+        if (!args.raw_json) {
+          std::printf("report -> %s\n", args.report_path.c_str());
+        }
+      }
+      if (!args.raw_json) {
+        std::printf("%s: %lld entries, %lld degraded\n", status.c_str(),
+                    static_cast<long long>(event->GetInt("entries")),
+                    static_cast<long long>(event->GetInt("degraded_entries")));
+      }
+      return status == "degraded" ? 3 : 0;
+    }
+  }
+  Die("connection closed before the job finished");
+}
+
+int RunSimpleOp(int fd, const std::string& op) {
+  service::Json req = service::Json::Object();
+  req.Set("op", op);
+  SendLine(fd, req.Dump());
+  std::string buffer;
+  std::string line;
+  if (!ReadLine(fd, &buffer, &line)) Die("no response from daemon");
+  std::printf("%s\n", line.c_str());
+  const auto event = service::Json::Parse(line);
+  if (!event) return 1;
+  const std::string kind = event->GetString("event");
+  return kind == "error" ? 1 : 0;
+}
+
+int Main(int argc, char** argv) {
+  std::string socket_path;
+  std::string command;
+  SubmitArgs submit;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) Die("flag " + arg + " needs a value");
+      return argv[i];
+    };
+    auto next_float = [&]() {
+      const auto v = ParseFloat(next());
+      if (!v || *v < 0) Die(arg + " must be >= 0");
+      return *v;
+    };
+    if (arg == "--socket") socket_path = next();
+    else if (arg == "--manifest") submit.manifest = next();
+    else if (arg == "--tenant") submit.tenant = next();
+    else if (arg == "--priority") submit.priority = next();
+    else if (arg == "--deadline") submit.deadline = next_float();
+    else if (arg == "--stage-deadline") submit.stage_deadline = next_float();
+    else if (arg == "--threads") {
+      const auto v = ParseInt(next());
+      if (!v || *v < 0) Die("--threads must be >= 0");
+      submit.threads = static_cast<int>(*v);
+    }
+    else if (arg == "--backend") submit.backend = next();
+    else if (arg == "--checkpoint") submit.checkpoint_dir = next();
+    else if (arg == "--report") submit.report_path = next();
+    else if (arg == "--no-collapse") submit.no_collapse = true;
+    else if (arg == "--no-cone") submit.no_cone = true;
+    else if (arg == "--no-ffr") submit.no_ffr = true;
+    else if (arg == "--no-trim") submit.no_trim = true;
+    else if (arg == "--json") submit.raw_json = true;
+    else if (!arg.empty() && arg[0] == '-') Die("unknown flag " + arg);
+    else if (command.empty()) command = arg;
+    else Die("unexpected argument " + arg);
+  }
+
+  if (command.empty()) return Usage();
+  const int fd = Connect(socket_path);
+  int rc;
+  if (command == "submit") {
+    rc = RunSubmit(fd, submit);
+  } else if (command == "ping" || command == "status" ||
+             command == "shutdown") {
+    rc = RunSimpleOp(fd, command);
+  } else {
+    ::close(fd);
+    return Usage();
+  }
+  ::close(fd);
+  return rc;
+}
+
+}  // namespace
+}  // namespace gpustl::tools
+
+int main(int argc, char** argv) { return gpustl::tools::Main(argc, argv); }

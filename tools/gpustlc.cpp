@@ -20,6 +20,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -33,6 +34,7 @@
 #include "common/error.h"
 #include "common/status.h"
 #include "common/strutil.h"
+#include "compact/campaign_plan.h"
 #include "compact/compactor.h"
 #include "compact/report.h"
 #include "compact/stl_campaign.h"
@@ -164,12 +166,7 @@ isa::Program LoadPtp(const std::string& path) {
 }
 
 std::optional<trace::TargetModule> ParseModule(const std::string& name) {
-  const std::string upper = ToUpper(name);
-  if (upper == "DU") return trace::TargetModule::kDecoderUnit;
-  if (upper == "SP") return trace::TargetModule::kSpCore;
-  if (upper == "SFU") return trace::TargetModule::kSfu;
-  if (upper == "FP32") return trace::TargetModule::kFp32;
-  return std::nullopt;
+  return compact::ParseTargetModule(name);
 }
 
 netlist::Netlist BuildModule(trace::TargetModule module) {
@@ -296,17 +293,17 @@ struct Args {
 };
 
 /// Opens the result store selected by --cache-dir / $GPUSTL_CACHE_DIR
-/// (--no-cache wins). nullopt = caching disabled.
-std::optional<store::ResultStore> MakeStore(const Args& args) {
-  if (args.no_cache) return std::nullopt;
+/// (--no-cache wins). Null = caching disabled. Heap-held: the store owns
+/// mutexes (it is shared by concurrent users) and cannot move.
+std::unique_ptr<store::ResultStore> MakeStore(const Args& args) {
+  if (args.no_cache) return nullptr;
   std::string dir = args.cache_dir;
   if (dir.empty()) {
     if (const char* env = std::getenv("GPUSTL_CACHE_DIR")) dir = env;
   }
-  if (dir.empty()) return std::nullopt;
-  std::optional<store::ResultStore> st;
-  st.emplace(dir, args.cache_limit_mb * 1024ull * 1024ull);
-  return st;
+  if (dir.empty()) return nullptr;
+  return std::make_unique<store::ResultStore>(
+      dir, args.cache_limit_mb * 1024ull * 1024ull);
 }
 
 void PrintCacheStats(const store::StoreStats& s) {
@@ -429,12 +426,12 @@ int CmdFaultsim(const Args& args) {
       .backend = args.backend,
       .cancel = args.deadline > 0 ? &deadline_token : nullptr,
       .trim = args.Trim()};
-  std::optional<store::ResultStore> cache = MakeStore(args);
+  const std::unique_ptr<store::ResultStore> cache = MakeStore(args);
   const store::SimModel model = args.fault_model == "transition"
                                     ? store::SimModel::kTransition
                                     : store::SimModel::kStuckAt;
   const auto report =
-      store::SimulateWithStore(cache ? &*cache : nullptr, nl, patterns,
+      store::SimulateWithStore(cache.get(), nl, patterns,
                                faults, nullptr, sim_options, model);
 
   std::printf("%s on %s: %zu patterns, %zu/%zu faults detected (FC %.2f%%)\n",
@@ -479,8 +476,8 @@ int CmdCompact(const Args& args) {
   } else if (args.fault_model != "stuck-at") {
     Die("--fault-model must be stuck-at or transition");
   }
-  std::optional<store::ResultStore> cache = MakeStore(args);
-  options.result_store = cache ? &*cache : nullptr;
+  const std::unique_ptr<store::ResultStore> cache = MakeStore(args);
+  options.result_store = cache.get();
   compact::Compactor compactor(nl, module, options);
   const compact::CompactionResult res = compactor.CompactPtp(prog);
 
@@ -538,53 +535,19 @@ int CmdCampaign(const Args& args) {
   base.backend = args.backend;
   base.trim = args.Trim();
   base.stage_deadline_seconds = args.deadline;
-  std::optional<store::ResultStore> cache = MakeStore(args);
-  base.result_store = cache ? &*cache : nullptr;
+  const std::unique_ptr<store::ResultStore> cache = MakeStore(args);
+  base.result_store = cache.get();
   compact::StlCampaign campaign(du, sp, sfu, base, &fp32);
 
   const auto modules = {trace::TargetModule::kDecoderUnit,
                         trace::TargetModule::kSpCore,
                         trace::TargetModule::kSfu, trace::TargetModule::kFp32};
 
-  // Parse the whole manifest up front: the checkpoint prefix-match needs
-  // every entry's content fingerprint before any processing starts.
-  struct ManifestEntry {
-    compact::StlEntry entry;
-    std::string target_token;
-    Hash128 fp;
-  };
-  std::vector<ManifestEntry> plan;
-  int line_no = 0;
-  for (std::string_view raw : Split(manifest, '\n')) {
-    ++line_no;
-    std::string_view line = Trim(raw);
-    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
-      line = Trim(line.substr(0, hash));
-    }
-    if (line.empty()) continue;
-    const auto toks = SplitWs(line);
-    if (toks.size() < 3) {
-      Die("manifest line " + std::to_string(line_no) +
-          ": expected <file> <module> <compact|carry> [reverse]");
-    }
-    ManifestEntry me;
-    me.entry.ptp = LoadPtp(std::string(toks[0]));
-    const auto module = ParseModule(std::string(toks[1]));
-    if (!module) Die("manifest line " + std::to_string(line_no) + ": bad module");
-    me.entry.target = *module;
-    me.entry.compactable = toks[2] == "compact";
-    me.entry.reverse_patterns = toks.size() > 3 && toks[3] == "reverse";
-    me.target_token = std::string(trace::TargetModuleName(*module));
-    // Fingerprint the canonical serialized form, not the source file: an
-    // .asm comment edit or assemble-to-.gptp round trip keeps the same
-    // identity, so neither invalidates a checkpoint.
-    std::ostringstream ptp_bytes;
-    isa::SaveBinary(ptp_bytes, me.entry.ptp);
-    me.fp = store::FingerprintStlEntry(ptp_bytes.str(), me.target_token,
-                                       me.entry.compactable,
-                                       me.entry.reverse_patterns);
-    plan.push_back(std::move(me));
-  }
+  // Parse the whole manifest up front (shared with the gpustld service —
+  // compact/campaign_plan.h): the checkpoint prefix-match needs every
+  // entry's content fingerprint before any processing starts.
+  const std::vector<compact::PlanEntry> plan =
+      compact::ParseManifestPlan(manifest, LoadPtp);
 
   // Resume a persistent fault-list state (cross-invocation dropping).
   if (!args.state.empty()) {
@@ -605,96 +568,24 @@ int CmdCampaign(const Args& args) {
   // --resume: restore the longest checkpointed prefix that exactly matches
   // the manifest. Any divergence (edited PTP, reordered/changed manifest)
   // discards the checkpoint — with a cache dir the re-run still skips every
-  // fault simulation whose inputs didn't change.
-  store::CampaignCheckpoint ckpt;  // records processed so far, persisted
+  // fault simulation whose inputs didn't change. The restore/record logic
+  // is shared with the gpustld service (compact/campaign_plan.h).
+  compact::CampaignCheckpointer ckpt;
   std::size_t restored = 0;
   if (!args.resume.empty()) {
-    if (auto prior = store::ReadCheckpoint(args.resume)) {
-      bool match = prior->entries.size() <= plan.size();
-      for (std::size_t i = 0; match && i < prior->entries.size(); ++i) {
-        match = prior->entries[i].entry_fp == plan[i].fp &&
-                ParseModule(prior->entries[i].target).has_value();
-      }
-      std::map<trace::TargetModule, BitVec> flists;
-      if (match) {
-        // The fault-list snapshots must all load cleanly before anything
-        // is restored; a damaged one invalidates the whole checkpoint.
-        for (const auto m : modules) {
-          const std::string path =
-              (std::filesystem::path(args.resume) /
-               ("state." + std::string(trace::TargetModuleName(m)) +
-                ".flist"))
-                  .string();
-          std::ifstream in(path);
-          if (!in) {
-            match = false;
-            break;
-          }
-          auto& compactor = campaign.compactor(m);
-          try {
-            flists[m] = fault::ReadFaultList(in, compactor.module().name(),
-                                             compactor.faults());
-          } catch (const Error&) {
-            match = false;
-            break;
-          }
-        }
-      }
-      if (match) {
-        for (const store::CheckpointEntry& e : prior->entries) {
-          compact::CampaignRecord rec;
-          rec.name = e.name;
-          rec.target = *ParseModule(e.target);
-          rec.compacted = e.compacted;
-          rec.original_size = e.original_size;
-          rec.original_duration = e.original_duration;
-          rec.final_size = e.final_size;
-          rec.final_duration = e.final_duration;
-          rec.result.compaction_seconds = e.compaction_seconds;
-          rec.result.diff_fc = e.diff_fc;
-          rec.degraded = e.degraded;
-          if (e.degraded) {
-            // Tokens were validated by ReadCheckpoint; a degraded record
-            // resumes as degraded — the resumed report must render exactly
-            // what the interrupted run reported, not silently retry.
-            rec.error_stage = e.error_stage;
-            rec.error_class =
-                ErrorClassFromName(e.error_class).value_or(ErrorClass::kInternal);
-          }
-          campaign.AppendRestoredRecord(std::move(rec));
-        }
-        for (auto& [m, detected] : flists) {
-          campaign.compactor(m).MutableDetected() = std::move(detected);
-        }
-        ckpt.entries = std::move(prior->entries);
-        restored = ckpt.entries.size();
-        std::printf("resumed %zu/%zu entries from %s\n", restored,
-                    plan.size(), args.resume.c_str());
-      } else {
-        std::fprintf(stderr,
-                     "gpustlc: checkpoint in %s does not match the manifest; "
-                     "starting fresh\n",
-                     args.resume.c_str());
-      }
+    const auto res = ckpt.TryRestore(campaign, plan, args.resume);
+    restored = res.restored;
+    if (restored > 0) {
+      std::printf("resumed %zu/%zu entries from %s\n", restored, plan.size(),
+                  args.resume.c_str());
+    } else if (res.mismatch) {
+      std::fprintf(stderr,
+                   "gpustlc: checkpoint in %s does not match the manifest; "
+                   "starting fresh\n",
+                   args.resume.c_str());
     }
   }
-
-  const auto write_checkpoint = [&]() {
-    if (args.resume.empty()) return;
-    store::WriteCheckpoint(args.resume, ckpt);
-    for (const auto m : modules) {
-      auto& compactor = campaign.compactor(m);
-      std::ostringstream ss;
-      fault::WriteFaultList(ss, compactor.module().name(), compactor.faults(),
-                            compactor.detected());
-      const std::string path =
-          (std::filesystem::path(args.resume) /
-           ("state." + std::string(trace::TargetModuleName(m)) + ".flist"))
-              .string();
-      store::AtomicWriteFile(path, ss.str());
-    }
-  };
-  if (restored == 0 && !args.resume.empty()) write_checkpoint();
+  if (restored == 0 && !args.resume.empty()) ckpt.Write(campaign, args.resume);
 
   for (std::size_t i = 0; i < plan.size(); ++i) {
     const auto mode = [](const compact::CampaignRecord& r) {
@@ -719,24 +610,9 @@ int CmdCampaign(const Args& args) {
                    std::string(ErrorClassName(rec.error_class)).c_str(),
                    rec.error_message.c_str());
     }
-    store::CheckpointEntry e;
-    e.entry_fp = plan[i].fp;
-    e.name = rec.name;
-    e.target = plan[i].target_token;
-    e.compacted = rec.compacted;
-    e.original_size = rec.original_size;
-    e.original_duration = rec.original_duration;
-    e.final_size = rec.final_size;
-    e.final_duration = rec.final_duration;
-    e.compaction_seconds = rec.compacted ? rec.result.compaction_seconds : 0.0;
-    e.diff_fc = rec.compacted ? rec.result.diff_fc : 0.0;
-    e.degraded = rec.degraded;
-    if (rec.degraded) {
-      e.error_class = std::string(ErrorClassName(rec.error_class));
-      e.error_stage = rec.error_stage;
+    if (!args.resume.empty()) {
+      ckpt.Record(campaign, plan[i], rec, args.resume);
     }
-    ckpt.entries.push_back(std::move(e));
-    write_checkpoint();
   }
 
   if (!args.state.empty()) {

@@ -1,0 +1,184 @@
+// gpustld — the compaction-as-a-service daemon.
+//
+// Accepts compaction campaign jobs over a local AF_UNIX socket speaking
+// newline-delimited JSON (docs/FORMATS.md), runs them on a worker pool
+// sharing one result store / warm-start cache / per-module fault prep,
+// admission-controls the queue (bounded depth, per-tenant quotas, priority
+// classes) and streams per-job lifecycle events back to each client.
+//
+// SIGTERM/SIGINT trigger a graceful drain: stop admitting (later submits
+// are rejected `draining`), flush the queue (queued jobs fail with a
+// terminal event), finish or cancel in-flight jobs (--drain-cancel), then
+// exit 0. The report a job returns is byte-identical to what `gpustlc
+// campaign --report` writes for the same inputs.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/chaos.h"
+#include "common/error.h"
+#include "common/strutil.h"
+#include "fault/backend.h"
+#include "fault/trim.h"
+#include "service/server.h"
+#include "service/service.h"
+
+namespace gpustl::tools {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "gpustld — compaction campaign daemon\n"
+      "\n"
+      "usage: gpustld --socket <path> [options]\n"
+      "\n"
+      "options:\n"
+      "  --socket <path>        AF_UNIX socket to listen on (required)\n"
+      "  --workers N            campaign worker threads (default 2)\n"
+      "  --queue-depth N        max queued jobs before `queue-full`\n"
+      "                         rejections (default 64)\n"
+      "  --tenant-quota N       max queued+running jobs per tenant\n"
+      "                         (default 16)\n"
+      "  --deadline S           default whole-job wall-clock budget in\n"
+      "                         seconds (0 = unlimited; a submit may set\n"
+      "                         its own)\n"
+      "  --stage-deadline S     default per-stage budget (0 = unlimited)\n"
+      "  --cache-dir <dir>      shared content-addressed result store\n"
+      "  --cache-limit-mb N     evict oldest entries over N MiB\n"
+      "  --threads N            fault-sim workers per job (default 1)\n"
+      "  --backend B            fault-sim backend (auto, scalar, wide,\n"
+      "                         avx2, avx512)\n"
+      "  --no-collapse / --no-cone / --no-ffr / --no-trim\n"
+      "                         engine toggles, as in gpustlc\n"
+      "  --drain-cancel         on drain, cancel in-flight jobs instead of\n"
+      "                         letting them finish\n"
+      "  --chaos <spec>         deterministic failure injection (gpustlc\n"
+      "  --chaos-seed N         syntax)\n"
+      "\n"
+      "exit codes: 0 clean drain, 1 fatal error, 2 usage.\n");
+  return 2;
+}
+
+[[noreturn]] void Die(const std::string& msg) {
+  std::fprintf(stderr, "gpustld: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+service::SocketServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
+struct Args {
+  std::string socket_path;
+  std::string chaos;
+  std::uint64_t chaos_seed = 1;
+  bool drain_cancel = false;
+  service::ServiceOptions service;
+
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (++i >= argc) Die("flag " + arg + " needs a value");
+        return argv[i];
+      };
+      auto next_int = [&](std::int64_t min) {
+        const auto v = ParseInt(next());
+        if (!v || *v < min) Die("bad value for " + arg);
+        return *v;
+      };
+      auto next_float = [&]() {
+        const auto v = ParseFloat(next());
+        if (!v || *v < 0) Die(arg + " must be >= 0");
+        return *v;
+      };
+      if (arg == "--socket") socket_path = next();
+      else if (arg == "--workers") service.workers = static_cast<int>(next_int(1));
+      else if (arg == "--queue-depth")
+        service.admission.max_queue_depth = static_cast<std::size_t>(next_int(1));
+      else if (arg == "--tenant-quota")
+        service.admission.per_tenant_quota = static_cast<std::size_t>(next_int(1));
+      else if (arg == "--deadline") service.default_deadline_seconds = next_float();
+      else if (arg == "--stage-deadline")
+        service.stage_deadline_seconds = next_float();
+      else if (arg == "--cache-dir") service.cache_dir = next();
+      else if (arg == "--cache-limit-mb")
+        service.cache_limit_bytes =
+            static_cast<std::uint64_t>(next_int(0)) * 1024ull * 1024ull;
+      else if (arg == "--threads")
+        service.base.num_threads = static_cast<int>(next_int(0));
+      else if (arg == "--backend") {
+        const auto b = fault::ParseBackend(next());
+        if (!b) Die("--backend must be auto, scalar, wide, avx2 or avx512");
+        service.base.backend = *b;
+      }
+      else if (arg == "--no-collapse") service.base.collapse_faults = false;
+      else if (arg == "--no-cone") service.base.cone_limit = false;
+      else if (arg == "--no-ffr") service.base.ffr_trace = false;
+      else if (arg == "--no-trim") service.base.trim = fault::NoTrim();
+      else if (arg == "--drain-cancel") drain_cancel = true;
+      else if (arg == "--chaos") chaos = next();
+      else if (arg == "--chaos-seed")
+        chaos_seed = static_cast<std::uint64_t>(next_int(0));
+      else Die("unknown flag " + arg);
+    }
+  }
+};
+
+int Main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.socket_path.empty()) return Usage();
+  if (!args.chaos.empty()) {
+    chaos::Install(args.chaos, args.chaos_seed);
+  } else {
+    chaos::ConfigureFromEnv();
+  }
+
+  try {
+    service::CampaignService service(args.service);
+    service::SocketServer server(service, args.socket_path);
+    std::string error;
+    if (!server.Start(&error)) Die(error);
+
+    g_server = &server;
+    std::signal(SIGTERM, HandleSignal);
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    // The smoke tests (and any wrapper) wait for this line before
+    // connecting; keep it first and flushed.
+    std::printf("gpustld: listening on %s (%d workers)\n",
+                args.socket_path.c_str(), args.service.workers);
+    std::fflush(stdout);
+
+    server.Serve();
+
+    std::printf("gpustld: draining (%s in-flight jobs)\n",
+                args.drain_cancel ? "cancelling" : "finishing");
+    std::fflush(stdout);
+    service.Drain(args.drain_cancel);
+    server.JoinConnections();
+
+    const service::ServiceCounters c = service.counters();
+    std::printf("gpustld: drained — %llu submitted, %llu completed, "
+                "%llu degraded, %llu failed, %llu rejected\n",
+                static_cast<unsigned long long>(c.submitted),
+                static_cast<unsigned long long>(c.completed),
+                static_cast<unsigned long long>(c.degraded),
+                static_cast<unsigned long long>(c.failed),
+                static_cast<unsigned long long>(c.rejected));
+    return 0;
+  } catch (const Error& e) {
+    Die(e.what());
+  }
+}
+
+}  // namespace
+}  // namespace gpustl::tools
+
+int main(int argc, char** argv) { return gpustl::tools::Main(argc, argv); }
