@@ -50,6 +50,10 @@ std::string_view SiteName(Site site) {
       return "worker-throw";
     case Site::kStageDeadline:
       return "deadline";
+    case Site::kWorkerKill:
+      return "worker-kill";
+    case Site::kStaleClaim:
+      return "stale-claim";
   }
   return "?";
 }

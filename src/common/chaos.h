@@ -29,6 +29,10 @@
 //   ckpt-truncate        checkpoint content is cut in half before writing
 //   worker-throw         a fault-sim worker shard throws
 //   deadline             a stage guard fails with deadline exhaustion
+//   worker-kill          a distributed campaign worker SIGKILLs itself at
+//                        the start of a claimed unit (claim left behind)
+//   stale-claim          a worker abandons a just-made claim with a
+//                        backdated mtime, forcing the steal path
 //
 // Disabled (the default) costs one relaxed atomic pointer load per site —
 // nothing is configured, drawn or logged.
@@ -51,8 +55,10 @@ enum class Site : int {
   kCheckpointTruncate,
   kWorkerThrow,
   kStageDeadline,
+  kWorkerKill,
+  kStaleClaim,
 };
-inline constexpr int kNumSites = 7;
+inline constexpr int kNumSites = 9;
 
 /// Stable spec token for a site (see the grammar above).
 std::string_view SiteName(Site site);

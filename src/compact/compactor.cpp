@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "common/timer.h"
 #include "compact/run_guard.h"
+#include "fault/replay.h"
 #include "isa/cfg.h"
 #include "store/result_store.h"
 
@@ -163,6 +164,30 @@ fault::FaultSimResult Compactor::SimulateFaults(
   const store::SimModel model = options_.fault_model == FaultModel::kTransition
                                     ? store::SimModel::kTransition
                                     : store::SimModel::kStuckAt;
+  // Distributed replay (fault/replay.h): a dropped stuck-at run with a
+  // skip mask is derived from the full-list result — a store hit when the
+  // two-phase schedule prefetched it, a live run (cached for the next
+  // asker) otherwise — plus one pass over the good-machine blocks. Exact;
+  // other shapes (no-drop, transition, no skip) take the normal path.
+  if (options_.distrib_replay && skip != nullptr && drop_detected &&
+      options_.fault_model == FaultModel::kStuckAt) {
+    const fault::FaultSimResult full = store::SimulateWithStore(
+        options_.result_store, *module_, patterns, prep_->faults,
+        /*skip=*/nullptr, sim_options, model, &prep_->faults_fp);
+    // Good blocks come from the warm-start cache when that trim mechanism
+    // is on (the full run just populated it); otherwise a private cache —
+    // replay must not quietly depend on the trim layer.
+    if (fault::EffectiveTrim(options_.trim).warm_start &&
+        warm_cache_ != nullptr) {
+      const fault::WarmStartCache::Shared shared =
+          warm_cache_->Acquire(*module_, patterns, trim_counters_.get());
+      return fault::ReplaySkipFromFull(*module_, prep_->faults, full, *skip,
+                                       *shared.good);
+    }
+    fault::GoodBlockCache good_blocks(*module_, patterns);
+    return fault::ReplaySkipFromFull(*module_, prep_->faults, full, *skip,
+                                     good_blocks);
+  }
   return store::SimulateWithStore(options_.result_store, *module_, patterns,
                                   prep_->faults, skip, sim_options, model,
                                   &prep_->faults_fp);

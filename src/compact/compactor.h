@@ -184,6 +184,19 @@ struct CompactorOptions {
   /// from the store without perturbing any table.
   store::ResultStore* result_store = nullptr;
 
+  /// Derive skip-masked fault-sim results (the cross-PTP dropped stage-3 /
+  /// validation runs) by replaying the drop order over the FULL-fault-list
+  /// result of the same patterns instead of resimulating (fault/replay.h).
+  /// The full result is fetched through `result_store` when one is
+  /// configured — the distributed two-phase schedule (src/distrib/)
+  /// publishes exactly those entries, so phase-2 coordinators do no
+  /// sequential propagation at all — and computed live (then cached) on a
+  /// miss, so the option is safe without workers too. Replay is exact and
+  /// applies to dropped stuck-at runs (the only shape campaigns issue);
+  /// any other shape falls back to the live engine. Reports are
+  /// byte-identical with the option on or off.
+  bool distrib_replay = false;
+
   /// Wall-clock budget per pipeline stage (logic trace, fault sim, label,
   /// reduce, validate, measure), in seconds; <= 0 = unlimited. A blown
   /// budget aborts the stage cleanly (cooperatively inside the fault

@@ -1,5 +1,6 @@
 #include "service/service.h"
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -10,6 +11,7 @@
 #include "circuits/sp_core.h"
 #include "common/error.h"
 #include "compact/report.h"
+#include "distrib/coordinator.h"
 #include "fault/backend.h"
 #include "fault/trim.h"
 #include "isa/assembler.h"
@@ -179,6 +181,26 @@ void CampaignService::RunJob(Job& job, int worker_index) {
                                   : options_.default_deadline_seconds;
   if (run_deadline > 0) job.token.ArmRunDeadline(run_deadline);
 
+  // All store traffic below — the campaign's AND the distrib prefetch's
+  // inline units — happens on this worker thread, so the scoped record
+  // captures exactly this job's slice of the shared cache.
+  store::StoreAttribution attribution;
+  store::ScopedStoreAttribution attribution_scope(&attribution);
+
+  // Folded into the per-tenant totals BEFORE the job's terminal event
+  // goes on the wire: a client that reads `status` the moment it sees
+  // `complete` must find this job already accounted.
+  const auto merge_attribution = [this, &spec, &attribution] {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    TenantCacheStats& t = tenants_[spec.tenant];
+    t.traffic.hits += attribution.hits;
+    t.traffic.misses += attribution.misses;
+    t.traffic.stores += attribution.stores;
+    t.traffic.bytes_read += attribution.bytes_read;
+    t.traffic.bytes_written += attribution.bytes_written;
+    ++t.jobs;
+  };
+
   try {
     compact::CompactorOptions opt = options_.base;
     if (spec.threads >= 0) opt.num_threads = spec.threads;
@@ -193,6 +215,30 @@ void CampaignService::RunJob(Job& job, int worker_index) {
     opt.cancel = &job.token;
     opt.result_store = store_ ? &*store_ : nullptr;
     opt.warm_cache = warm_cache_;
+
+    const bool distrib = !options_.distrib_dir.empty() && store_.has_value();
+    if (distrib) {
+      // Replay mode is safe even if the prefetch below fails: a store miss
+      // just means that simulation runs live inside the replay's full-list
+      // step, and the replayed skip result is exact either way.
+      opt.distrib_replay = true;
+      try {
+        distrib::CoordinatorOptions copt;
+        copt.dir = options_.distrib_dir;
+        copt.fork_workers = 0;  // threaded process: external workers only
+        copt.stale_seconds = options_.distrib_stale_seconds;
+        copt.finalize = false;  // the dir outlives this job
+        distrib::Coordinator coordinator(
+            copt, distrib::ModuleSet{&du_, &sp_, &sfu_, &fp32_, &preps_},
+            opt);
+        coordinator.Prefetch(spec.plan);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "gpustld: distrib prefetch for job %llu failed (%s); "
+                     "running live\n",
+                     static_cast<unsigned long long>(job.id), e.what());
+      }
+    }
 
     struct {
       std::size_t index = 0;
@@ -240,6 +286,7 @@ void CampaignService::RunJob(Job& job, int worker_index) {
         compact::RenderCampaignReport(campaign.records(), summary);
     const bool degraded = summary.degraded_records > 0;
     const store::StoreStats cache = cache_stats();
+    merge_attribution();
     Emit(job, EventComplete(job.id, degraded ? "degraded" : "complete",
                             campaign.records().size(),
                             summary.degraded_records, report, cache.hits,
@@ -247,6 +294,7 @@ void CampaignService::RunJob(Job& job, int worker_index) {
     std::lock_guard<std::mutex> lock(counters_mu_);
     ++(degraded ? counters_.degraded : counters_.completed);
   } catch (const std::exception& e) {
+    merge_attribution();
     Emit(job, EventFailed(job.id, std::string(ErrorClassName(ClassifyError(e))),
                           e.what()));
     std::lock_guard<std::mutex> lock(counters_mu_);
@@ -320,6 +368,18 @@ Json CampaignService::Status() const {
   cache.Set("stores", s.stores);
   cache.Set("evictions", s.evictions);
   status.Set("cache", std::move(cache));
+  Json tenants = Json::Object();
+  for (const auto& [tenant, t] : tenant_cache_stats()) {
+    Json entry = Json::Object();
+    entry.Set("jobs", t.jobs);
+    entry.Set("cache_hits", t.traffic.hits);
+    entry.Set("cache_misses", t.traffic.misses);
+    entry.Set("cache_stores", t.traffic.stores);
+    entry.Set("cache_bytes_read", t.traffic.bytes_read);
+    entry.Set("cache_bytes_written", t.traffic.bytes_written);
+    tenants.Set(tenant, std::move(entry));
+  }
+  status.Set("tenants", std::move(tenants));
   return status;
 }
 
@@ -330,6 +390,12 @@ ServiceCounters CampaignService::counters() const {
 
 store::StoreStats CampaignService::cache_stats() const {
   return store_ ? store_->stats() : store::StoreStats{};
+}
+
+std::map<std::string, TenantCacheStats> CampaignService::tenant_cache_stats()
+    const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  return tenants_;
 }
 
 }  // namespace gpustl::service

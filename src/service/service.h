@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -60,6 +61,17 @@ struct ServiceOptions {
   std::uint64_t cache_limit_bytes = 0;
   /// Entries kept by the shared warm-start cache.
   std::size_t warm_cache_entries = 32;
+  /// Distributed prefetch (src/distrib): when set — cache_dir must be set
+  /// too — every job runs a Coordinator::Prefetch over this dir before its
+  /// campaign, posting work units for external gpustl-worker processes.
+  /// The daemon never forks workers (it is threaded) and never writes
+  /// campaign.done (the dir keeps serving jobs): point workers here with
+  /// `gpustl-worker --dir` and stop them with SIGTERM when retiring the
+  /// daemon. Prefetch failures degrade to live simulation, never to a
+  /// failed job.
+  std::string distrib_dir;
+  /// Claim staleness horizon for the distrib dir.
+  double distrib_stale_seconds = 30.0;
   /// Baseline compactor knobs (threads, backend, toggles) that per-job
   /// overrides start from.
   compact::CompactorOptions base;
@@ -106,6 +118,13 @@ struct SubmitResult {
   std::string reason;  // rejection token when !admitted
 };
 
+/// One tenant's slice of the shared cache's traffic, accumulated from the
+/// per-job ScopedStoreAttribution records as jobs reach a terminal state.
+struct TenantCacheStats {
+  store::StoreAttribution traffic;
+  std::uint64_t jobs = 0;  // jobs that contributed (complete/degraded/failed)
+};
+
 /// Monotonic service counters (a snapshot; see CampaignService::counters).
 struct ServiceCounters {
   std::uint64_t submitted = 0;
@@ -138,6 +157,9 @@ class CampaignService {
 
   ServiceCounters counters() const;
   store::StoreStats cache_stats() const;
+  /// Per-tenant cache traffic snapshot (tenant id -> stats), also rendered
+  /// into Status()'s "tenants" object.
+  std::map<std::string, TenantCacheStats> tenant_cache_stats() const;
   std::size_t queued_depth() const { return queue_.QueuedDepth(); }
 
  private:
@@ -182,6 +204,9 @@ class CampaignService {
 
   mutable std::mutex counters_mu_;
   ServiceCounters counters_;
+
+  mutable std::mutex tenants_mu_;
+  std::map<std::string, TenantCacheStats> tenants_;
 };
 
 }  // namespace gpustl::service

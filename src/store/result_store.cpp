@@ -1,5 +1,7 @@
 #include "store/result_store.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -88,7 +90,48 @@ void LogBadEntry(const std::string& path, const char* why) {
                path.c_str(), why);
 }
 
+thread_local StoreAttribution* t_attribution = nullptr;
+
+/// Holds `<dir>/.eviction.lock` via flock for the scope's lifetime.
+/// flock locks belong to the open file description, so two handles in ONE
+/// process contend just like two processes do — which is what makes the
+/// cross-process eviction exclusion testable in-process.
+class EvictionLock {
+ public:
+  explicit EvictionLock(const std::string& dir) {
+    fd_ = ::open((dir + "/.eviction.lock").c_str(),
+                 O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ < 0) {
+      // Can't create the sidecar (odd permissions?): proceed unlocked —
+      // the budget is advisory and a double-evict only over-trims.
+      held_ = true;
+      return;
+    }
+    held_ = ::flock(fd_, LOCK_EX | LOCK_NB) == 0;
+  }
+
+  ~EvictionLock() {
+    if (fd_ >= 0) {
+      if (held_) ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+
+  bool held() const { return held_; }
+
+ private:
+  int fd_ = -1;
+  bool held_ = false;
+};
+
 }  // namespace
+
+ScopedStoreAttribution::ScopedStoreAttribution(StoreAttribution* record)
+    : prev_(t_attribution) {
+  t_attribution = record;
+}
+
+ScopedStoreAttribution::~ScopedStoreAttribution() { t_attribution = prev_; }
 
 ResultStore::ResultStore(std::string dir, std::uint64_t max_bytes)
     : dir_(std::move(dir)), max_bytes_(max_bytes) {
@@ -159,6 +202,7 @@ std::optional<fault::FaultSimResult> ResultStore::Load(const StoreKey& key) {
   if (!in) {
     // Absent — or vanished between a concurrent user's eviction and this
     // open. Either way a plain miss, never a failure.
+    if (t_attribution != nullptr) ++t_attribution->misses;
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.misses;
     return std::nullopt;
@@ -211,6 +255,7 @@ std::optional<fault::FaultSimResult> ResultStore::Load(const StoreKey& key) {
 
   if (why != nullptr) {
     LogBadEntry(path, why);
+    if (t_attribution != nullptr) ++t_attribution->misses;
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.bad_entries;
@@ -221,6 +266,10 @@ std::optional<fault::FaultSimResult> ResultStore::Load(const StoreKey& key) {
     return std::nullopt;
   }
 
+  if (t_attribution != nullptr) {
+    ++t_attribution->hits;
+    t_attribution->bytes_read += data.size();
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.hits;
@@ -275,6 +324,10 @@ void ResultStore::Store(const StoreKey& key,
   };
   std::uint64_t retries = 0;
   const bool ok = RetryIo(RetryPolicy{}, attempt, &retries);
+  if (ok && t_attribution != nullptr) {
+    ++t_attribution->stores;
+    t_attribution->bytes_written += data.size();
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.io_retries += retries;
@@ -309,6 +362,15 @@ void ResultStore::Discard(const StoreKey& key) {
 void ResultStore::EnforceBudget() {
   std::unique_lock<std::mutex> single_flight(budget_mu_, std::try_to_lock);
   if (!single_flight.owns_lock()) return;
+
+  // Cross-process single-flight. A daemon, a CLI run and a fleet of
+  // distrib workers may all share this directory; if two of them scan an
+  // over-budget directory concurrently, each evicts enough on its own and
+  // the cache lands far below budget. Skipping on contention is safe for
+  // the same reason skipping on the mutex is: whoever holds the lock is
+  // already evicting, and the next over-budget Store re-checks.
+  EvictionLock eviction_lock(dir_);
+  if (!eviction_lock.held()) return;
 
   struct Entry {
     fs::path path;

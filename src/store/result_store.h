@@ -42,6 +42,33 @@
 
 namespace gpustl::store {
 
+/// Per-caller slice of store traffic. A thread that should be attributed
+/// (e.g. a service worker running one tenant's job) installs a
+/// ScopedStoreAttribution; every Load/Store issued from that thread adds
+/// to the installed record in addition to the store's own stats(). The
+/// fault-sim worker threads never touch the store themselves, so
+/// thread-local scoping captures exactly the owning job's traffic.
+struct StoreAttribution {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+/// Installs `record` as the calling thread's attribution sink for the
+/// scope's lifetime; nesting restores the previous sink on destruction.
+class ScopedStoreAttribution {
+ public:
+  explicit ScopedStoreAttribution(StoreAttribution* record);
+  ~ScopedStoreAttribution();
+  ScopedStoreAttribution(const ScopedStoreAttribution&) = delete;
+  ScopedStoreAttribution& operator=(const ScopedStoreAttribution&) = delete;
+
+ private:
+  StoreAttribution* prev_;
+};
+
 /// Observability counters, surfaced in campaign reports and bench_store.
 struct StoreStats {
   std::uint64_t hits = 0;
@@ -110,7 +137,11 @@ class ResultStore {
   StoreStats stats_;
   // Single-flight guard for the eviction scan: a Store that finds a scan
   // already running skips its own (the budget is advisory, and the next
-  // over-budget Store re-triggers it).
+  // over-budget Store re-triggers it). In-process contention is settled by
+  // the mutex; cross-process contention by a `.eviction.lock` flock
+  // sidecar in the directory itself — two processes scanning the same
+  // over-budget directory would otherwise both evict and land the cache
+  // well under budget.
   std::mutex budget_mu_;
   std::atomic<std::uint64_t> tmp_seq_{0};
 };

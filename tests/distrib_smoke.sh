@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# Distributed-campaign smoke test: drives gpustlc + gpustl-worker end to
+# end over a real distrib dir and a shared result store.
+#
+#   distrib_smoke.sh <gpustlc> <gpustl-worker>
+#
+# Covers, in order:
+#   1. single-process baseline report for a three-module manifest;
+#   2. forked fleet: campaign --distrib-dir --distrib-workers 4, cold
+#      cache -> report byte-identical to the baseline, campaign.done set;
+#   3. external workers with a mid-campaign SIGKILL: two gpustl-worker
+#      processes serve a --workers-external campaign; one is armed with
+#      chaos worker-kill so it SIGKILLs itself right after claiming a unit
+#      (claim left behind, heartbeat dead). The stale claim must be stolen
+#      and the report must still be byte-identical;
+#   4. chaos worker-kill on a forked fleet: every child dies on its first
+#      claim, the coordinator computes everything inline -> identical.
+set -u
+
+GPUSTLC=$1
+WORKER=$2
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/gpustl_distrib_smoke.XXXXXX")
+WORKER_PIDS=
+fail() {
+  echo "distrib_smoke: FAIL: $*" >&2
+  exit 1
+}
+cleanup() {
+  for pid in $WORKER_PIDS; do
+    kill -KILL "$pid" 2>/dev/null
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cat > "$WORK/tiny.asm" <<'EOF'
+.entry tiny
+.blocks 1
+.threads 32
+    S2R R1, SR_TID
+    MOV32I R0, 4
+    IMUL R3, R1, R0
+    IADD32I R2, R3, 0x10000
+    MOV32I R4, 0x1234
+    IADD R5, R4, R1
+    STG [R2+0x0], R5
+    EXIT
+EOF
+cat > "$WORK/manifest.txt" <<'EOF'
+# distrib smoke manifest: compacted, carried and reversed entries across
+# three modules, so the schedule posts every unit shape.
+tiny.asm DU compact
+tiny.asm SP carry
+tiny.asm SFU compact reverse
+EOF
+
+# --- 1. single-process baseline --------------------------------------------
+(cd "$WORK" && "$GPUSTLC" campaign manifest.txt --report base.txt) \
+  || fail "baseline campaign failed"
+[ -s "$WORK/base.txt" ] || fail "baseline report is empty"
+
+# --- 2. forked fleet, cold cache -------------------------------------------
+(cd "$WORK" && "$GPUSTLC" campaign manifest.txt --report forked.txt \
+    --cache-dir cache-forked --distrib-dir ddir-forked \
+    --distrib-workers 4 --distrib-stale 2) \
+  || fail "forked distributed campaign failed"
+cmp -s "$WORK/base.txt" "$WORK/forked.txt" \
+  || fail "forked-fleet report differs from the baseline"
+[ -f "$WORK/ddir-forked/campaign.done" ] \
+  || fail "forked run left no campaign.done"
+ls "$WORK"/ddir-forked/stats/*.txt >/dev/null 2>&1 \
+  || fail "forked workers wrote no stats files"
+
+# --- 3. external workers, one SIGKILLed mid-campaign ------------------------
+# The victim's chaos arms worker-kill: right after its first claim it
+# SIGKILLs itself, leaving a claim with a dying heartbeat — exactly a
+# machine lost mid-simulation. --distrib-stale 1 keeps the steal fast.
+DDIR=$WORK/ddir-external
+(cd "$WORK" && "$GPUSTLC" campaign manifest.txt --report external.txt \
+    --cache-dir cache-external --distrib-dir ddir-external \
+    --workers-external --distrib-stale 1) &
+CAMPAIGN_PID=$!
+
+# Wait for the coordinator to post the first wave.
+for _ in $(seq 1 100); do
+  [ -d "$DDIR/units" ] && ls "$DDIR"/units/*.unit >/dev/null 2>&1 && break
+  sleep 0.1
+done
+ls "$DDIR"/units/*.unit >/dev/null 2>&1 || fail "no units posted"
+
+"$WORKER" --dir "$DDIR" --owner victim --chaos 'worker-kill#1' &
+VICTIM_PID=$!
+"$WORKER" --dir "$DDIR" --owner survivor &
+SURVIVOR_PID=$!
+WORKER_PIDS="$VICTIM_PID $SURVIVOR_PID"
+
+wait "$CAMPAIGN_PID" || fail "external-worker campaign failed"
+cmp -s "$WORK/base.txt" "$WORK/external.txt" \
+  || fail "external-worker report differs from the baseline"
+
+# The victim died by SIGKILL (no clean exit, no stats file); the survivor
+# drains cleanly once campaign.done appears, having finished real units;
+# and the victim's abandoned claim was stolen by the survivor or the
+# coordinator.
+wait "$VICTIM_PID" 2>/dev/null
+VICTIM_STATUS=$?
+[ "$VICTIM_STATUS" -eq 137 ] \
+  || fail "victim should die by SIGKILL, exited $VICTIM_STATUS"
+wait "$SURVIVOR_PID" || fail "survivor did not exit cleanly"
+WORKER_PIDS=
+[ ! -f "$DDIR/stats/victim.txt" ] \
+  || fail "a SIGKILLed worker cannot have written exit stats"
+[ -f "$DDIR/stats/survivor.txt" ] || fail "survivor wrote no stats"
+grep -q 'units_done=0' "$DDIR/stats/survivor.txt" \
+  && fail "survivor did no work"
+STEALS=$(awk -F= '/^steals=/ {s+=$2} END {print s+0}' "$DDIR"/stats/*.txt)
+[ "$STEALS" -ge 1 ] \
+  || echo "distrib_smoke: note: steal absorbed by the coordinator" >&2
+
+# --- 4. forked fleet where every worker dies --------------------------------
+(cd "$WORK" && "$GPUSTLC" campaign manifest.txt --report chaos.txt \
+    --cache-dir cache-chaos --distrib-dir ddir-chaos \
+    --distrib-workers 2 --distrib-stale 1 \
+    --chaos 'worker-kill#1' --chaos-seed 3) \
+  || fail "chaos worker-kill campaign failed"
+cmp -s "$WORK/base.txt" "$WORK/chaos.txt" \
+  || fail "worker-kill chaos report differs from the baseline"
+
+echo "distrib_smoke: PASS"

@@ -5,6 +5,11 @@
 // interrupted-then-resumed ≡ uninterrupted campaign equivalence.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -763,6 +768,107 @@ TEST(ResultStoreSharedDirTest, TwoHandlesInterleavedNeverFatal) {
   EXPECT_EQ(sb.hits + sb.misses, 50u);
   EXPECT_EQ(sa.stores, 50u);
   EXPECT_EQ(sb.stores, 50u);
+}
+
+TEST(ResultStoreSharedDirTest, EvictionLockBusySkipsTheScan) {
+  const Netlist nl = SmallNetlist();
+  const PatternSet ps = SmallPatterns();
+  const auto faults = fault::CollapsedFaultList(nl);
+  const FaultSimResult result = Simulate(nl, ps, faults);
+  const std::uint64_t entry_bytes =
+      ResultStore::EncodeResult(result).size() + 48;
+
+  // Pose as another process mid-eviction. flock is per open file
+  // description, so a second descriptor in this process contends with the
+  // store's exactly the way a second process would.
+  const std::string dir = ScratchDir("flock_busy");
+  const int fd =
+      ::open((dir + "/.eviction.lock").c_str(), O_CREAT | O_RDWR, 0644);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::flock(fd, LOCK_EX | LOCK_NB), 0);
+
+  ResultStore store(dir, 2 * entry_bytes);
+  std::vector<StoreKey> keys;
+  for (int i = 0; i < 4; ++i) {
+    BitVec mask(faults.size(), false);
+    if (i > 0) mask.Set(static_cast<std::size_t>(i - 1), true);
+    keys.push_back(
+        FaultSimKey(nl, ps, faults, &mask, true, SimModel::kStuckAt));
+    store.Store(keys.back(), result);
+  }
+  // Over budget, but the lock holder is presumed to be evicting already:
+  // this handle skips the scan and nothing disappears.
+  EXPECT_EQ(store.stats().evictions, 0u);
+  std::size_t on_disk = 0;
+  for (const auto& key : keys) on_disk += fs::exists(store.EntryPath(key));
+  EXPECT_EQ(on_disk, 4u);
+
+  // Lock released: the next over-budget Store picks the scan back up.
+  ASSERT_EQ(::flock(fd, LOCK_UN), 0);
+  ::close(fd);
+  store.Store(keys[0], result);
+  EXPECT_GT(store.stats().evictions, 0u);
+}
+
+TEST(ResultStoreSharedDirTest, TwoProcessesEvictingConcurrentlyStayConsistent) {
+  const Netlist nl = SmallNetlist();
+  const auto faults = fault::CollapsedFaultList(nl);
+  const FaultSimResult result = Simulate(nl, SmallPatterns(), faults);
+  const std::uint64_t entry_bytes =
+      ResultStore::EncodeResult(result).size() + 48;
+  const std::string dir = ScratchDir("two_process_evict");
+
+  // Ten distinct keys, budget for three entries: every Store triggers an
+  // eviction scan, and two PROCESSES run those scans over each other's
+  // writes — the flock sidecar is what keeps the scans single-flight.
+  const auto key_for = [&](int i) {
+    PatternSet variant = SmallPatterns(8 + i % 5);
+    return FaultSimKey(nl, variant, faults, nullptr, i % 2 == 0,
+                       SimModel::kStuckAt);
+  };
+  const auto hammer = [&]() {
+    ResultStore store(dir, 3 * entry_bytes);
+    for (int i = 0; i < 40; ++i) {
+      const StoreKey key = key_for(i % 10);
+      store.Store(key, result);
+      store.Load(key);  // may be evicted: a miss, never an error
+    }
+    return store.stats();
+  };
+
+  const pid_t child = ::fork();
+  ASSERT_NE(child, -1);
+  if (child == 0) {
+    // gtest assertions don't cross the fork: any throw, crash or counter
+    // mismatch becomes a nonzero exit status for the parent to check.
+    int bad = 2;
+    try {
+      const StoreStats s = hammer();
+      bad = (s.stores == 40u && s.hits + s.misses == 40u) ? 0 : 1;
+    } catch (...) {
+    }
+    ::_exit(bad);
+  }
+  const StoreStats mine = hammer();
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  EXPECT_TRUE(WIFEXITED(status) != 0 && WEXITSTATUS(status) == 0)
+      << "child status " << status;
+  EXPECT_EQ(mine.stores, 40u);
+  EXPECT_EQ(mine.hits + mine.misses, 40u);
+
+  // Whatever survived both processes' evictions loads cleanly — a torn
+  // entry would surface as bad_entries on a fresh handle.
+  ResultStore after(dir);
+  std::size_t survivors = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto loaded = after.Load(key_for(i));
+    if (!loaded) continue;
+    ++survivors;
+    ExpectSameResult(result, *loaded);
+  }
+  EXPECT_EQ(after.stats().bad_entries, 0u);
+  EXPECT_LT(survivors, 10u) << "the budget evicted something";
 }
 
 TEST(ResultStoreSharedDirTest, EntryVanishingMidScanIsSkipped) {

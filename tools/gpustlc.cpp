@@ -38,6 +38,7 @@
 #include "compact/compactor.h"
 #include "compact/report.h"
 #include "compact/stl_campaign.h"
+#include "distrib/coordinator.h"
 #include "fault/backend.h"
 #include "fault/collapse.h"
 #include "fault/faultsim.h"
@@ -84,6 +85,19 @@ int Usage() {
       "                                        writes the deterministic\n"
       "                                        campaign report\n"
       "\n"
+      "distributed campaigns: campaign --distrib-dir <dir> runs the\n"
+      "store-coordinated two-phase schedule: every fault simulation the\n"
+      "campaign needs is posted as a work unit under <dir> and computed by\n"
+      "workers into the shared result store, then the campaign replays the\n"
+      "sequential drop order over the cached results. Requires --cache-dir.\n"
+      "--distrib-workers N forks N worker processes for the run;\n"
+      "--workers-external relies on separately started gpustl-worker\n"
+      "processes instead; --distrib-stale S sets the claim staleness\n"
+      "horizon (default 30 s). Reports are byte-identical to the same\n"
+      "campaign run without any of these flags, for every worker count,\n"
+      "including workers killed mid-run (their stale claims are re-stolen;\n"
+      "anything never computed is simulated inline).\n"
+      "\n"
       "modules M: DU (Decoder Unit), SP (SP core), SFU, FP32\n"
       "\n"
       "faultsim/compact/campaign accept --threads N: fault-parallel PPSFP\n"
@@ -124,8 +138,11 @@ int Usage() {
       "GPUSTL_CHAOS) arms deterministic failure injection — spec is\n"
       "comma-separated rules 'site[@qualifier](=prob|#nth)', sites:\n"
       "store-read-short, store-read-corrupt, store-write, ckpt-write,\n"
-      "ckpt-truncate, worker-throw, deadline — with --chaos-seed N (or\n"
-      "GPUSTL_CHAOS_SEED, default 1) selecting the schedule.\n"
+      "ckpt-truncate, worker-throw, deadline, worker-kill (a distributed\n"
+      "worker SIGKILLs itself right after claiming a unit), stale-claim (a\n"
+      "worker abandons a claim with a backdated mtime, forcing the steal\n"
+      "path) — with --chaos-seed N (or GPUSTL_CHAOS_SEED, default 1)\n"
+      "selecting the schedule.\n"
       "\n"
       "exit codes: 0 success, 1 fatal error, 2 usage, 3 campaign finished\n"
       "DEGRADED (at least one entry failed and was carried uncompacted).\n");
@@ -194,6 +211,10 @@ struct Args {
   std::string cache_dir;
   std::string resume;
   std::string chaos;
+  std::string distrib_dir;
+  int distrib_workers = 0;
+  bool workers_external = false;
+  double distrib_stale = 30.0;
   std::uint64_t chaos_seed = 1;
   double deadline = 0.0;  // per-stage wall-clock budget; 0 = unlimited
   std::uint64_t cache_limit_mb = 0;
@@ -243,6 +264,17 @@ struct Args {
       else if (arg == "--cache-dir") cache_dir = next();
       else if (arg == "--no-cache") no_cache = true;
       else if (arg == "--resume") resume = next();
+      else if (arg == "--distrib-dir") distrib_dir = next();
+      else if (arg == "--distrib-workers") {
+        distrib_workers = std::atoi(next().c_str());
+        if (distrib_workers < 0) Die("--distrib-workers must be >= 0");
+      }
+      else if (arg == "--workers-external") workers_external = true;
+      else if (arg == "--distrib-stale") {
+        const auto v = ParseFloat(next());
+        if (!v || *v <= 0) Die("--distrib-stale must be > 0 seconds");
+        distrib_stale = *v;
+      }
       else if (arg == "--chaos") chaos = next();
       else if (arg == "--chaos-seed") {
         const auto v = ParseInt(next());
@@ -537,7 +569,25 @@ int CmdCampaign(const Args& args) {
   base.stage_deadline_seconds = args.deadline;
   const std::unique_ptr<store::ResultStore> cache = MakeStore(args);
   base.result_store = cache.get();
-  compact::StlCampaign campaign(du, sp, sfu, base, &fp32);
+
+  // Distributed mode: the coordinator's planning phase and the campaign
+  // share one prep set (the collapse plans are the expensive part of
+  // construction), and every skip-masked fault simulation is derived by
+  // replay over the store-held full-list results the workers publish.
+  compact::ModulePrepSet preps;
+  const bool distrib = !args.distrib_dir.empty();
+  if (distrib) {
+    if (cache == nullptr) {
+      Die("--distrib-dir requires a result store (--cache-dir)");
+    }
+    base.distrib_replay = true;
+    preps.du = compact::BuildModulePrep(du);
+    preps.sp = compact::BuildModulePrep(sp);
+    preps.sfu = compact::BuildModulePrep(sfu);
+    preps.fp32 = compact::BuildModulePrep(fp32);
+  }
+  compact::StlCampaign campaign(du, sp, sfu, base, &fp32,
+                                distrib ? &preps : nullptr);
 
   const auto modules = {trace::TargetModule::kDecoderUnit,
                         trace::TargetModule::kSpCore,
@@ -548,6 +598,29 @@ int CmdCampaign(const Args& args) {
   // entry's content fingerprint before any processing starts.
   const std::vector<compact::PlanEntry> plan =
       compact::ParseManifestPlan(manifest, LoadPtp);
+
+  // Distributed prefetch: post work units, drive the fleet (forked here —
+  // before any thread exists — unless external workers were requested),
+  // and wait for the store to hold every simulation the campaign needs.
+  // The campaign below then runs exactly as in single-process mode.
+  if (distrib) {
+    distrib::CoordinatorOptions copt;
+    copt.dir = args.distrib_dir;
+    copt.fork_workers = args.workers_external ? 0 : args.distrib_workers;
+    copt.stale_seconds = args.distrib_stale;
+    const distrib::ModuleSet mods{&du, &sp, &sfu, &fp32, &preps};
+    distrib::Coordinator coordinator(std::move(copt), mods, base);
+    const distrib::PrefetchStats d = coordinator.Prefetch(plan);
+    std::printf(
+        "distrib: %zu+%zu units (%llu by workers, %llu inline, %llu "
+        "steals), wave1 %.2fs, plan %.2fs (%zu entries, %zu failures), "
+        "wave2 %.2fs\n",
+        d.wave1_units, d.wave2_units,
+        static_cast<unsigned long long>(d.worker_units),
+        static_cast<unsigned long long>(d.inline_units),
+        static_cast<unsigned long long>(d.steals), d.wave1_seconds,
+        d.plan_seconds, d.planned_entries, d.plan_failures, d.wave2_seconds);
+  }
 
   // Resume a persistent fault-list state (cross-invocation dropping).
   if (!args.state.empty()) {

@@ -48,6 +48,14 @@ int Usage() {
       "  --stage-deadline S     default per-stage budget (0 = unlimited)\n"
       "  --cache-dir <dir>      shared content-addressed result store\n"
       "  --cache-limit-mb N     evict oldest entries over N MiB\n"
+      "  --distrib-dir <dir>    distributed prefetch: post each job's work\n"
+      "                         units here for external `gpustl-worker\n"
+      "                         --dir` processes (requires --cache-dir;\n"
+      "                         the daemon never forks workers and never\n"
+      "                         writes campaign.done — SIGTERM the workers\n"
+      "                         when retiring the daemon)\n"
+      "  --distrib-stale S      claim staleness horizon in seconds\n"
+      "                         (default 30)\n"
       "  --threads N            fault-sim workers per job (default 1)\n"
       "  --backend B            fault-sim backend (auto, scalar, wide,\n"
       "                         avx2, avx512)\n"
@@ -110,6 +118,12 @@ struct Args {
       else if (arg == "--cache-limit-mb")
         service.cache_limit_bytes =
             static_cast<std::uint64_t>(next_int(0)) * 1024ull * 1024ull;
+      else if (arg == "--distrib-dir") service.distrib_dir = next();
+      else if (arg == "--distrib-stale") {
+        service.distrib_stale_seconds = next_float();
+        if (service.distrib_stale_seconds <= 0)
+          Die("--distrib-stale must be > 0");
+      }
       else if (arg == "--threads")
         service.base.num_threads = static_cast<int>(next_int(0));
       else if (arg == "--backend") {
@@ -133,6 +147,10 @@ struct Args {
 int Main(int argc, char** argv) {
   const Args args(argc, argv);
   if (args.socket_path.empty()) return Usage();
+  if (!args.service.distrib_dir.empty() && args.service.cache_dir.empty()) {
+    Die("--distrib-dir requires --cache-dir (the shared store is the "
+        "data plane workers publish to)");
+  }
   if (!args.chaos.empty()) {
     chaos::Install(args.chaos, args.chaos_seed);
   } else {
