@@ -54,6 +54,14 @@ std::string_view SiteName(Site site) {
       return "worker-kill";
     case Site::kStaleClaim:
       return "stale-claim";
+    case Site::kConnDrop:
+      return "conn-drop";
+    case Site::kPartialWrite:
+      return "partial-write";
+    case Site::kSlowPeer:
+      return "slow-peer";
+    case Site::kHandshakeFail:
+      return "handshake-fail";
   }
   return "?";
 }

@@ -33,6 +33,15 @@
 //                        the start of a claimed unit (claim left behind)
 //   stale-claim          a worker abandons a just-made claim with a
 //                        backdated mtime, forcing the steal path
+//   conn-drop            a TCP frame read/write finds the connection torn
+//                        down abruptly (src/net: peer reset mid-stream)
+//   partial-write        a TCP frame write sends a prefix of the frame and
+//                        then loses the connection (torn frame on the peer)
+//   slow-peer            a TCP frame write blows its write deadline as if
+//                        the peer had stopped draining its receive buffer
+//   handshake-fail       the server aborts a TCP handshake after the
+//                        greeting (transient auth-layer failure; the peer
+//                        must treat it as retryable)
 //
 // Disabled (the default) costs one relaxed atomic pointer load per site —
 // nothing is configured, drawn or logged.
@@ -57,8 +66,12 @@ enum class Site : int {
   kStageDeadline,
   kWorkerKill,
   kStaleClaim,
+  kConnDrop,
+  kPartialWrite,
+  kSlowPeer,
+  kHandshakeFail,
 };
-inline constexpr int kNumSites = 9;
+inline constexpr int kNumSites = 13;
 
 /// Stable spec token for a site (see the grammar above).
 std::string_view SiteName(Site site);

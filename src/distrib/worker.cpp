@@ -147,6 +147,56 @@ void WriteStatsFile(const std::string& dir, const std::string& owner,
 
 }  // namespace
 
+struct UnitRunner::State {
+  std::map<std::string, TargetState> targets;
+};
+
+UnitRunner::UnitRunner(store::ResultStore& store, Config config)
+    : store_(store),
+      config_(std::move(config)),
+      state_(std::make_unique<State>()) {}
+
+UnitRunner::~UnitRunner() = default;
+
+store::StoreKey UnitRunner::Run(const WorkUnit& unit) {
+  const auto target = compact::ParseTargetModule(unit.target_token);
+  if (!target) {
+    throw Error("distrib: unknown target '" + unit.target_token + "'");
+  }
+  auto it = state_->targets.find(unit.target_token);
+  if (it == state_->targets.end()) {
+    it = state_->targets
+             .emplace(unit.target_token,
+                      MakeTargetState(*target, config_.modules))
+             .first;
+  }
+  const TargetState& ts = it->second;
+
+  // Stage 2: the unit's logic trace. Default SmConfig — the same one the
+  // coordinator and the single-process compactor use, so the captured
+  // patterns (and hence the store key) match exactly.
+  trace::PatternProbe probe(*target);
+  gpu::Sm sm;
+  sm.AddMonitor(&probe);
+  sm.Run(unit.ptp);
+  const netlist::PatternSet patterns = unit.reverse_patterns
+                                           ? probe.patterns().Reversed()
+                                           : probe.patterns();
+
+  const fault::FaultSimOptions sim{
+      .drop_detected = true,
+      .num_threads = config_.threads,
+      .collapse_plan = &ts.prep->collapse,
+      .trim = config_.trim,
+  };
+  store::SimulateWithStore(&store_, *ts.nl, patterns, ts.prep->faults,
+                           /*skip=*/nullptr, sim, store::SimModel::kStuckAt,
+                           &ts.prep->faults_fp);
+  return store::FaultSimKeyWith(*ts.nl, patterns, ts.prep->faults_fp,
+                                /*skip=*/nullptr, /*drop_detected=*/true,
+                                store::SimModel::kStuckAt);
+}
+
 WorkerStats RunWorker(const WorkerOptions& options) {
   if (options.dir.empty()) throw Error("distrib: worker needs a dir");
 
@@ -179,7 +229,9 @@ WorkerStats RunWorker(const WorkerOptions& options) {
   store::ResultStore store(cache_dir);
   ClaimBoard board(options.dir, owner, stale);
   WorkerStats stats;
-  std::map<std::string, TargetState> targets;
+  UnitRunner runner(store, {.threads = options.threads,
+                            .trim = options.trim,
+                            .modules = options.modules});
   std::map<std::string, int> attempts;
   std::set<std::string> blacklist;
 
@@ -220,44 +272,10 @@ WorkerStats RunWorker(const WorkerOptions& options) {
             ReadUnitFile(UnitsDir(options.dir) + "/" + name + ".unit");
         if (!unit) throw Error("distrib: unreadable unit " + name);
 
-        const auto target = compact::ParseTargetModule(unit->target_token);
-        if (!target) {
-          throw Error("distrib: unknown target '" + unit->target_token +
-                      "' in unit " + name);
-        }
-        auto it = targets.find(unit->target_token);
-        if (it == targets.end()) {
-          it = targets
-                   .emplace(unit->target_token,
-                            MakeTargetState(*target, options.modules))
-                   .first;
-        }
-        const TargetState& ts = it->second;
-
-        // Stage 2: the unit's logic trace. Default SmConfig — the same one
-        // the coordinator and the single-process compactor use, so the
-        // captured patterns (and hence the store key) match exactly.
-        trace::PatternProbe probe(*target);
-        gpu::Sm sm;
-        sm.AddMonitor(&probe);
-        sm.Run(unit->ptp);
-        const netlist::PatternSet patterns =
-            unit->reverse_patterns ? probe.patterns().Reversed()
-                                   : probe.patterns();
-
         // Publish the full-fault-list dropped stuck-at result. The
         // heartbeat keeps the claim fresh through long simulations.
         HeartbeatThread heartbeat(board, name);
-        const fault::FaultSimOptions sim{
-            .drop_detected = true,
-            .num_threads = options.threads,
-            .collapse_plan = &ts.prep->collapse,
-            .trim = options.trim,
-        };
-        store::SimulateWithStore(&store, *ts.nl, patterns, ts.prep->faults,
-                                 /*skip=*/nullptr, sim,
-                                 store::SimModel::kStuckAt,
-                                 &ts.prep->faults_fp);
+        runner.Run(*unit);
 
         if (std::getenv("GPUSTL_DISTRIB_DEBUG")) {
           std::fprintf(stderr, "DBG %s unit %s %.3fs\n", owner.c_str(),

@@ -20,11 +20,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "compact/stl_campaign.h"
+#include "distrib/units.h"
 #include "fault/trim.h"
 #include "netlist/netlist.h"
+#include "store/result_store.h"
 
 namespace gpustl::distrib {
 
@@ -78,6 +81,39 @@ struct WorkerOptions {
   /// External stop flag (not owned; null = none). Set by signal handlers:
   /// the worker finishes its current unit, then exits cleanly.
   const std::atomic<bool>* stop = nullptr;
+};
+
+/// Executes work units: the unit's stage-2 logic trace followed by its
+/// full-fault-list dropped stuck-at simulation, published to `store`.
+/// Per-target netlists and fault prep are built lazily and cached across
+/// units. This is the compute core shared by the local claim-loop worker
+/// (RunWorker) and the TCP remote worker (net/remote_worker.h) — the
+/// transports differ, the simulation must not.
+class UnitRunner {
+ public:
+  struct Config {
+    int threads = 1;
+    fault::TrimOptions trim;
+    ModuleSet modules;  // pre-built state to borrow; null members built
+  };
+
+  /// `store` must outlive the runner.
+  UnitRunner(store::ResultStore& store, Config config);
+  ~UnitRunner();
+
+  UnitRunner(const UnitRunner&) = delete;
+  UnitRunner& operator=(const UnitRunner&) = delete;
+
+  /// Runs one unit and returns the store key its result lives under
+  /// (already published to the store when this returns). Throws Error on
+  /// an unknown target token.
+  store::StoreKey Run(const WorkUnit& unit);
+
+ private:
+  struct State;
+  store::ResultStore& store_;
+  Config config_;
+  std::unique_ptr<State> state_;
 };
 
 struct WorkerStats {

@@ -1,0 +1,219 @@
+#include "net/broker.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/hash.h"
+#include "distrib/units.h"
+#include "net/net.h"
+
+namespace gpustl::net {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::size_t kEntryHeaderBytes = 4 + 4 + 16 + 8 + 16;
+
+std::uint32_t GetU32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+std::uint64_t GetU64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+service::Json ErrorReply(std::string error) {
+  service::Json reply;
+  reply.Set("op", "error");
+  reply.Set("error", std::move(error));
+  return reply;
+}
+
+service::Json OkReply() {
+  service::Json reply;
+  reply.Set("op", "ok");
+  return reply;
+}
+
+/// Validates an uploaded GSRE entry against the claimed key: header
+/// magic/version, embedded key, declared payload size, and payload
+/// checksum (same "gpustl-entry-v1" domain the store writes). Returns an
+/// empty string when the bytes are a well-formed entry for `key`.
+std::string ValidateEntry(const std::string& bytes, const Hash128& key) {
+  if (bytes.size() < kEntryHeaderBytes) return "truncated header";
+  if (std::memcmp(bytes.data(), "GSRE", 4) != 0) return "bad magic";
+  if (GetU32(bytes.data() + 4) != 1) return "format version mismatch";
+  if (GetU64(bytes.data() + 8) != key.lo ||
+      GetU64(bytes.data() + 16) != key.hi) {
+    return "key mismatch";
+  }
+  const std::uint64_t payload_size = GetU64(bytes.data() + 24);
+  if (payload_size != bytes.size() - kEntryHeaderBytes) {
+    return "payload size mismatch";
+  }
+  Hasher128 h;
+  h.AddString("gpustl-entry-v1");
+  h.AddBytes(bytes.data() + kEntryHeaderBytes, payload_size);
+  const Hash128 sum = h.Finish();
+  if (sum.lo != GetU64(bytes.data() + 32) ||
+      sum.hi != GetU64(bytes.data() + 40)) {
+    return "checksum mismatch";
+  }
+  return "";
+}
+
+}  // namespace
+
+BrokerSession::BrokerSession(const WorkBroker& broker, std::string owner)
+    : broker_(broker),
+      board_(broker.options().distrib_dir, std::move(owner),
+             broker.options().lease_seconds) {}
+
+BrokerSession::~BrokerSession() {
+  // A dropped connection is lease death: every held unit goes straight
+  // back to the pool, same as a stale local claim being stolen.
+  for (const auto& [unit, when] : leases_) {
+    (void)when;
+    board_.Release(unit);
+  }
+}
+
+service::Json BrokerSession::Handle(const service::Json& request) {
+  const std::string op = request.GetString("op", "");
+  if (op == "fetch") return Fetch();
+  if (op == "renew") return Renew(request);
+  if (op == "publish") return Publish(request);
+  if (op == "done") return Finish(request, /*mark_done=*/true);
+  if (op == "release") return Finish(request, /*mark_done=*/false);
+  return ErrorReply("unknown worker op '" + op + "'");
+}
+
+service::Json BrokerSession::Fetch() {
+  const std::string& dir = broker_.options().distrib_dir;
+  for (const std::string& name : distrib::ListUnits(dir)) {
+    if (board_.IsDone(name)) continue;
+    if (leases_.count(name) != 0) continue;  // already ours
+    if (!board_.TryClaim(name).claimed) continue;
+
+    const std::string path = distrib::UnitsDir(dir) + "/" + name + ".unit";
+    std::string bytes;
+    {
+      std::ifstream in(path, std::ios::binary);
+      if (in) {
+        bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+      }
+      if (!in || bytes.empty()) {
+        // Torn or vanished unit file: give it back; the coordinator
+        // computes it inline, same as the local worker's skip path.
+        board_.Release(name);
+        continue;
+      }
+    }
+    leases_[name] = Clock::now();
+    service::Json reply;
+    reply.Set("op", "unit");
+    reply.Set("unit", name);
+    reply.Set("data", HexEncode(bytes));
+    reply.Set("lease_seconds", broker_.options().lease_seconds);
+    return reply;
+  }
+  service::Json reply;
+  reply.Set("op", "idle");
+  reply.Set("done", distrib::CampaignDone(dir));
+  return reply;
+}
+
+service::Json BrokerSession::Renew(const service::Json& request) {
+  const std::string unit = request.GetString("unit", "");
+  const auto it = leases_.find(unit);
+  if (it == leases_.end()) {
+    // Swept, stolen, or never fetched here — the worker must abandon it.
+    service::Json reply;
+    reply.Set("op", "lease-lost");
+    reply.Set("unit", unit);
+    return reply;
+  }
+  board_.Heartbeat(unit);
+  it->second = Clock::now();
+  return OkReply();
+}
+
+service::Json BrokerSession::Publish(const service::Json& request) {
+  const std::string& cache_dir = broker_.options().cache_dir;
+  if (cache_dir.empty()) return ErrorReply("daemon has no cache dir");
+  Hash128 key;
+  if (!Hash128::FromHex(request.GetString("key", ""), &key)) {
+    return ErrorReply("bad entry key");
+  }
+  const auto bytes = HexDecode(request.GetString("data", ""));
+  if (!bytes) return ErrorReply("bad entry encoding");
+  if (const std::string why = ValidateEntry(*bytes, key); !why.empty()) {
+    return ErrorReply("entry rejected: " + why);
+  }
+
+  const std::string path = cache_dir + "/" + key.ToHex() + ".gsr";
+  std::error_code ec;
+  if (fs::exists(path, ec)) return OkReply();  // idempotent re-publish
+
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string tmp =
+      path + "." + std::to_string(static_cast<unsigned long>(::getpid())) +
+      ".net" + std::to_string(seq.fetch_add(1, std::memory_order_relaxed)) +
+      ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return ErrorReply("cannot write entry temp file");
+    out.write(bytes->data(), static_cast<std::streamsize>(bytes->size()));
+    out.flush();
+    if (!out) {
+      fs::remove(tmp, ec);
+      return ErrorReply("entry temp write failed");
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return ErrorReply("entry install failed");
+  }
+  return OkReply();
+}
+
+service::Json BrokerSession::Finish(const service::Json& request,
+                                    bool mark_done) {
+  const std::string unit = request.GetString("unit", "");
+  if (unit.empty()) return ErrorReply("missing unit");
+  if (mark_done) board_.MarkDone(unit);
+  board_.Release(unit);
+  leases_.erase(unit);
+  return OkReply();
+}
+
+void BrokerSession::SweepExpired() {
+  const auto horizon =
+      std::chrono::duration<double>(broker_.options().lease_seconds);
+  const auto now = Clock::now();
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (now - it->second > horizon) {
+      board_.Release(it->first);
+      it = leases_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace gpustl::net

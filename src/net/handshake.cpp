@@ -1,0 +1,153 @@
+#include "net/handshake.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "common/chaos.h"
+#include "common/hash.h"
+
+namespace gpustl::net {
+
+namespace {
+
+constexpr std::string_view kAuthDomain = "gpustl-net-auth-v1";
+
+HandshakeResult Fail(std::string error, bool fatal = false) {
+  HandshakeResult r;
+  r.fatal = fatal;
+  r.error = std::move(error);
+  return r;
+}
+
+}  // namespace
+
+std::string AuthProof(const std::string& nonce_hex,
+                      const std::string& secret) {
+  Hasher128 h;
+  h.AddString(kAuthDomain);
+  h.AddString(nonce_hex);
+  h.AddString(secret);
+  return h.Finish().ToHex();
+}
+
+std::string MakeNonce() {
+  static std::atomic<std::uint64_t> counter{0};
+  Hasher128 h;
+  h.AddString("gpustl-net-nonce");
+  h.AddU64(static_cast<std::uint64_t>(::getpid()));
+  h.AddU64(static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  h.AddU64(static_cast<std::uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count()));
+  h.AddU64(counter.fetch_add(1, std::memory_order_relaxed));
+  return h.Finish().ToHex();
+}
+
+HandshakeResult ServerHandshake(Conn& conn, const std::string& secret,
+                                int deadline_ms) {
+  const std::string nonce = MakeNonce();
+  service::Json hello;
+  hello.Set("op", "hello");
+  hello.Set("proto", static_cast<std::int64_t>(kProtoVersion));
+  hello.Set("nonce", nonce);
+  IoStatus status = conn.WriteJson(hello, deadline_ms, "hello");
+  if (status != IoStatus::kOk) {
+    return Fail(std::string("handshake write: ") +
+                std::string(IoStatusName(status)));
+  }
+  if (chaos::Fail(chaos::Site::kHandshakeFail)) {
+    conn.Shutdown();
+    return Fail("chaos handshake-fail");
+  }
+
+  service::Json auth;
+  status = conn.ReadJson(&auth, deadline_ms, "auth");
+  if (status != IoStatus::kOk) {
+    return Fail(std::string("handshake read: ") +
+                std::string(IoStatusName(status)));
+  }
+  const std::string role = auth.GetString("role", "");
+  const std::string proof = auth.GetString("proof", "");
+  std::string error;
+  if (auth.GetString("op", "") != "auth") {
+    error = "expected auth frame";
+  } else if (role != "client" && role != "worker") {
+    error = "unknown role '" + role + "'";
+  } else if (!secret.empty() && proof != AuthProof(nonce, secret)) {
+    error = "bad-secret";
+  }
+  if (!error.empty()) {
+    service::Json deny;
+    deny.Set("op", "hello-fail");
+    deny.Set("error", error);
+    conn.WriteJson(deny, deadline_ms);
+    conn.Shutdown();
+    return Fail(error, /*fatal=*/true);
+  }
+
+  service::Json okay;
+  okay.Set("op", "hello-ok");
+  status = conn.WriteJson(okay, deadline_ms);
+  if (status != IoStatus::kOk) {
+    return Fail(std::string("hello-ok write: ") +
+                std::string(IoStatusName(status)));
+  }
+  HandshakeResult r;
+  r.ok = true;
+  r.role = role;
+  return r;
+}
+
+HandshakeResult ClientHandshake(Conn& conn, const std::string& secret,
+                                const std::string& role, int deadline_ms) {
+  service::Json hello;
+  IoStatus status = conn.ReadJson(&hello, deadline_ms, "hello");
+  if (status != IoStatus::kOk) {
+    return Fail(std::string("handshake read: ") +
+                std::string(IoStatusName(status)));
+  }
+  if (hello.GetString("op", "") != "hello") {
+    conn.Shutdown();
+    return Fail("expected hello frame", /*fatal=*/true);
+  }
+  const auto proto = hello.GetInt("proto", 0);
+  if (proto != kProtoVersion) {
+    conn.Shutdown();
+    return Fail("protocol version mismatch (server " +
+                    std::to_string(proto) + ", expected " +
+                    std::to_string(kProtoVersion) + ")",
+                /*fatal=*/true);
+  }
+
+  service::Json auth;
+  auth.Set("op", "auth");
+  auth.Set("role", role);
+  auth.Set("proof", AuthProof(hello.GetString("nonce", ""), secret));
+  status = conn.WriteJson(auth, deadline_ms, "auth");
+  if (status != IoStatus::kOk) {
+    return Fail(std::string("auth write: ") +
+                std::string(IoStatusName(status)));
+  }
+
+  service::Json verdict;
+  status = conn.ReadJson(&verdict, deadline_ms, "verdict");
+  if (status != IoStatus::kOk) {
+    // A server that dropped us here (chaos handshake-fail, restart) is
+    // indistinguishable from a network blip: retryable.
+    return Fail(std::string("handshake verdict: ") +
+                std::string(IoStatusName(status)));
+  }
+  if (verdict.GetString("op", "") != "hello-ok") {
+    const std::string error = verdict.GetString("error", "rejected");
+    conn.Shutdown();
+    return Fail(error, /*fatal=*/true);
+  }
+  HandshakeResult r;
+  r.ok = true;
+  r.role = role;
+  return r;
+}
+
+}  // namespace gpustl::net

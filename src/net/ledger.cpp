@@ -1,0 +1,102 @@
+#include "net/ledger.h"
+
+namespace gpustl::net {
+
+namespace {
+
+bool IsTerminalEvent(const service::Json& event) {
+  const std::string kind = event.GetString("event", "");
+  return kind == "complete" || kind == "failed" || kind == "rejected";
+}
+
+}  // namespace
+
+JobLedger::JobLedger(std::size_t max_terminal)
+    : max_terminal_(max_terminal) {}
+
+JobLedger::OpenInfo JobLedger::Open(const std::string& client_job,
+                                    std::uint64_t after_seq, Sink deliver) {
+  std::shared_ptr<Entry> entry;
+  OpenInfo info;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(client_job);
+    if (it == entries_.end()) {
+      entry = std::make_shared<Entry>();
+      entries_.emplace(client_job, entry);
+      info.created = true;
+      // The recording closure holds the entry alive independently of the
+      // map, so LRU eviction can never race a still-running job.
+      info.record = [this, entry, client_job](const service::Json& event) {
+        RecordEvent(entry, client_job, event);
+      };
+    } else {
+      entry = it->second;
+    }
+    info.attach_id = next_attach_id_++;
+  }
+
+  std::lock_guard<std::mutex> lock(entry->mu);
+  // Replay-then-attach under the entry lock: a concurrent RecordEvent
+  // either lands before (and is replayed) or after (and is delivered
+  // live) — never both, never neither.
+  for (std::size_t i = after_seq; i < entry->events.size(); ++i) {
+    deliver(entry->events[i]);
+  }
+  entry->deliver = std::move(deliver);
+  entry->attach_id = info.attach_id;
+  info.terminal = entry->terminal;
+  return info;
+}
+
+void JobLedger::Detach(const std::string& client_job,
+                       std::uint64_t attach_id) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(client_job);
+    if (it == entries_.end()) return;
+    entry = it->second;
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (entry->attach_id == attach_id) {
+    entry->deliver = nullptr;
+    entry->attach_id = 0;
+  }
+}
+
+std::size_t JobLedger::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void JobLedger::RecordEvent(const std::shared_ptr<Entry>& entry,
+                            const std::string& client_job,
+                            const service::Json& event) {
+  bool terminal = false;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    service::Json stamped = event;
+    stamped.Set("seq",
+                static_cast<std::uint64_t>(entry->events.size() + 1));
+    stamped.Set("client_job", client_job);
+    entry->events.push_back(stamped);
+    if (entry->deliver) entry->deliver(entry->events.back());
+    if (!entry->terminal && IsTerminalEvent(stamped)) {
+      entry->terminal = true;
+      terminal = true;
+    }
+  }
+  if (terminal) MarkTerminal(client_job);
+}
+
+void JobLedger::MarkTerminal(const std::string& client_job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  terminal_lru_.push_back(client_job);
+  while (terminal_lru_.size() > max_terminal_) {
+    entries_.erase(terminal_lru_.front());
+    terminal_lru_.pop_front();
+  }
+}
+
+}  // namespace gpustl::net

@@ -1,0 +1,109 @@
+// TcpServer: gpustld's off-box listener.
+//
+// Serves two peer roles over the framed transport (net/frame.h), both
+// authenticated by the shared-secret handshake (net/handshake.h):
+//
+//   clients  the gpustld op surface (ping/status/shutdown/submit), with
+//            submit made idempotent and resumable by the JobLedger —
+//            every TCP submit must carry a client-generated `client_job`
+//            id and may carry `after_seq` to resume its event stream.
+//   workers  the distrib claim protocol brokered as RPCs
+//            (fetch/renew/publish/done/release — net/broker.h).
+//
+// Threading mirrors the AF_UNIX SocketServer: one accept loop
+// multiplexing the listen socket and a self-pipe, one thread per
+// connection. Event writes happen on service worker threads under a
+// per-connection mutex with a bounded deadline — a peer that stops
+// draining (chaos `slow-peer`) is disconnected, and its job's events
+// keep accumulating in the ledger for the reconnect.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/broker.h"
+#include "net/frame.h"
+#include "net/ledger.h"
+#include "net/net.h"
+#include "service/service.h"
+
+namespace gpustl::net {
+
+struct TcpServerOptions {
+  Endpoint endpoint;
+  /// Shared handshake secret; empty accepts any peer.
+  std::string secret;
+  /// Handshake must finish within this budget.
+  int handshake_deadline_ms = 10000;
+  /// Per-frame write budget for events and replies (slow-peer bound).
+  int write_deadline_ms = 30000;
+  /// Worker-connection read slice: lease sweeps run at this cadence.
+  int worker_slice_ms = 1000;
+  FrameLimits limits;
+};
+
+class TcpServer {
+ public:
+  /// `broker` may be disabled (no distrib dir) — worker connections are
+  /// then refused with an error frame.
+  TcpServer(service::CampaignService& service, WorkBroker broker,
+            TcpServerOptions options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds and listens. False (with a diagnostic) on failure.
+  bool Start(std::string* error);
+
+  /// Accept loop; blocks until RequestStop.
+  void Serve();
+
+  /// Async-signal-safe stop (a single write to the self-pipe).
+  void RequestStop();
+
+  /// After Serve returns and the service is drained: wakes blocked
+  /// connection readers and joins their threads.
+  void JoinConnections();
+
+  /// Invoked when a peer sends the `shutdown` op — gpustld uses it to
+  /// also stop the AF_UNIX server. Set before Serve.
+  void set_on_shutdown(std::function<void()> fn) {
+    on_shutdown_ = std::move(fn);
+  }
+
+  /// The actual listening port (resolves `:0` ephemeral binds).
+  std::uint16_t bound_port() const { return bound_port_; }
+
+  /// Ledger introspection for tests.
+  JobLedger& ledger() { return ledger_; }
+
+ private:
+  struct Connection;
+  void HandleConnection(std::shared_ptr<Connection> conn);
+  void ServeClient(const std::shared_ptr<Connection>& conn);
+  void ServeWorker(const std::shared_ptr<Connection>& conn);
+
+  service::CampaignService& service_;
+  WorkBroker broker_;
+  TcpServerOptions options_;
+  JobLedger ledger_;
+  std::function<void()> on_shutdown_;
+
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace gpustl::net

@@ -12,6 +12,18 @@
 
 namespace gpustl::service {
 
+namespace {
+
+/// Per-connection request-line bound. A peer that streams an endless
+/// unterminated line (malice or a confused non-client) must cost the
+/// daemon bounded memory: past this, the line is rejected with a
+/// deterministic `frame-too-large` error and the connection is closed.
+/// Real requests are tiny — the largest legitimate line is a submit with
+/// inline `asm` entries, far under 1 MiB.
+constexpr std::size_t kMaxRequestLineBytes = 1u << 20;
+
+}  // namespace
+
 struct SocketServer::Connection {
   // fd is guarded by write_mu (for close-vs-shutdown ordering: the reader
   // thread closes under the lock and sets -1, so JoinConnections can never
@@ -219,6 +231,13 @@ void SocketServer::HandleConnection(std::shared_ptr<Connection> conn) {
       }
     }
     buffer.erase(0, start);
+    if (buffer.size() > kMaxRequestLineBytes) {
+      conn->WriteLine(
+          EventError("frame-too-large: request line exceeds " +
+                     std::to_string(kMaxRequestLineBytes) + " bytes")
+              .Dump());
+      break;
+    }
   }
   // EOF (or shutdown request): stop reading, but keep the write side up
   // until every job submitted here has emitted its terminal event.

@@ -13,7 +13,9 @@
 #   3. event-stream ordering (queued first, admitted second, complete
 #      last) over --json;
 #   4. warm second run against the shared cache;
-#   5. graceful SIGTERM drain (exit 0, `drained` summary on stdout).
+#   5. TCP leg: the same daemon serves --listen concurrently — ping and
+#      a warm submit over TCP render the byte-identical report;
+#   6. graceful SIGTERM drain (exit 0, `drained` summary on stdout).
 set -u
 
 GPUSTLD=$1
@@ -58,7 +60,7 @@ EOF
 
 # --- 1. startup -------------------------------------------------------------
 "$GPUSTLD" --socket "$SOCK" --workers 2 --cache-dir "$WORK/cache" \
-  > "$WORK/daemon.log" 2>&1 &
+  --listen 127.0.0.1:0 --secret smoke > "$WORK/daemon.log" 2>&1 &
 DAEMON_PID=$!
 
 for _ in $(seq 1 100); do
@@ -134,7 +136,21 @@ hits_after=$(cache_hits)
 [ "$hits_after" -gt "$hits_before" ] \
   || fail "warm run never hit the shared store ($hits_before -> $hits_after hits)"
 
-# --- 5. graceful SIGTERM drain ----------------------------------------------
+# --- 5. TCP leg: same daemon, same answers over --connect -------------------
+PORT=$(sed -n 's/.*listening on tcp [^ :]*:\([0-9][0-9]*\).*/\1/p' \
+  "$WORK/daemon.log" | head -n 1)
+[ -n "$PORT" ] || fail "daemon never announced its TCP port"
+"$CLIENT" --connect "127.0.0.1:$PORT" --secret smoke ping > /dev/null \
+  || fail "tcp ping"
+"$CLIENT" --connect "127.0.0.1:$PORT" --secret smoke submit \
+  --manifest "$WORK/manifest.txt" --tenant smoke \
+  --report "$WORK/report_tcp.txt" > /dev/null 2>&1
+rc=$?
+[ "$rc" -eq 0 ] || fail "tcp submit exited $rc"
+cmp -s "$WORK/report_tcp.txt" "$WORK/report_direct.txt" \
+  || fail "tcp report differs from the unix-socket report"
+
+# --- 6. graceful SIGTERM drain ----------------------------------------------
 kill -TERM "$DAEMON_PID"
 drain_rc=1
 for _ in $(seq 1 100); do
@@ -148,7 +164,7 @@ done
 DAEMON_PID=
 [ "$drain_rc" -eq 0 ] || fail "daemon drain exited $drain_rc (want 0)"
 grep -q "drained" "$WORK/daemon.log" || fail "daemon never printed drain summary"
-grep -q "3 submitted, 2 completed, 1 degraded" "$WORK/daemon.log" \
+grep -q "4 submitted, 3 completed, 1 degraded" "$WORK/daemon.log" \
   || fail "drain summary miscounted jobs"
 
 echo "service_smoke: PASS"

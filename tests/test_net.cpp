@@ -1,0 +1,721 @@
+// Off-box transport: endpoint parsing, the length-framed NDJSON codec
+// and its failure taxonomy (torn / too-large / timeout), the
+// shared-secret handshake, the JobLedger's idempotent-submit and
+// event-resume semantics, the worker broker's publish validation, and
+// the TcpServer end to end — a TCP submit must render the byte-identical
+// report `gpustlc campaign --report` would, including under connection
+// chaos, with no duplicated and no lost events.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuits/decoder_unit.h"
+#include "circuits/fp32.h"
+#include "circuits/sfu.h"
+#include "circuits/sp_core.h"
+#include "common/chaos.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "compact/report.h"
+#include "compact/stl_campaign.h"
+#include "net/broker.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/handshake.h"
+#include "net/ledger.h"
+#include "net/net.h"
+#include "net/tcp_server.h"
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace gpustl::net {
+namespace {
+
+namespace fs = std::filesystem;
+using service::Json;
+
+std::string ScratchDir(const char* name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "gpustl_net" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// --- Endpoint / hex / backoff ------------------------------------------------
+
+TEST(NetTest, ParseEndpointAcceptsHostPortRejectsJunk) {
+  const auto ep = ParseEndpoint("127.0.0.1:8080");
+  ASSERT_TRUE(ep.has_value());
+  EXPECT_EQ(ep->host, "127.0.0.1");
+  EXPECT_EQ(ep->port, 8080);
+
+  const auto ephemeral = ParseEndpoint("localhost:0");
+  ASSERT_TRUE(ephemeral.has_value());
+  EXPECT_EQ(ephemeral->port, 0);
+
+  std::string error;
+  EXPECT_FALSE(ParseEndpoint("no-port", &error).has_value());
+  EXPECT_NE(error.find("host:port"), std::string::npos);
+  EXPECT_FALSE(ParseEndpoint(":1234").has_value());     // empty host
+  EXPECT_FALSE(ParseEndpoint("host:").has_value());     // empty port
+  EXPECT_FALSE(ParseEndpoint("host:70000").has_value());
+  EXPECT_FALSE(ParseEndpoint("host:-1").has_value());
+}
+
+TEST(NetTest, HexCodecRoundTripsAndRejectsMalformed) {
+  const std::string bytes("\x00\x01\xfe\xff GSRE", 9);
+  const std::string hex = HexEncode(bytes);
+  EXPECT_EQ(hex.size(), bytes.size() * 2);
+  const auto back = HexDecode(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes);
+
+  EXPECT_TRUE(HexDecode("").has_value());
+  EXPECT_TRUE(HexDecode("AbCd").has_value());  // both cases accepted
+  EXPECT_FALSE(HexDecode("abc").has_value());  // odd length
+  EXPECT_FALSE(HexDecode("zz").has_value());   // non-hex
+}
+
+TEST(NetTest, BackoffDelayStaysWithinEnvelope) {
+  RetryPolicy policy;  // 50ms base, 2000ms cap, 0.5 jitter
+  Rng rng(42);
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    const int d = BackoffDelayMs(policy, attempt, rng);
+    EXPECT_GE(d, 1);
+    EXPECT_LE(d, policy.max_ms);
+  }
+
+  // Without jitter the schedule is exact doubling, capped.
+  policy.jitter = 0.0;
+  const int expected[] = {50, 100, 200, 400, 800, 1600, 2000, 2000};
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(BackoffDelayMs(policy, attempt, rng), expected[attempt])
+        << "attempt " << attempt;
+  }
+}
+
+// --- Frame codec -------------------------------------------------------------
+
+/// A socketpair with a Conn on side 0 and a raw fd on side 1 (for
+/// injecting malformed bytes). The raw fd is closed by the test or by
+/// the destructor.
+struct FramePair {
+  FramePair(FrameLimits limits = {}) {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    conn = std::make_unique<Conn>(fds[0], limits);
+    raw = fds[1];
+  }
+  ~FramePair() {
+    if (raw >= 0) ::close(raw);
+  }
+  void SendRaw(std::string_view bytes) {
+    ASSERT_EQ(::send(raw, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+  void CloseRaw() {
+    ::close(raw);
+    raw = -1;
+  }
+
+  std::unique_ptr<Conn> conn;
+  int raw = -1;
+};
+
+TEST(FrameTest, RoundTripsJsonDocuments) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Conn a(fds[0]);
+  Conn b(fds[1]);
+
+  Json doc = Json::Object();
+  doc.Set("op", "ping");
+  doc.Set("n", 7);
+  ASSERT_EQ(a.WriteJson(doc, 1000), IoStatus::kOk);
+  ASSERT_EQ(a.WriteJson(doc, 1000), IoStatus::kOk);  // back-to-back frames
+
+  Json got;
+  ASSERT_EQ(b.ReadJson(&got, 1000), IoStatus::kOk);
+  EXPECT_EQ(got.Dump(), doc.Dump());
+  ASSERT_EQ(b.ReadJson(&got, 1000), IoStatus::kOk);
+  EXPECT_EQ(got.Dump(), doc.Dump());
+
+  // Orderly EOF reads as kClosed.
+  a.Shutdown();
+  EXPECT_EQ(b.ReadJson(&got, 1000), IoStatus::kClosed);
+}
+
+TEST(FrameTest, OversizedFrameIsRejectedAndClosesTheStream) {
+  FrameLimits limits;
+  limits.max_frame_bytes = 1024;
+  FramePair p(limits);
+  p.SendRaw("999999\n");
+  std::string payload;
+  EXPECT_EQ(p.conn->ReadFrame(&payload, 1000), IoStatus::kFrameTooLarge);
+  EXPECT_TRUE(p.conn->closed());
+}
+
+TEST(FrameTest, TornFramesAreDetected) {
+  {
+    FramePair p;
+    p.SendRaw("not-a-length\n");
+    std::string payload;
+    EXPECT_EQ(p.conn->ReadFrame(&payload, 1000), IoStatus::kTorn);
+    EXPECT_TRUE(p.conn->closed());
+  }
+  {
+    // Connection lost mid-payload: the declared length never arrives.
+    FramePair p;
+    p.SendRaw("10\nabc");
+    p.CloseRaw();
+    std::string payload;
+    EXPECT_EQ(p.conn->ReadFrame(&payload, 1000), IoStatus::kTorn);
+  }
+}
+
+TEST(FrameTest, ReadTimeoutLeavesPartialInputBuffered) {
+  FramePair p;
+  p.SendRaw("5\nhel");  // header + partial payload
+  std::string payload;
+  EXPECT_EQ(p.conn->ReadFrame(&payload, 50), IoStatus::kTimeout);
+  EXPECT_FALSE(p.conn->closed()) << "timeout must not kill the stream";
+  p.SendRaw("lo\n");  // the rest arrives late
+  EXPECT_EQ(p.conn->ReadFrame(&payload, 1000), IoStatus::kOk);
+  EXPECT_EQ(payload, "hello");
+}
+
+TEST(FrameTest, ChaosSitesInjectAtTaggedWrites) {
+  {
+    chaos::ScopedChaos scoped("conn-drop@event#1", 1);
+    FramePair p;
+    EXPECT_EQ(p.conn->WriteFrame("x", 1000, "event"), IoStatus::kClosed);
+    EXPECT_TRUE(p.conn->closed());
+    EXPECT_GE(chaos::Engine()->injected(), 1u);
+  }
+  {
+    chaos::ScopedChaos scoped("slow-peer@event#1", 1);
+    FramePair p;
+    EXPECT_EQ(p.conn->WriteFrame("x", 1000, "event"), IoStatus::kTimeout);
+    EXPECT_TRUE(p.conn->closed());
+  }
+  {
+    // partial-write sends a prefix then drops: the reader sees a torn
+    // frame, never a silently short payload.
+    chaos::ScopedChaos scoped("partial-write@event#1", 1);
+    FramePair p;
+    EXPECT_EQ(p.conn->WriteFrame("hello world payload", 1000, "event"),
+              IoStatus::kClosed);
+    std::string payload;
+    Conn reader(p.raw);
+    p.raw = -1;  // reader owns it now
+    EXPECT_EQ(reader.ReadFrame(&payload, 1000), IoStatus::kTorn);
+  }
+}
+
+// --- Handshake ---------------------------------------------------------------
+
+struct HandshakePair {
+  HandshakePair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    server = std::make_unique<Conn>(fds[0]);
+    client = std::make_unique<Conn>(fds[1]);
+  }
+  std::unique_ptr<Conn> server;
+  std::unique_ptr<Conn> client;
+};
+
+TEST(HandshakeTest, SucceedsWithSharedSecretAndCarriesRole) {
+  HandshakePair p;
+  HandshakeResult server_result;
+  std::thread t([&] {
+    server_result = ServerHandshake(*p.server, "sesame", 2000);
+  });
+  const HandshakeResult client_result =
+      ClientHandshake(*p.client, "sesame", "worker", 2000);
+  t.join();
+  EXPECT_TRUE(server_result.ok) << server_result.error;
+  EXPECT_TRUE(client_result.ok) << client_result.error;
+  EXPECT_EQ(server_result.role, "worker");
+}
+
+TEST(HandshakeTest, BadSecretIsFatalForTheClient) {
+  HandshakePair p;
+  HandshakeResult server_result;
+  std::thread t([&] {
+    server_result = ServerHandshake(*p.server, "sesame", 2000);
+  });
+  const HandshakeResult client_result =
+      ClientHandshake(*p.client, "wrong", "client", 2000);
+  t.join();
+  EXPECT_FALSE(server_result.ok);
+  EXPECT_FALSE(client_result.ok);
+  EXPECT_TRUE(client_result.fatal)
+      << "retrying a bad secret would hammer a daemon that never says yes";
+  EXPECT_NE(client_result.error.find("bad-secret"), std::string::npos);
+}
+
+TEST(HandshakeTest, EmptyServerSecretAcceptsAnyProof) {
+  HandshakePair p;
+  HandshakeResult server_result;
+  std::thread t([&] {
+    server_result = ServerHandshake(*p.server, "", 2000);
+  });
+  const HandshakeResult client_result =
+      ClientHandshake(*p.client, "whatever", "client", 2000);
+  t.join();
+  EXPECT_TRUE(server_result.ok);
+  EXPECT_TRUE(client_result.ok);
+}
+
+TEST(HandshakeTest, ChaosAbortReadsAsRetryable) {
+  chaos::ScopedChaos scoped("handshake-fail#1", 1);
+  HandshakePair p;
+  HandshakeResult server_result;
+  std::thread t([&] {
+    server_result = ServerHandshake(*p.server, "sesame", 2000);
+  });
+  const HandshakeResult client_result =
+      ClientHandshake(*p.client, "sesame", "client", 2000);
+  t.join();
+  EXPECT_FALSE(server_result.ok);
+  EXPECT_FALSE(client_result.ok);
+  EXPECT_FALSE(client_result.fatal)
+      << "a torn handshake must feed the backoff schedule, not abort";
+}
+
+TEST(HandshakeTest, ProofIsNonceAndSecretDependent) {
+  const std::string nonce = MakeNonce();
+  EXPECT_EQ(nonce.size(), 32u);
+  EXPECT_NE(nonce, MakeNonce());
+  EXPECT_NE(AuthProof(nonce, "a"), AuthProof(nonce, "b"));
+  EXPECT_NE(AuthProof(MakeNonce(), "a"), AuthProof(MakeNonce(), "a"));
+  EXPECT_EQ(AuthProof(nonce, "a"), AuthProof(nonce, "a"));
+}
+
+// --- JobLedger ---------------------------------------------------------------
+
+Json Event(const char* kind) {
+  Json e = Json::Object();
+  e.Set("event", kind);
+  return e;
+}
+
+TEST(JobLedgerTest, StampsSeqDedupsAndReplaysTheMissingTail) {
+  JobLedger ledger(8);
+  std::vector<Json> first;
+  auto info = ledger.Open("job-1", 0,
+                          [&](const Json& e) { first.push_back(e); });
+  ASSERT_TRUE(info.created);
+  info.record(Event("queued"));
+  info.record(Event("stage"));
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].GetInt("seq"), 1);
+  EXPECT_EQ(first[1].GetInt("seq"), 2);
+  EXPECT_EQ(first[0].GetString("client_job"), "job-1");
+
+  // Reconnect that already saw seq 1: replay delivers only seq 2, then
+  // live events flow to the new attachment (last connection wins).
+  std::vector<Json> second;
+  auto info2 = ledger.Open("job-1", 1,
+                           [&](const Json& e) { second.push_back(e); });
+  EXPECT_FALSE(info2.created) << "same client_job must not start a duplicate";
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].GetInt("seq"), 2);
+
+  info.record(Event("complete"));
+  EXPECT_EQ(first.size(), 2u) << "stale attachment must stop receiving";
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[1].GetInt("seq"), 3);
+
+  // Terminal entries are retained: a full replay recovers the whole
+  // stream including the terminal event.
+  std::vector<Json> third;
+  auto info3 = ledger.Open("job-1", 0,
+                           [&](const Json& e) { third.push_back(e); });
+  EXPECT_FALSE(info3.created);
+  EXPECT_TRUE(info3.terminal);
+  ASSERT_EQ(third.size(), 3u);
+  EXPECT_EQ(third[2].GetString("event"), "complete");
+}
+
+TEST(JobLedgerTest, EvictsOldestTerminalEntriesBeyondTheBound) {
+  JobLedger ledger(2);
+  for (int i = 0; i < 3; ++i) {
+    auto info = ledger.Open("job-" + std::to_string(i), 0,
+                            [](const Json&) {});
+    ASSERT_TRUE(info.created);
+    info.record(Event("complete"));
+  }
+  EXPECT_EQ(ledger.size(), 2u);
+  // The oldest finished job fell off the LRU; reopening it starts fresh.
+  auto again = ledger.Open("job-0", 0, [](const Json&) {});
+  EXPECT_TRUE(again.created);
+  // The newest is still replayable.
+  bool saw_terminal = false;
+  auto kept = ledger.Open("job-2", 0, [&](const Json& e) {
+    saw_terminal = e.GetString("event") == "complete";
+  });
+  EXPECT_FALSE(kept.created);
+  EXPECT_TRUE(saw_terminal);
+}
+
+// --- Broker publish validation ----------------------------------------------
+
+std::string PutU32(std::uint32_t v) {
+  std::string out(4, '\0');
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  return out;
+}
+std::string PutU64(std::uint64_t v) {
+  std::string out(8, '\0');
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  return out;
+}
+
+/// A well-formed GSRE entry for `payload`, keyed by `key` — the same
+/// layout store/result_store.cpp writes.
+std::string MakeEntryBytes(const Hash128& key, const std::string& payload) {
+  Hasher128 h;
+  h.AddString("gpustl-entry-v1");
+  h.AddBytes(payload.data(), payload.size());
+  const Hash128 sum = h.Finish();
+  std::string bytes = "GSRE";
+  bytes += PutU32(1);
+  bytes += PutU64(key.lo);
+  bytes += PutU64(key.hi);
+  bytes += PutU64(payload.size());
+  bytes += PutU64(sum.lo);
+  bytes += PutU64(sum.hi);
+  bytes += payload;
+  return bytes;
+}
+
+TEST(BrokerTest, PublishValidatesInstallsAndIsIdempotent) {
+  const std::string distrib = ScratchDir("broker-distrib");
+  const std::string cache = ScratchDir("broker-cache");
+  BrokerOptions options;
+  options.distrib_dir = distrib;
+  options.cache_dir = cache;
+  WorkBroker broker(options);
+  auto session = broker.OpenSession("test-owner");
+
+  Hash128 key{0x1122334455667788ull, 0x99aabbccddeeff00ull};
+  const std::string bytes = MakeEntryBytes(key, "payload-bytes");
+
+  Json publish;
+  publish.Set("op", "publish");
+  publish.Set("key", key.ToHex());
+  publish.Set("data", HexEncode(bytes));
+  EXPECT_EQ(session->Handle(publish).GetString("op"), "ok");
+  EXPECT_TRUE(fs::exists(cache + "/" + key.ToHex() + ".gsr"));
+  EXPECT_EQ(session->Handle(publish).GetString("op"), "ok") << "re-publish";
+
+  // A flipped payload byte fails the checksum — the upload is refused.
+  std::string corrupt = bytes;
+  corrupt.back() ^= 0x01;
+  Json bad = publish;
+  bad.Set("data", HexEncode(corrupt));
+  const Json reply = session->Handle(bad);
+  EXPECT_EQ(reply.GetString("op"), "error");
+  EXPECT_NE(reply.GetString("error").find("checksum"), std::string::npos);
+
+  // A key that doesn't match the embedded one is refused too.
+  Hash128 other{1, 2};
+  Json wrong_key = publish;
+  wrong_key.Set("key", other.ToHex());
+  EXPECT_EQ(session->Handle(wrong_key).GetString("op"), "error");
+}
+
+TEST(BrokerTest, FetchOnEmptyPoolIsIdleAndRenewWithoutLeaseIsLost) {
+  const std::string distrib = ScratchDir("broker-empty");
+  BrokerOptions options;
+  options.distrib_dir = distrib;
+  options.cache_dir = ScratchDir("broker-empty-cache");
+  WorkBroker broker(options);
+  auto session = broker.OpenSession("test-owner");
+
+  Json fetch;
+  fetch.Set("op", "fetch");
+  EXPECT_EQ(session->Handle(fetch).GetString("op"), "idle");
+
+  Json renew;
+  renew.Set("op", "renew");
+  renew.Set("unit", "w1-000");
+  EXPECT_EQ(session->Handle(renew).GetString("op"), "lease-lost");
+
+  Json bogus;
+  bogus.Set("op", "frobnicate");
+  EXPECT_EQ(session->Handle(bogus).GetString("op"), "error");
+}
+
+// --- TcpServer end to end ----------------------------------------------------
+
+constexpr const char* kTinyAsm = R"(.entry tiny
+.blocks 1
+.threads 32
+    S2R R1, SR_TID
+    MOV32I R0, 4
+    IMUL R3, R1, R0
+    IADD32I R2, R3, 0x10000
+    MOV32I R4, 0x1234
+    IADD R5, R4, R1
+    STG [R2+0x0], R5
+    EXIT
+)";
+
+/// The report `gpustlc campaign --report` would write for the same plan.
+std::string DirectReport(const std::vector<compact::PlanEntry>& plan) {
+  const netlist::Netlist du = circuits::BuildDecoderUnit();
+  const netlist::Netlist sp = circuits::BuildSpCore();
+  const netlist::Netlist sfu = circuits::BuildSfu();
+  const netlist::Netlist fp32 = circuits::BuildFp32();
+  compact::CompactorOptions base;
+  compact::StlCampaign campaign(du, sp, sfu, base, &fp32);
+  for (const auto& pe : plan) campaign.Process(pe.entry);
+  return compact::RenderCampaignReport(campaign.records(),
+                                       campaign.Summary());
+}
+
+service::SubmitRequest TinyRequest() {
+  service::SubmitRequest req;
+  service::SubmitEntry entry;
+  entry.asm_text = kTinyAsm;
+  entry.module = "DU";
+  req.entries.push_back(entry);
+  entry.module = "SP";
+  entry.compact = false;
+  req.entries.push_back(entry);
+  return req;
+}
+
+Json TinySubmitDoc() {
+  Json req = Json::Object();
+  req.Set("op", "submit");
+  Json entries = Json::Array();
+  Json e1 = Json::Object();
+  e1.Set("asm", kTinyAsm);
+  e1.Set("module", "DU");
+  entries.Append(std::move(e1));
+  Json e2 = Json::Object();
+  e2.Set("asm", kTinyAsm);
+  e2.Set("module", "SP");
+  e2.Set("mode", "carry");
+  entries.Append(std::move(e2));
+  req.Set("entries", std::move(entries));
+  return req;
+}
+
+/// A live TcpServer on an ephemeral port wrapping a 2-worker service.
+struct TcpFixture {
+  explicit TcpFixture(std::string secret = "sesame",
+                      BrokerOptions broker_options = {}) {
+    service::ServiceOptions sopts;
+    sopts.workers = 2;
+    svc = std::make_unique<service::CampaignService>(sopts);
+    TcpServerOptions topts;
+    topts.endpoint = {"127.0.0.1", 0};
+    topts.secret = secret;
+    topts.worker_slice_ms = 100;  // brisk lease sweeps for tests
+    server = std::make_unique<TcpServer>(*svc, WorkBroker(broker_options),
+                                         topts);
+    std::string error;
+    started = server->Start(&error);
+    EXPECT_TRUE(started) << error;
+    if (started) serve = std::thread([this] { server->Serve(); });
+  }
+
+  ~TcpFixture() {
+    if (started) {
+      server->RequestStop();
+      serve.join();
+      svc->Drain(false);
+      server->JoinConnections();
+    }
+  }
+
+  ChannelOptions Channel(std::string secret = "sesame") {
+    ChannelOptions copts;
+    copts.endpoint = {"127.0.0.1", server->bound_port()};
+    copts.secret = std::move(secret);
+    return copts;
+  }
+
+  std::unique_ptr<service::CampaignService> svc;
+  std::unique_ptr<TcpServer> server;
+  std::thread serve;
+  bool started = false;
+};
+
+TEST(TcpServerTest, PingAndStatusRoundTrip) {
+  TcpFixture fx;
+  NetChannel channel(fx.Channel());
+  std::string error;
+  ASSERT_TRUE(channel.EnsureConnected(&error)) << error;
+
+  Json ping;
+  ping.Set("op", "ping");
+  const auto pong = channel.Call(ping, 5000);
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->GetString("event"), "pong");
+
+  Json status;
+  status.Set("op", "status");
+  const auto st = channel.Call(status, 5000);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->GetInt("workers"), 2);
+}
+
+TEST(TcpServerTest, WrongSecretFailsFastAndFatal) {
+  TcpFixture fx;
+  ChannelOptions copts = fx.Channel("not-sesame");
+  copts.retry.attempts = 4;
+  NetChannel channel(copts);
+  std::string error;
+  bool fatal = false;
+  EXPECT_FALSE(channel.EnsureConnected(&error, &fatal));
+  EXPECT_TRUE(fatal) << "bad-secret must not burn the retry budget";
+}
+
+TEST(TcpServerTest, SubmitStreamsEventsAndMatchesDirectReport) {
+  TcpFixture fx;
+  NetChannel channel(fx.Channel());
+
+  std::vector<Json> events;
+  const SubmitOutcome outcome =
+      ResumableSubmit(channel, TinySubmitDoc(), GenerateClientJobId(),
+                      [&](const Json& e) { events.push_back(e); });
+  ASSERT_FALSE(outcome.transport_error) << outcome.transport_detail;
+  EXPECT_EQ(outcome.terminal.GetString("status"), "complete");
+  EXPECT_EQ(outcome.terminal.GetInt("entries"), 2);
+  EXPECT_EQ(outcome.terminal.GetString("report"),
+            DirectReport(service::BuildPlan(TinyRequest())))
+      << "a TCP submit must render the byte-identical gpustlc report";
+
+  // The stream is gapless and ends in exactly one terminal event.
+  ASSERT_GE(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].GetInt("seq"), static_cast<int>(i) + 1);
+  }
+  EXPECT_EQ(events.front().GetString("event"), "queued");
+  EXPECT_EQ(events.back().GetString("event"), "complete");
+  const auto terminals = std::count_if(
+      events.begin(), events.end(), [](const Json& e) {
+        const std::string kind = e.GetString("event");
+        return kind == "complete" || kind == "failed" || kind == "rejected";
+      });
+  EXPECT_EQ(terminals, 1);
+}
+
+TEST(TcpServerTest, SubmitWithoutClientJobIsRejected) {
+  TcpFixture fx;
+  NetChannel channel(fx.Channel());
+  std::string error;
+  ASSERT_TRUE(channel.EnsureConnected(&error)) << error;
+
+  Json req = TinySubmitDoc();  // no client_job on purpose
+  ASSERT_TRUE(channel.Send(req));
+  Json reply;
+  ASSERT_EQ(channel.Read(&reply, 5000), IoStatus::kOk);
+  EXPECT_EQ(reply.GetString("event"), "rejected");
+  EXPECT_NE(reply.GetString("detail").find("client_job"), std::string::npos);
+}
+
+TEST(TcpServerTest, DuplicateSubmitAttachesInsteadOfStartingTwice) {
+  TcpFixture fx;
+  const std::string client_job = GenerateClientJobId();
+
+  NetChannel first(fx.Channel());
+  std::vector<Json> events1;
+  const SubmitOutcome o1 =
+      ResumableSubmit(first, TinySubmitDoc(), client_job,
+                      [&](const Json& e) { events1.push_back(e); });
+  ASSERT_FALSE(o1.transport_error) << o1.transport_detail;
+
+  // Same client_job from a fresh connection: the ledger replays the
+  // recorded stream instead of running the job again.
+  NetChannel second(fx.Channel());
+  std::vector<Json> events2;
+  const SubmitOutcome o2 =
+      ResumableSubmit(second, TinySubmitDoc(), client_job,
+                      [&](const Json& e) { events2.push_back(e); });
+  ASSERT_FALSE(o2.transport_error) << o2.transport_detail;
+
+  ASSERT_EQ(events1.size(), events2.size());
+  for (std::size_t i = 0; i < events1.size(); ++i) {
+    EXPECT_EQ(events1[i].Dump(), events2[i].Dump());
+  }
+  EXPECT_EQ(fx.server->ledger().size(), 1u)
+      << "one client_job must mean one ledger entry";
+}
+
+TEST(TcpServerTest, EventStreamResumesAcrossChaosConnDrops) {
+  // Drop the server->client connection on the 2nd event write: the
+  // client must reconnect, resume from its last seq, and still see a
+  // gapless stream with one terminal event and the identical report.
+  chaos::ScopedChaos scoped("conn-drop@event#2", 1);
+  TcpFixture fx;
+  NetChannel channel(fx.Channel());
+
+  std::vector<Json> events;
+  const SubmitOutcome outcome =
+      ResumableSubmit(channel, TinySubmitDoc(), GenerateClientJobId(),
+                      [&](const Json& e) { events.push_back(e); });
+  ASSERT_FALSE(outcome.transport_error) << outcome.transport_detail;
+  EXPECT_GE(chaos::Engine()->injected(), 1u) << "chaos must actually fire";
+
+  EXPECT_EQ(outcome.terminal.GetString("status"), "complete");
+  EXPECT_EQ(outcome.terminal.GetString("report"),
+            DirectReport(service::BuildPlan(TinyRequest())))
+      << "chaos on the transport must never change the report";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].GetInt("seq"), static_cast<int>(i) + 1)
+        << "resume must neither duplicate nor lose events";
+  }
+  EXPECT_EQ(events.back().GetString("event"), "complete");
+}
+
+TEST(TcpServerTest, WorkerConnectionRefusedWithoutDistribDir) {
+  TcpFixture fx;  // no broker options: broker disabled
+  ChannelOptions copts = fx.Channel();
+  copts.role = "worker";
+  NetChannel channel(copts);
+  std::string error;
+  ASSERT_TRUE(channel.EnsureConnected(&error)) << error;
+
+  Json reply;
+  ASSERT_EQ(channel.Read(&reply, 5000), IoStatus::kOk);
+  EXPECT_EQ(reply.GetString("op"), "error");
+  EXPECT_NE(reply.GetString("error").find("distrib"), std::string::npos);
+}
+
+TEST(TcpServerTest, WorkerFetchSeesIdleOnEmptyPool) {
+  BrokerOptions broker;
+  broker.distrib_dir = ScratchDir("tcp-worker-distrib");
+  broker.cache_dir = ScratchDir("tcp-worker-cache");
+  TcpFixture fx("sesame", broker);
+  ChannelOptions copts = fx.Channel();
+  copts.role = "worker";
+  NetChannel channel(copts);
+  std::string error;
+  ASSERT_TRUE(channel.EnsureConnected(&error)) << error;
+
+  Json fetch;
+  fetch.Set("op", "fetch");
+  const auto reply = channel.Call(fetch, 5000, "fetch");
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->GetString("op"), "idle");
+  EXPECT_FALSE(reply->GetBool("done"));
+}
+
+}  // namespace
+}  // namespace gpustl::net

@@ -1,17 +1,23 @@
 // gpustl-client — command-line client for the gpustld daemon.
 //
 // Speaks the newline-delimited JSON protocol (docs/FORMATS.md) over the
-// daemon's AF_UNIX socket:
+// daemon's AF_UNIX socket, or the length-framed TCP transport for an
+// off-box daemon:
 //
 //   gpustl-client --socket /run/gpustld.sock submit --manifest stl.txt
+//   gpustl-client --connect buildhost:7777 submit --manifest stl.txt
 //   gpustl-client --socket /run/gpustld.sock ping | status | shutdown
 //
 // `submit` streams the job's lifecycle events until the terminal one and
 // maps it to the exit code; --report writes the campaign report text (the
-// same bytes `gpustlc campaign --report` would produce) to a file.
+// same bytes `gpustlc campaign --report` would produce) to a file. Over
+// TCP the submit is idempotent and resumable: a mid-stream disconnect
+// reconnects with backoff and resumes the event stream where it left
+// off, with no duplicated and no lost events.
 //
-// exit codes: 0 job complete (or ping/status/shutdown ok), 1 failed or
-// transport error, 2 usage, 3 job complete DEGRADED, 4 job rejected.
+// exit codes: 0 job complete (or ping/status/shutdown ok), 1 failed,
+// 2 usage, 3 job complete DEGRADED, 4 rejected, 5 transport error
+// (connect attempts exhausted, connection lost beyond recovery).
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -24,7 +30,10 @@
 #include <fstream>
 #include <string>
 
+#include "common/chaos.h"
 #include "common/strutil.h"
+#include "net/client.h"
+#include "net/net.h"
 #include "service/json.h"
 
 namespace gpustl::tools {
@@ -35,7 +44,16 @@ int Usage() {
       stderr,
       "gpustl-client — client for the gpustld campaign daemon\n"
       "\n"
-      "usage: gpustl-client --socket <path> <command> [options]\n"
+      "usage: gpustl-client (--socket <path> | --connect <host:port>)\n"
+      "                     <command> [options]\n"
+      "\n"
+      "transport:\n"
+      "  --socket <path>        daemon's AF_UNIX socket\n"
+      "  --connect <host:port>  daemon's TCP listener; reconnects with\n"
+      "                         backoff and resumes event streams\n"
+      "  --secret <s>           handshake secret for --connect (default:\n"
+      "                         $GPUSTL_NET_SECRET)\n"
+      "  --retries N            connect attempts per cycle (default 8)\n"
       "\n"
       "commands:\n"
       "  submit --manifest <file> [options]   submit a campaign and stream\n"
@@ -58,14 +76,21 @@ int Usage() {
       "  --report <file>        write the campaign report text\n"
       "  --json                 print raw event lines instead of summaries\n"
       "\n"
-      "exit codes: 0 complete, 1 failed or transport error, 2 usage,\n"
-      "3 complete DEGRADED, 4 rejected.\n");
+      "exit codes: 0 complete, 1 failed, 2 usage, 3 complete DEGRADED,\n"
+      "4 rejected, 5 transport error.\n");
   return 2;
 }
 
 [[noreturn]] void Die(const std::string& msg) {
   std::fprintf(stderr, "gpustl-client: %s\n", msg.c_str());
   std::exit(1);
+}
+
+/// Transport failures get their own exit code (5) so wrappers can retry
+/// or re-point without mistaking a dead network for a failed job.
+[[noreturn]] void DieTransport(const std::string& msg) {
+  std::fprintf(stderr, "gpustl-client: transport error: %s\n", msg.c_str());
+  std::exit(5);
 }
 
 int Connect(const std::string& socket_path) {
@@ -79,7 +104,7 @@ int Connect(const std::string& socket_path) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) Die(std::string("socket: ") + std::strerror(errno));
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Die("connect " + socket_path + ": " + std::strerror(errno));
+    DieTransport("connect " + socket_path + ": " + std::strerror(errno));
   }
   return fd;
 }
@@ -91,7 +116,7 @@ void SendLine(int fd, const std::string& line) {
   while (off < out.size()) {
     const ssize_t n = ::send(fd, out.data() + off, out.size() - off, 0);
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) Die("send: daemon went away");
+    if (n <= 0) DieTransport("send: daemon went away");
     off += static_cast<std::size_t>(n);
   }
 }
@@ -130,7 +155,7 @@ struct SubmitArgs {
   bool raw_json = false;
 };
 
-int RunSubmit(int fd, const SubmitArgs& args) {
+service::Json BuildSubmitRequest(const SubmitArgs& args) {
   if (args.manifest.empty()) Die("submit needs --manifest <file>");
   service::Json req = service::Json::Object();
   req.Set("op", "submit");
@@ -151,72 +176,118 @@ int RunSubmit(int fd, const SubmitArgs& args) {
     req.Set("checkpoint_dir",
             std::filesystem::absolute(args.checkpoint_dir).string());
   }
-  SendLine(fd, req.Dump());
+  return req;
+}
 
-  std::string buffer;
-  std::string line;
-  while (ReadLine(fd, &buffer, &line)) {
-    const auto event = service::Json::Parse(line);
-    if (!event) Die("bad event line from daemon: " + line);
+/// Renders one job event. Returns true (with the exit code in `rc`) on
+/// the terminal event. Shared verbatim by the AF_UNIX and TCP paths so
+/// the two transports cannot drift in what the user sees.
+bool ProcessEvent(const service::Json& event, const SubmitArgs& args,
+                  int* rc) {
+  {
     if (args.raw_json) {
-      std::printf("%s\n", line.c_str());
+      std::printf("%s\n", event.Dump().c_str());
       std::fflush(stdout);
     }
-    const std::string kind = event->GetString("event");
+    const std::string kind = event.GetString("event");
     if (kind == "rejected") {
       std::fprintf(stderr, "gpustl-client: rejected: %s%s%s\n",
-                   event->GetString("reason").c_str(),
-                   event->Find("detail") != nullptr ? " — " : "",
-                   event->GetString("detail").c_str());
-      return 4;
+                   event.GetString("reason").c_str(),
+                   event.Find("detail") != nullptr ? " — " : "",
+                   event.GetString("detail").c_str());
+      *rc = 4;
+      return true;
     }
     if (kind == "failed") {
       std::fprintf(stderr, "gpustl-client: job failed [%s]: %s\n",
-                   event->GetString("class").c_str(),
-                   event->GetString("message").c_str());
-      return 1;
+                   event.GetString("class").c_str(),
+                   event.GetString("message").c_str());
+      *rc = 1;
+      return true;
     }
     if (kind == "error") {
-      Die("daemon: " + event->GetString("message"));
+      Die("daemon: " + event.GetString("message"));
     }
     if (!args.raw_json) {
       if (kind == "queued") {
         std::printf("queued: job %lld, %lld ahead\n",
-                    static_cast<long long>(event->GetInt("job")),
-                    static_cast<long long>(event->GetInt("position")));
+                    static_cast<long long>(event.GetInt("job")),
+                    static_cast<long long>(event.GetInt("position")));
       } else if (kind == "admitted") {
         std::printf("admitted: worker %lld\n",
-                    static_cast<long long>(event->GetInt("worker")));
+                    static_cast<long long>(event.GetInt("worker")));
       } else if (kind == "entry-done") {
-        std::printf("  %-12s %s%s\n", event->GetString("name").c_str(),
-                    event->GetString("mode").c_str(),
-                    event->Find("error_class") != nullptr
-                        ? (" [" + event->GetString("error_class") + " at " +
-                           event->GetString("error_stage") + "]")
+        std::printf("  %-12s %s%s\n", event.GetString("name").c_str(),
+                    event.GetString("mode").c_str(),
+                    event.Find("error_class") != nullptr
+                        ? (" [" + event.GetString("error_class") + " at " +
+                           event.GetString("error_stage") + "]")
                               .c_str()
                         : "");
       }
       std::fflush(stdout);
     }
     if (kind == "complete") {
-      const std::string status = event->GetString("status");
+      const std::string status = event.GetString("status");
       if (!args.report_path.empty()) {
         std::ofstream out(args.report_path);
         if (!out) Die("cannot write " + args.report_path);
-        out << event->GetString("report");
+        out << event.GetString("report");
         if (!args.raw_json) {
           std::printf("report -> %s\n", args.report_path.c_str());
         }
       }
       if (!args.raw_json) {
         std::printf("%s: %lld entries, %lld degraded\n", status.c_str(),
-                    static_cast<long long>(event->GetInt("entries")),
-                    static_cast<long long>(event->GetInt("degraded_entries")));
+                    static_cast<long long>(event.GetInt("entries")),
+                    static_cast<long long>(event.GetInt("degraded_entries")));
       }
-      return status == "degraded" ? 3 : 0;
+      *rc = status == "degraded" ? 3 : 0;
+      return true;
     }
   }
-  Die("connection closed before the job finished");
+  return false;
+}
+
+int RunSubmit(int fd, const SubmitArgs& args) {
+  SendLine(fd, BuildSubmitRequest(args).Dump());
+  std::string buffer;
+  std::string line;
+  while (ReadLine(fd, &buffer, &line)) {
+    const auto event = service::Json::Parse(line);
+    if (!event) Die("bad event line from daemon: " + line);
+    int rc = 0;
+    if (ProcessEvent(*event, args, &rc)) return rc;
+  }
+  DieTransport("connection closed before the job finished");
+}
+
+int RunSubmitTcp(net::NetChannel& channel, const SubmitArgs& args) {
+  int rc = 0;
+  bool terminal = false;
+  const net::SubmitOutcome outcome = net::ResumableSubmit(
+      channel, BuildSubmitRequest(args), net::GenerateClientJobId(),
+      [&](const service::Json& event) {
+        if (ProcessEvent(event, args, &rc)) terminal = true;
+      });
+  if (outcome.transport_error) DieTransport(outcome.transport_detail);
+  if (!terminal) DieTransport("event stream ended without a terminal event");
+  return rc;
+}
+
+int RunSimpleOpTcp(net::NetChannel& channel, const std::string& op) {
+  std::string error;
+  bool fatal = false;
+  if (!channel.EnsureConnected(&error, &fatal)) {
+    if (fatal) Die(error);
+    DieTransport(error);
+  }
+  service::Json req = service::Json::Object();
+  req.Set("op", op);
+  const auto reply = channel.Call(req, /*read_deadline_ms=*/30000, op);
+  if (!reply) DieTransport("no response from daemon");
+  std::printf("%s\n", reply->Dump().c_str());
+  return reply->GetString("event") == "error" ? 1 : 0;
 }
 
 int RunSimpleOp(int fd, const std::string& op) {
@@ -225,7 +296,7 @@ int RunSimpleOp(int fd, const std::string& op) {
   SendLine(fd, req.Dump());
   std::string buffer;
   std::string line;
-  if (!ReadLine(fd, &buffer, &line)) Die("no response from daemon");
+  if (!ReadLine(fd, &buffer, &line)) DieTransport("no response from daemon");
   std::printf("%s\n", line.c_str());
   const auto event = service::Json::Parse(line);
   if (!event) return 1;
@@ -235,8 +306,14 @@ int RunSimpleOp(int fd, const std::string& op) {
 
 int Main(int argc, char** argv) {
   std::string socket_path;
+  std::string connect;
+  std::string secret;
+  std::string chaos;
+  std::uint64_t chaos_seed = 1;
+  int retries = 8;
   std::string command;
   SubmitArgs submit;
+  if (const char* env = std::getenv("GPUSTL_NET_SECRET")) secret = env;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -249,6 +326,19 @@ int Main(int argc, char** argv) {
       return *v;
     };
     if (arg == "--socket") socket_path = next();
+    else if (arg == "--connect") connect = next();
+    else if (arg == "--secret") secret = next();
+    else if (arg == "--retries") {
+      const auto v = ParseInt(next());
+      if (!v || *v < 1) Die("--retries must be >= 1");
+      retries = static_cast<int>(*v);
+    }
+    else if (arg == "--chaos") chaos = next();
+    else if (arg == "--chaos-seed") {
+      const auto v = ParseInt(next());
+      if (!v || *v < 0) Die("--chaos-seed must be >= 0");
+      chaos_seed = static_cast<std::uint64_t>(*v);
+    }
     else if (arg == "--manifest") submit.manifest = next();
     else if (arg == "--tenant") submit.tenant = next();
     else if (arg == "--priority") submit.priority = next();
@@ -273,6 +363,27 @@ int Main(int argc, char** argv) {
   }
 
   if (command.empty()) return Usage();
+  if (!socket_path.empty() && !connect.empty()) {
+    Die("--socket and --connect are mutually exclusive");
+  }
+  if (!chaos.empty()) chaos::Install(chaos, chaos_seed);
+
+  if (!connect.empty()) {
+    std::string error;
+    const auto endpoint = net::ParseEndpoint(connect, &error);
+    if (!endpoint) Die(error);
+    net::ChannelOptions copts;
+    copts.endpoint = *endpoint;
+    copts.secret = secret;
+    copts.retry.attempts = retries;
+    net::NetChannel channel(copts);
+    if (command == "submit") return RunSubmitTcp(channel, submit);
+    if (command == "ping" || command == "status" || command == "shutdown") {
+      return RunSimpleOpTcp(channel, command);
+    }
+    return Usage();
+  }
+
   const int fd = Connect(socket_path);
   int rc;
   if (command == "submit") {

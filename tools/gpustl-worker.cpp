@@ -8,6 +8,11 @@
 // expired and re-stolen, and the coordinator computes anything left over
 // inline — the campaign report is byte-identical for every fleet size and
 // failure pattern (see src/distrib/worker.h).
+//
+// With --connect the same worker runs OFF-BOX: work units arrive over the
+// daemon's TCP listener as RPCs, results are uploaded as store-entry
+// bytes, and a lost connection (or SIGKILL) surrenders the unit's lease
+// so it is re-issued exactly like a stale local claim.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +22,8 @@
 #include "common/error.h"
 #include "common/strutil.h"
 #include "distrib/worker.h"
+#include "net/net.h"
+#include "net/remote_worker.h"
 
 namespace gpustl::tools {
 namespace {
@@ -26,10 +33,18 @@ int Usage() {
       stderr,
       "gpustl-worker — distributed campaign worker\n"
       "\n"
-      "usage: gpustl-worker --dir <distrib-dir> [options]\n"
+      "usage: gpustl-worker (--dir <distrib-dir> | --connect <host:port>)\n"
+      "                     [options]\n"
       "\n"
       "options:\n"
-      "  --dir <path>        distrib dir of the campaign (required)\n"
+      "  --dir <path>        distrib dir of the campaign (local mode)\n"
+      "  --connect <h:p>     a gpustld --listen address (remote mode:\n"
+      "                      units and results travel over TCP; the\n"
+      "                      worker reconnects with backoff forever)\n"
+      "  --secret <s>        handshake secret for --connect (default:\n"
+      "                      $GPUSTL_NET_SECRET)\n"
+      "  --scratch <dir>     remote mode: local scratch store (default: a\n"
+      "                      fresh temp dir, removed on exit)\n"
       "  --owner <id>        claim owner label (default pid:<pid>)\n"
       "  --cache-dir <dir>   result store (default: the coordinator's,\n"
       "                      from <dir>/meta.txt)\n"
@@ -59,8 +74,12 @@ void HandleSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
 
 int Main(int argc, char** argv) {
   distrib::WorkerOptions options;
+  std::string connect;
+  std::string secret;
+  std::string scratch;
   std::string chaos;
   std::uint64_t chaos_seed = 1;
+  if (const char* env = std::getenv("GPUSTL_NET_SECRET")) secret = env;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -69,6 +88,9 @@ int Main(int argc, char** argv) {
       return argv[i];
     };
     if (arg == "--dir") options.dir = next();
+    else if (arg == "--connect") connect = next();
+    else if (arg == "--secret") secret = next();
+    else if (arg == "--scratch") scratch = next();
     else if (arg == "--owner") options.owner = next();
     else if (arg == "--cache-dir") options.cache_dir = next();
     else if (arg == "--threads") {
@@ -92,7 +114,7 @@ int Main(int argc, char** argv) {
     }
     else return Usage();
   }
-  if (options.dir.empty()) return Usage();
+  if (options.dir.empty() == connect.empty()) return Usage();
 
   if (!chaos.empty()) {
     chaos::Install(chaos, chaos_seed);
@@ -105,7 +127,23 @@ int Main(int argc, char** argv) {
   std::signal(SIGINT, HandleSignal);
 
   try {
-    const distrib::WorkerStats stats = distrib::RunWorker(options);
+    distrib::WorkerStats stats;
+    if (!connect.empty()) {
+      std::string error;
+      const auto endpoint = net::ParseEndpoint(connect, &error);
+      if (!endpoint) Die(error);
+      net::RemoteWorkerOptions remote;
+      remote.endpoint = *endpoint;
+      remote.secret = secret;
+      remote.owner = options.owner;
+      remote.threads = options.threads;
+      remote.poll_ms = std::max(options.poll_ms, 50);
+      remote.scratch_dir = scratch;
+      remote.stop = &g_stop;
+      stats = net::RunRemoteWorker(remote);
+    } else {
+      stats = distrib::RunWorker(options);
+    }
     std::printf("gpustl-worker: %llu units (%llu wave-2), %llu steals, "
                 "%llu failures\n",
                 static_cast<unsigned long long>(stats.units_done),

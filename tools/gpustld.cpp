@@ -17,11 +17,16 @@
 #include <cstring>
 #include <string>
 
+#include <thread>
+
 #include "common/chaos.h"
 #include "common/error.h"
 #include "common/strutil.h"
 #include "fault/backend.h"
 #include "fault/trim.h"
+#include "net/broker.h"
+#include "net/net.h"
+#include "net/tcp_server.h"
 #include "service/server.h"
 #include "service/service.h"
 
@@ -33,10 +38,16 @@ int Usage() {
       stderr,
       "gpustld — compaction campaign daemon\n"
       "\n"
-      "usage: gpustld --socket <path> [options]\n"
+      "usage: gpustld [--socket <path>] [--listen <host:port>] [options]\n"
       "\n"
-      "options:\n"
-      "  --socket <path>        AF_UNIX socket to listen on (required)\n"
+      "options (at least one of --socket / --listen is required):\n"
+      "  --socket <path>        AF_UNIX socket to listen on\n"
+      "  --listen <host:port>   TCP listener for off-box clients and\n"
+      "                         workers (port 0 = ephemeral; the bound\n"
+      "                         port is printed at startup)\n"
+      "  --secret <s>           shared handshake secret for --listen\n"
+      "                         (default: $GPUSTL_NET_SECRET; empty\n"
+      "                         accepts any peer)\n"
       "  --workers N            campaign worker threads (default 2)\n"
       "  --queue-depth N        max queued jobs before `queue-full`\n"
       "                         rejections (default 64)\n"
@@ -76,19 +87,25 @@ int Usage() {
 }
 
 service::SocketServer* g_server = nullptr;
+net::TcpServer* g_tcp_server = nullptr;
 
 void HandleSignal(int) {
+  // Both stops are a single self-pipe write: async-signal-safe.
   if (g_server != nullptr) g_server->RequestStop();
+  if (g_tcp_server != nullptr) g_tcp_server->RequestStop();
 }
 
 struct Args {
   std::string socket_path;
+  std::string listen;
+  std::string secret;
   std::string chaos;
   std::uint64_t chaos_seed = 1;
   bool drain_cancel = false;
   service::ServiceOptions service;
 
   Args(int argc, char** argv) {
+    if (const char* env = std::getenv("GPUSTL_NET_SECRET")) secret = env;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       auto next = [&]() -> std::string {
@@ -106,6 +123,8 @@ struct Args {
         return *v;
       };
       if (arg == "--socket") socket_path = next();
+      else if (arg == "--listen") listen = next();
+      else if (arg == "--secret") secret = next();
       else if (arg == "--workers") service.workers = static_cast<int>(next_int(1));
       else if (arg == "--queue-depth")
         service.admission.max_queue_depth = static_cast<std::size_t>(next_int(1));
@@ -146,7 +165,7 @@ struct Args {
 
 int Main(int argc, char** argv) {
   const Args args(argc, argv);
-  if (args.socket_path.empty()) return Usage();
+  if (args.socket_path.empty() && args.listen.empty()) return Usage();
   if (!args.service.distrib_dir.empty() && args.service.cache_dir.empty()) {
     Die("--distrib-dir requires --cache-dir (the shared store is the "
         "data plane workers publish to)");
@@ -159,28 +178,76 @@ int Main(int argc, char** argv) {
 
   try {
     service::CampaignService service(args.service);
-    service::SocketServer server(service, args.socket_path);
     std::string error;
-    if (!server.Start(&error)) Die(error);
 
-    g_server = &server;
+    std::unique_ptr<service::SocketServer> server;
+    if (!args.socket_path.empty()) {
+      server = std::make_unique<service::SocketServer>(service,
+                                                       args.socket_path);
+      if (!server->Start(&error)) Die(error);
+    }
+
+    std::unique_ptr<net::TcpServer> tcp_server;
+    if (!args.listen.empty()) {
+      const auto endpoint = net::ParseEndpoint(args.listen, &error);
+      if (!endpoint) Die(error);
+      net::BrokerOptions broker;
+      broker.distrib_dir = args.service.distrib_dir;
+      broker.cache_dir = args.service.cache_dir;
+      broker.lease_seconds = args.service.distrib_stale_seconds;
+      net::TcpServerOptions topts;
+      topts.endpoint = *endpoint;
+      topts.secret = args.secret;
+      tcp_server = std::make_unique<net::TcpServer>(
+          service, net::WorkBroker(broker), topts);
+      if (!tcp_server->Start(&error)) Die(error);
+      // A shutdown op arriving over TCP must also stop the AF_UNIX loop.
+      tcp_server->set_on_shutdown([&server] {
+        if (server) server->RequestStop();
+      });
+    }
+
+    g_server = server.get();
+    g_tcp_server = tcp_server.get();
     std::signal(SIGTERM, HandleSignal);
     std::signal(SIGINT, HandleSignal);
     std::signal(SIGPIPE, SIG_IGN);
 
-    // The smoke tests (and any wrapper) wait for this line before
-    // connecting; keep it first and flushed.
-    std::printf("gpustld: listening on %s (%d workers)\n",
-                args.socket_path.c_str(), args.service.workers);
+    // The smoke tests (and any wrapper) wait for these lines before
+    // connecting; keep them first and flushed. The tcp line prints the
+    // BOUND port, so `--listen 127.0.0.1:0` wrappers learn the address.
+    if (server) {
+      std::printf("gpustld: listening on %s (%d workers)\n",
+                  args.socket_path.c_str(), args.service.workers);
+    }
+    if (tcp_server) {
+      const auto ep = net::ParseEndpoint(args.listen);
+      std::printf("gpustld: listening on tcp %s:%u (%d workers)\n",
+                  ep->host.c_str(), tcp_server->bound_port(),
+                  args.service.workers);
+    }
     std::fflush(stdout);
 
-    server.Serve();
+    if (server) {
+      std::thread tcp_thread;
+      if (tcp_server) {
+        tcp_thread = std::thread([&tcp_server] { tcp_server->Serve(); });
+      }
+      server->Serve();
+      if (tcp_server) {
+        tcp_server->RequestStop();
+        tcp_thread.join();
+      }
+    } else {
+      tcp_server->Serve();
+    }
 
     std::printf("gpustld: draining (%s in-flight jobs)\n",
                 args.drain_cancel ? "cancelling" : "finishing");
     std::fflush(stdout);
     service.Drain(args.drain_cancel);
-    server.JoinConnections();
+    if (server) server->JoinConnections();
+    if (tcp_server) tcp_server->JoinConnections();
 
     const service::ServiceCounters c = service.counters();
     std::printf("gpustld: drained — %llu submitted, %llu completed, "
